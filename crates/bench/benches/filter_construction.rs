@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: filter construction on a 10k-key workload
+//! (the per-key shape behind Fig 12(a/b)).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use habf_core::{FHabf, Habf, HabfConfig};
+use habf_filters::{BloomFilter, XorFilter};
+
+type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
+
+fn workload() -> Workload {
+    let pos: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| format!("pos:{i}").into_bytes())
+        .collect();
+    let neg: Vec<(Vec<u8>, f64)> = (0..10_000)
+        .map(|i| (format!("neg:{i}").into_bytes(), 1.0 + (i % 13) as f64))
+        .collect();
+    (pos, neg)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let (pos, neg) = workload();
+    let total_bits = pos.len() * 10;
+    let mut group = c.benchmark_group("construction_10k_keys");
+    group.sample_size(10);
+    group.bench_function("BF", |b| {
+        b.iter_batched(
+            || (),
+            |()| BloomFilter::build(&pos, total_bits),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("Xor", |b| {
+        b.iter_batched(
+            || (),
+            |()| XorFilter::build(&pos, total_bits),
+            BatchSize::LargeInput,
+        )
+    });
+    let cfg = HabfConfig::with_total_bits(total_bits);
+    group.bench_function("HABF", |b| {
+        b.iter_batched(
+            || (),
+            |()| Habf::build(&pos, &neg, &cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("f-HABF", |b| {
+        b.iter_batched(
+            || (),
+            |()| FHabf::build(&pos, &neg, &cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

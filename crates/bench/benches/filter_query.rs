@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: per-key query latency (the shape behind
+//! Fig 12(c/d)).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use habf_core::{FHabf, Habf, HabfConfig};
+use habf_filters::{BloomFilter, Filter, XorFilter};
+
+fn bench_query(c: &mut Criterion) {
+    let pos: Vec<Vec<u8>> = (0..20_000)
+        .map(|i| format!("pos:{i}").into_bytes())
+        .collect();
+    let neg: Vec<(Vec<u8>, f64)> = (0..20_000)
+        .map(|i| (format!("neg:{i}").into_bytes(), 1.0))
+        .collect();
+    let total_bits = pos.len() * 10;
+
+    let bf = BloomFilter::build(&pos, total_bits);
+    let xor = XorFilter::build(&pos, total_bits);
+    let cfg = HabfConfig::with_total_bits(total_bits);
+    let habf = Habf::build(&pos, &neg, &cfg);
+    let fhabf = FHabf::build(&pos, &neg, &cfg);
+
+    let member = pos[1234].clone();
+    let outsider = b"absent:key:98765".to_vec();
+
+    let mut group = c.benchmark_group("query");
+    for (name, f) in [
+        ("BF", &bf as &dyn Filter),
+        ("Xor", &xor),
+        ("HABF", &habf),
+        ("f-HABF", &fhabf),
+    ] {
+        group.bench_function(format!("{name}/hit"), |b| {
+            b.iter(|| f.contains(black_box(&member)))
+        });
+        group.bench_function(format!("{name}/miss"), |b| {
+            b.iter(|| f.contains(black_box(&outsider)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: HashExpressor plan/commit/query (paper
+//! §III-C operations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use habf_core::HashExpressor;
+use habf_hashing::{HashFamily, HashId};
+use habf_util::Xoshiro256;
+
+/// Three distinct ids derived from an index.
+fn subset(i: u32) -> Vec<HashId> {
+    let a = 1 + (i % 7) as u8;
+    let b = 1 + ((i + 2) % 7) as u8;
+    let c = 1 + ((i + 4) % 7) as u8;
+    vec![a, b, c]
+}
+
+fn bench_hash_expressor(c: &mut Criterion) {
+    let family = HashFamily::with_size(7);
+    let mut rng = Xoshiro256::new(1);
+
+    // A moderately loaded table for realistic plan/query costs.
+    let mut he = HashExpressor::new(16_384, 4, 3);
+    let mut stored: Vec<Vec<u8>> = Vec::new();
+    for i in 0..2_000u32 {
+        let key = format!("stored-{i}").into_bytes();
+        if let Some(plan) = he.plan(&key, &subset(i), &family, &mut rng) {
+            he.commit(&plan);
+            stored.push(key);
+        }
+    }
+    assert!(stored.len() > 1_000);
+
+    c.bench_function("hash_expressor/plan", |b| {
+        b.iter(|| he.plan(black_box(b"candidate-key"), &[2, 4, 6], &family, &mut rng))
+    });
+    let hit = stored[stored.len() / 2].clone();
+    c.bench_function("hash_expressor/query_hit", |b| {
+        b.iter(|| he.query(black_box(&hit), &family))
+    });
+    c.bench_function("hash_expressor/query_miss", |b| {
+        b.iter(|| he.query(black_box(b"never-stored-key"), &family))
+    });
+}
+
+criterion_group!(benches, bench_hash_expressor);
+criterion_main!(benches);

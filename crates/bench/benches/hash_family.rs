@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: throughput of each Table II family member
+//! plus the double-hashing fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use habf_hashing::{DoubleHasher, HashFunction};
+
+fn bench_family(c: &mut Criterion) {
+    let key = b"http://sub12345.example-domain.com/path/item/98765";
+    let mut group = c.benchmark_group("hash_family");
+    for f in [
+        HashFunction::XxHash,
+        HashFunction::CityHash,
+        HashFunction::MurmurHash,
+        HashFunction::Bob,
+        HashFunction::SuperFast,
+        HashFunction::Crc32,
+        HashFunction::Fnv,
+        HashFunction::Djb,
+        HashFunction::Pjw,
+    ] {
+        group.bench_function(f.name(), |b| b.iter(|| f.hash(black_box(key))));
+    }
+    group.finish();
+}
+
+fn bench_double_hashing(c: &mut Criterion) {
+    let key = b"http://sub12345.example-domain.com/path/item/98765";
+    c.bench_function("double_hashing_3_probes", |b| {
+        b.iter(|| {
+            let h = DoubleHasher::new(black_box(key), 7);
+            (
+                h.position(0, 1 << 20),
+                h.position(1, 1 << 20),
+                h.position(2, 1 << 20),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_family, bench_double_hashing);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Minimal command-line options shared by every figure binary.
+
+/// Options parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Fraction of the Shalla dataset to generate (1.0 = 2.927M keys).
+    pub scale_shalla: f64,
+    /// Fraction of the YCSB dataset to generate (1.0 = 24.07M keys).
+    pub scale_ycsb: f64,
+    /// Cost shuffles averaged per skewed measurement (paper: 10).
+    pub shuffles: usize,
+    /// Base seed for dataset generation and builds.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            // Defaults keep every figure under a few minutes on a laptop
+            // while leaving enough negatives to resolve sub-1e-4 FPRs.
+            scale_shalla: 0.05,
+            scale_ycsb: 0.02,
+            shuffles: 3,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `std::env::args()`.
+    ///
+    /// Flags: `--scale F` (both datasets), `--scale-shalla F`,
+    /// `--scale-ycsb F`, `--full` (paper cardinalities, 10 shuffles),
+    /// `--shuffles N`, `--seed N`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    #[must_use]
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> f64 {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let f = value("--scale");
+                    opts.scale_shalla = f;
+                    opts.scale_ycsb = f;
+                }
+                "--scale-shalla" => opts.scale_shalla = value("--scale-shalla"),
+                "--scale-ycsb" => opts.scale_ycsb = value("--scale-ycsb"),
+                "--shuffles" => opts.shuffles = value("--shuffles") as usize,
+                "--seed" => opts.seed = value("--seed") as u64,
+                "--full" => {
+                    opts.scale_shalla = 1.0;
+                    opts.scale_ycsb = 1.0;
+                    opts.shuffles = 10;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale F | --scale-shalla F | --scale-ycsb F | \
+                         --shuffles N | --seed N | --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        assert!(
+            opts.scale_shalla > 0.0 && opts.scale_shalla <= 1.0,
+            "--scale-shalla out of (0, 1]"
+        );
+        assert!(
+            opts.scale_ycsb > 0.0 && opts.scale_ycsb <= 1.0,
+            "--scale-ycsb out of (0, 1]"
+        );
+        assert!(opts.shuffles >= 1, "--shuffles must be >= 1");
+        opts
+    }
+
+    /// Scales a paper space budget (in MB at full scale) to this run's
+    /// Shalla size, in **bits**.
+    #[must_use]
+    pub fn shalla_bits(&self, paper_mb: f64) -> usize {
+        (paper_mb * self.scale_shalla * 8.0 * 1024.0 * 1024.0) as usize
+    }
+
+    /// Scales a paper space budget (in MB at full scale) to this run's
+    /// YCSB size, in **bits**.
+    #[must_use]
+    pub fn ycsb_bits(&self, paper_mb: f64) -> usize {
+        (paper_mb * self.scale_ycsb * 8.0 * 1024.0 * 1024.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> RunOpts {
+        RunOpts::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let o = parse("");
+        assert!(o.scale_shalla < 1.0);
+        assert_eq!(o.shuffles, 3);
+    }
+
+    #[test]
+    fn full_sets_everything() {
+        let o = parse("--full");
+        assert_eq!(o.scale_shalla, 1.0);
+        assert_eq!(o.scale_ycsb, 1.0);
+        assert_eq!(o.shuffles, 10);
+    }
+
+    #[test]
+    fn scale_applies_to_both() {
+        let o = parse("--scale 0.5 --seed 9 --shuffles 2");
+        assert_eq!(o.scale_shalla, 0.5);
+        assert_eq!(o.scale_ycsb, 0.5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.shuffles, 2);
+    }
+
+    #[test]
+    fn budget_scaling() {
+        let o = parse("--scale 0.1");
+        // 1.5 MB at 10% = 0.15 MB = 1,258,291 bits.
+        assert_eq!(o.shalla_bits(1.5), 1_258_291);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse("--bogus");
+    }
+}

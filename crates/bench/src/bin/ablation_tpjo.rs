@@ -1,0 +1,5 @@
+//! Beyond-paper TPJO ablation study (see habf_bench::figures::ablation).
+
+fn main() {
+    habf_bench::figures::ablation::run(&habf_bench::RunOpts::parse());
+}

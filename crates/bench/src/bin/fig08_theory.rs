@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 08 (see habf_bench::figures::fig08).
+fn main() {
+    habf_bench::figures::fig08::run(&habf_bench::RunOpts::parse());
+}

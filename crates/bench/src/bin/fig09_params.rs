@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 09 (see habf_bench::figures::fig09).
+fn main() {
+    habf_bench::figures::fig09::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 10 (see habf_bench::figures::fig10).
+fn main() {
+    habf_bench::figures::fig10::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 11 (see habf_bench::figures::fig11).
+fn main() {
+    habf_bench::figures::fig11::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 12 (see habf_bench::figures::fig12).
+fn main() {
+    habf_bench::figures::fig12::run(&habf_bench::RunOpts::parse());
+}

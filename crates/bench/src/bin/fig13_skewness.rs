@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 13 (see habf_bench::figures::fig13).
+fn main() {
+    habf_bench::figures::fig13::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 14 (see habf_bench::figures::fig14).
+fn main() {
+    habf_bench::figures::fig14::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig 15 (construction memory). Installs the
+//! tracking allocator so peaks are measurable.
+
+#[global_allocator]
+static ALLOC: habf_util::alloc::TrackingAllocator = habf_util::alloc::TrackingAllocator;
+
+fn main() {
+    habf_bench::figures::fig15::run(&habf_bench::RunOpts::parse());
+}

@@ -1,0 +1,33 @@
+//! Runs every figure in sequence (the full evaluation of Section V).
+//! Installs the tracking allocator so Fig 15 peaks are measurable.
+
+#[global_allocator]
+static ALLOC: habf_util::alloc::TrackingAllocator = habf_util::alloc::TrackingAllocator;
+
+use habf_bench::{figures, RunOpts};
+
+fn main() {
+    let opts = RunOpts::parse();
+    println!("# HABF full evaluation (scales: shalla={}, ycsb={}, shuffles={})",
+        opts.scale_shalla, opts.scale_ycsb, opts.shuffles);
+    println!("\n########## Table II ##########");
+    figures::table2::run();
+    println!("\n########## Fig 8 ##########");
+    figures::fig08::run(&opts);
+    println!("\n########## Fig 9 ##########");
+    figures::fig09::run(&opts);
+    println!("\n########## Fig 10 ##########");
+    figures::fig10::run(&opts);
+    println!("\n########## Fig 11 ##########");
+    figures::fig11::run(&opts);
+    println!("\n########## Fig 12 ##########");
+    figures::fig12::run(&opts);
+    println!("\n########## Fig 13 ##########");
+    figures::fig13::run(&opts);
+    println!("\n########## Fig 14 ##########");
+    figures::fig14::run(&opts);
+    println!("\n########## Fig 15 ##########");
+    figures::fig15::run(&opts);
+    println!("\n########## TPJO ablation (beyond paper) ##########");
+    figures::ablation::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Prints Table II: the global hash family with sample digests and
+//! throughput.
+
+fn main() {
+    habf_bench::figures::table2::run();
+}

@@ -1,0 +1,125 @@
+//! Beyond-paper ablation: how much does each TPJO design choice
+//! contribute? Shalla at 1.5 MB, uniform costs.
+//!
+//! Variants:
+//! * **full** — the paper's algorithm (classes a+b+c, overlap tie-break,
+//!   Γ on, requeue cap 3);
+//! * **no class (c)** — never sacrifice optimized keys;
+//! * **no overlap tie-break** — first insertable candidate wins;
+//! * **Γ disabled** — class (a) only (f-HABF's selection, real family);
+//! * **requeue cap 0** — class-(c) victims are abandoned instead of
+//!   re-optimized.
+
+use crate::report::{pct, Table};
+use crate::RunOpts;
+use habf_core::tpjo::{self, TpjoConfig};
+use habf_hashing::{HashFamily, HashProvider};
+use habf_workloads::{metrics, ShallaConfig};
+
+struct Variant {
+    name: &'static str,
+    use_gamma: bool,
+    enable_class_c: bool,
+    overlap_tiebreak: bool,
+    requeue_cap: u8,
+}
+
+/// Runs the ablation table.
+pub fn run(opts: &RunOpts) {
+    let ds = ShallaConfig {
+        scale: opts.scale_shalla,
+        seed: opts.seed,
+        ..ShallaConfig::default()
+    }
+    .generate();
+    println!(
+        "Ablation (Shalla-like @ {:.2} MB): |S|={}, |O|={}",
+        1.5 * opts.scale_shalla,
+        ds.positives.len(),
+        ds.negatives.len()
+    );
+    // Class (c) and the requeue machinery only bite when costs are skewed
+    // (under uniform costs a class-(c) trade has zero gain); measure both.
+    let mut cost_rng = habf_util::Xoshiro256::new(opts.seed ^ 0xAB1A);
+    let skewed = habf_workloads::zipf_costs(ds.negatives.len(), 1.5, &mut cost_rng);
+    let total_bits = opts.shalla_bits(1.5);
+    let m = total_bits * 4 / 5;
+    let omega = (total_bits - m) / 4;
+    let family = HashFamily::with_size(7);
+
+    let variants = [
+        Variant { name: "full (paper)", use_gamma: true, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 3 },
+        Variant { name: "no class (c)", use_gamma: true, enable_class_c: false, overlap_tiebreak: true, requeue_cap: 3 },
+        Variant { name: "no overlap tie-break", use_gamma: true, enable_class_c: true, overlap_tiebreak: false, requeue_cap: 3 },
+        Variant { name: "Γ disabled (class a only)", use_gamma: false, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 3 },
+        Variant { name: "requeue cap 0", use_gamma: true, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 0 },
+    ];
+
+    let mut table = Table::new(
+        "TPJO ablation — uniform FPR, Zipf(1.5) weighted FPR, effectiveness",
+        &[
+            "variant",
+            "FPR (uniform)",
+            "wFPR (skew 1.5)",
+            "optimized",
+            "failed",
+            "build ms",
+        ],
+    );
+    for v in &variants {
+        let cfg = TpjoConfig {
+            k: 3,
+            m,
+            omega,
+            cell_bits: 4,
+            use_gamma: v.use_gamma,
+            requeue_cap: v.requeue_cap,
+            seed: opts.seed,
+            enable_class_c: v.enable_class_c,
+            overlap_tiebreak: v.overlap_tiebreak,
+        };
+        let run_one = |costs: &[f64]| {
+            let negatives: Vec<(&[u8], f64)> = ds.negatives_with_costs(costs);
+            habf_util::stats::time_ns(|| tpjo::run(&ds.positives, &negatives, &family, &cfg))
+        };
+        let measure = |out: &tpjo::TpjoOutput, costs: &[f64]| -> f64 {
+            let contains = |key: &[u8]| -> bool {
+                let bloom = &out.bloom;
+                let round1 = out
+                    .h0
+                    .iter()
+                    .all(|&id| bloom.get(family.position(id, key, bloom.len())));
+                if round1 {
+                    return true;
+                }
+                match out.he.query(key, &family) {
+                    Some(phi) => phi
+                        .iter()
+                        .all(|&id| bloom.get(family.position(id, key, bloom.len()))),
+                    None => false,
+                }
+            };
+            assert_eq!(
+                metrics::false_negatives(contains, &ds.positives),
+                0,
+                "{} broke zero-FNR",
+                v.name
+            );
+            metrics::weighted_fpr(contains, &ds.negatives, costs)
+        };
+        let uniform = vec![1.0; ds.negatives.len()];
+        let (out_u, ns) = run_one(&uniform);
+        let fpr_uniform = measure(&out_u, &uniform);
+        let (out_s, _) = run_one(&skewed);
+        let fpr_skewed = measure(&out_s, &skewed);
+        table.row(&[
+            v.name.into(),
+            pct(fpr_uniform),
+            pct(fpr_skewed),
+            format!("{}+{}", out_u.stats.optimized, out_s.stats.optimized),
+            format!("{}+{}", out_u.stats.failed, out_s.stats.failed),
+            format!("{:.1}", ns as f64 / 1e6),
+        ]);
+    }
+    table.print();
+}

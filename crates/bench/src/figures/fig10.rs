@@ -1,0 +1,115 @@
+//! Fig 10: weighted FPR vs space under the uniform cost distribution,
+//! against non-learned (a/c) and learned (b/d) baselines, on Shalla (a/b)
+//! and YCSB (c/d).
+
+use crate::report::{pct, Table};
+use crate::suite::{self, Spec};
+use crate::RunOpts;
+use habf_workloads::{Dataset, ShallaConfig, YcsbConfig};
+
+/// Paper reference values at Shalla 1.5 MB (§V-E-1).
+const PAPER_SHALLA_1_5MB: [(Spec, f64); 7] = [
+    (Spec::Bf, 0.0173),
+    (Spec::Xor, 0.0156),
+    (Spec::Lbf, 0.0054),
+    (Spec::AdaBf, 0.0051),
+    (Spec::Slbf, 0.0044),
+    (Spec::Habf, 0.0036),
+    (Spec::FHabf, 0.0055),
+];
+
+fn sweep(ds: &Dataset, specs: &[Spec], spaces_mb: &[f64], bits_of: impl Fn(f64) -> usize, seed: u64, refs: Option<(&str, &[(Spec, f64)])>) {
+    let costs = vec![1.0; ds.negatives.len()];
+    let mut table = Table::new(
+        &format!("{} — weighted FPR vs space (uniform costs)", ds.name),
+        &std::iter::once("space (MB)")
+            .chain(specs.iter().map(|s| s.name()))
+            .collect::<Vec<_>>(),
+    );
+    for &mb in spaces_mb {
+        let bits = bits_of(mb);
+        let mut row = vec![format!("{mb}")];
+        for &spec in specs {
+            let built = suite::build(spec, ds, &costs, bits, seed);
+            suite::assert_zero_fnr(built.filter.as_ref(), ds);
+            row.push(pct(suite::weighted_fpr(built.filter.as_ref(), ds, &costs)));
+        }
+        table.row(&row);
+    }
+    table.print();
+    if let Some((at, values)) = refs {
+        let line: Vec<String> = values
+            .iter()
+            .filter(|(s, _)| specs.contains(s))
+            .map(|(s, v)| format!("{}={}", s.name(), pct(*v)))
+            .collect();
+        println!("paper @ {at}: {}", line.join("  "));
+    }
+}
+
+/// Runs all four panels.
+pub fn run(opts: &RunOpts) {
+    let shalla = ShallaConfig {
+        scale: opts.scale_shalla,
+        seed: opts.seed,
+        ..ShallaConfig::default()
+    }
+    .generate();
+    println!(
+        "Fig 10 Shalla-like: |S|={}, |O|={}",
+        shalla.positives.len(),
+        shalla.negatives.len()
+    );
+    let shalla_spaces = [1.25, 1.5, 1.75, 2.25, 2.75, 3.25];
+    // (a) non-learned, (b) learned.
+    sweep(
+        &shalla,
+        &Spec::NON_LEARNED,
+        &shalla_spaces,
+        |mb| opts.shalla_bits(mb),
+        opts.seed,
+        Some(("1.5 MB", &PAPER_SHALLA_1_5MB)),
+    );
+    sweep(
+        &shalla,
+        &Spec::LEARNED,
+        &shalla_spaces,
+        |mb| opts.shalla_bits(mb),
+        opts.seed,
+        Some(("1.5 MB", &PAPER_SHALLA_1_5MB)),
+    );
+
+    let ycsb = YcsbConfig {
+        scale: opts.scale_ycsb,
+        seed: opts.seed ^ 0x9C,
+    }
+    .generate();
+    println!(
+        "\nFig 10 YCSB-like: |S|={}, |O|={}",
+        ycsb.positives.len(),
+        ycsb.negatives.len()
+    );
+    let ycsb_spaces = [12.5, 17.5, 22.5, 27.5, 32.5];
+    // (c) non-learned, (d) learned.
+    sweep(
+        &ycsb,
+        &Spec::NON_LEARNED,
+        &ycsb_spaces,
+        |mb| opts.ycsb_bits(mb),
+        opts.seed,
+        None,
+    );
+    sweep(
+        &ycsb,
+        &Spec::LEARNED,
+        &ycsb_spaces,
+        |mb| opts.ycsb_bits(mb),
+        opts.seed,
+        None,
+    );
+    println!(
+        "paper ranges 12.5→32.5 MB: HABF 3.46e-3→3.63e-6, BF 1.78e-2→2.83e-5, \
+         Xor 1.57e-2→1.59e-5, LBF 7.04e-3→1.08e-4, Ada-BF 3.13e-2→1.42e-4, \
+         SLBF 6.81e-3→1.72e-5; f-HABF ≈ 1.5× HABF on average."
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig 14: does a *better hash implementation* fix the standard Bloom
+//! filter? BF (k distinct Table II functions) vs BF(City64) vs BF(XXH128)
+//! vs HABF on YCSB, under uniform (a) and Zipf-1.0 (b) costs.
+//! Paper finding: the three BF variants are nearly identical — advanced
+//! hash functions neither reduce the weighted FPR nor react to cost skew;
+//! only hash *customization* (HABF) does.
+
+use crate::report::{pct, Table};
+use crate::suite::{self, Spec};
+use crate::RunOpts;
+use habf_util::stats::mean;
+use habf_workloads::{CostAssignment, YcsbConfig};
+
+/// Runs both panels.
+pub fn run(opts: &RunOpts) {
+    let ds = YcsbConfig {
+        scale: opts.scale_ycsb,
+        seed: opts.seed ^ 0x9C,
+    }
+    .generate();
+    println!(
+        "Fig 14 YCSB-like: |S|={}, |O|={}",
+        ds.positives.len(),
+        ds.negatives.len()
+    );
+    // The figure's "BF" is the k-distinct-Table-II implementation;
+    // BF(XXH128) coincides with the default BF of the other figures.
+    let specs = [Spec::Habf, Spec::BfTable2, Spec::BfCity64, Spec::BfXxh128];
+    let spaces = [12.5, 17.5, 22.5, 27.5, 32.5];
+
+    for (panel, skew) in [("(a) uniform", 0.0), ("(b) Zipf 1.0", 1.0)] {
+        let mut table = Table::new(
+            &format!("Fig 14{panel}: weighted FPR vs space"),
+            &std::iter::once("space (MB)")
+                .chain(specs.iter().map(|s| s.name()))
+                .collect::<Vec<_>>(),
+        );
+        for &mb in &spaces {
+            let bits = opts.ycsb_bits(mb);
+            let assignment = CostAssignment {
+                n: ds.negatives.len(),
+                skewness: skew,
+                shuffles: if skew == 0.0 { 1 } else { opts.shuffles },
+                seed: opts.seed ^ 0x14,
+            };
+            let mut row = vec![format!("{mb}")];
+            for &spec in &specs {
+                let cost_sensitive = spec == Spec::Habf;
+                let samples: Vec<f64> = if cost_sensitive {
+                    assignment
+                        .iter()
+                        .map(|costs| {
+                            let built = suite::build(spec, &ds, &costs, bits, opts.seed);
+                            suite::weighted_fpr(built.filter.as_ref(), &ds, &costs)
+                        })
+                        .collect()
+                } else {
+                    let unit = vec![1.0; ds.negatives.len()];
+                    let built = suite::build(spec, &ds, &unit, bits, opts.seed);
+                    suite::assert_zero_fnr(built.filter.as_ref(), &ds);
+                    assignment
+                        .iter()
+                        .map(|costs| suite::weighted_fpr(built.filter.as_ref(), &ds, &costs))
+                        .collect()
+                };
+                row.push(pct(mean(&samples)));
+            }
+            table.row(&row);
+        }
+        table.print();
+    }
+    println!(
+        "paper: the three BF implementations are nearly consistent under the \
+         uniform distribution and all fluctuate under skew — advanced hash \
+         functions cannot reduce the weighted FPR (Fig 14)."
+    );
+}

@@ -1,0 +1,13 @@
+//! One module per figure of the paper's evaluation (plus Table II and the
+//! beyond-paper ablation study). Binaries in `src/bin/` are thin wrappers.
+
+pub mod ablation;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table2;

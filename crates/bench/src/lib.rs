@@ -1,0 +1,26 @@
+//! Benchmark harness regenerating every figure of the HABF paper.
+//!
+//! One binary per figure lives in `src/bin/` (`fig08_theory` …
+//! `fig15_memory`, `table2_hashes`, `ablation_tpjo`, `run_all`); each is a
+//! thin `main` over a function in [`figures`], so `run_all` can chain them.
+//!
+//! ## Scaling
+//!
+//! The paper's testbed is a 20-core Xeon with 106 GB of RAM running
+//! 2.9M-key (Shalla) and 24M-key (YCSB) datasets. By default the harness
+//! runs the *same experiments* at a fraction of the key count with the
+//! space budget scaled identically, which preserves bits-per-key and hence
+//! every FPR in the figures; pass `--full` to reproduce the paper's
+//! cardinalities (hours of wall-clock, GBs of RAM) or `--scale F` to pick
+//! any fraction. Each binary prints the paper's reference numbers next to
+//! the measured ones; EXPERIMENTS.md archives a run.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod figures;
+pub mod report;
+pub mod suite;
+
+pub use args::RunOpts;

@@ -1,0 +1,298 @@
+//! Building and measuring the full filter suite of Section V.
+
+use habf_core::{FHabf, Habf, HabfConfig};
+use habf_filters::{
+    AdaptiveLearnedBloomFilter, BloomFilter, BloomHashStrategy, Filter,
+    LearnedBloomFilter, LogisticRegression, SandwichedLearnedBloomFilter, WeightedBloomFilter,
+    XorFilter,
+};
+use habf_workloads::{metrics, Dataset};
+
+/// Every filter the paper evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Spec {
+    /// Hash Adaptive Bloom Filter (this paper).
+    Habf,
+    /// Fast HABF (double hashing, Γ off).
+    FHabf,
+    /// Standard Bloom filter with the paper's default hashing (seeded
+    /// xxHash-128, §V-A).
+    Bf,
+    /// Fig 14's "BF": k distinct Table II functions.
+    BfTable2,
+    /// Bloom filter over seeded CityHash64 (Fig 14).
+    BfCity64,
+    /// Bloom filter over seeded xxHash-128 (Fig 14; identical to the
+    /// default [`Spec::Bf`], listed separately to mirror the figure).
+    BfXxh128,
+    /// Xor filter (Graf & Lemire).
+    Xor,
+    /// Weighted Bloom filter (Bruck et al.).
+    Wbf,
+    /// Learned Bloom filter (Kraska et al.).
+    Lbf,
+    /// Sandwiched LBF (Mitzenmacher).
+    Slbf,
+    /// Ada-BF (Dai & Shrivastava).
+    AdaBf,
+}
+
+impl Spec {
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Spec::Habf => "HABF",
+            Spec::FHabf => "f-HABF",
+            Spec::Bf => "BF",
+            Spec::BfTable2 => "BF(TableII)",
+            Spec::BfCity64 => "BF(City64)",
+            Spec::BfXxh128 => "BF(XXH128)",
+            Spec::Xor => "Xor",
+            Spec::Wbf => "WBF",
+            Spec::Lbf => "LBF",
+            Spec::Slbf => "SLBF",
+            Spec::AdaBf => "Ada-BF",
+        }
+    }
+
+    /// The non-learned comparison set of Fig 10(a)/(c).
+    pub const NON_LEARNED: [Spec; 4] = [Spec::Habf, Spec::FHabf, Spec::Xor, Spec::Bf];
+    /// The learned comparison set of Fig 10(b)/(d).
+    pub const LEARNED: [Spec; 5] =
+        [Spec::Habf, Spec::FHabf, Spec::Lbf, Spec::AdaBf, Spec::Slbf];
+    /// Everything measured in Figs 12/15.
+    pub const ALL_TIMED: [Spec; 8] = [
+        Spec::Habf,
+        Spec::FHabf,
+        Spec::Bf,
+        Spec::Xor,
+        Spec::Wbf,
+        Spec::Lbf,
+        Spec::AdaBf,
+        Spec::Slbf,
+    ];
+}
+
+/// A built filter plus its construction cost.
+pub struct Built {
+    /// The filter behind the common trait.
+    pub filter: Box<dyn Filter>,
+    /// Construction time divided by `|S|` (the paper's ns/key unit).
+    pub build_ns_per_key: f64,
+}
+
+/// Sizes a logistic-regression model to a filter budget: the model gets at
+/// most ~1/7 of the budget (mirroring the paper's small GRU against MB
+/// budgets), clamped to `2^6..=2^13` feature slots.
+#[must_use]
+pub fn model_for_budget(total_bits: usize, seed: u64) -> LogisticRegression {
+    let max_params = (total_bits / 7 / 32).max(1);
+    let dim_log2 = (usize::BITS - 1 - max_params.leading_zeros()).clamp(6, 13);
+    LogisticRegression::new(dim_log2, 2, 0.15, seed)
+}
+
+/// Builds `spec` over the dataset within `total_bits`, timing construction.
+///
+/// `costs` pairs with `ds.negatives` (used by HABF/f-HABF/WBF; the learned
+/// filters and the static baselines ignore it, which is the paper's point).
+#[must_use]
+pub fn build(spec: Spec, ds: &Dataset, costs: &[f64], total_bits: usize, seed: u64) -> Built {
+    let n_keys = ds.positives.len().max(1);
+    let (filter, per): (Box<dyn Filter>, f64) = match spec {
+        Spec::Habf => {
+            let negatives = ds.negatives_with_costs(costs);
+            let mut cfg = HabfConfig::with_total_bits(total_bits);
+            cfg.seed = seed;
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                Habf::build(&ds.positives, &negatives, &cfg)
+            });
+            (Box::new(f), per)
+        }
+        Spec::FHabf => {
+            let negatives = ds.negatives_with_costs(costs);
+            let mut cfg = HabfConfig::with_total_bits(total_bits);
+            cfg.seed = seed;
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                FHabf::build(&ds.positives, &negatives, &cfg)
+            });
+            (Box::new(f), per)
+        }
+        Spec::Bf => {
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                BloomFilter::build(&ds.positives, total_bits)
+            });
+            (Box::new(f), per)
+        }
+        Spec::BfTable2 => {
+            let b = total_bits as f64 / n_keys as f64;
+            let k = habf_filters::optimal_k(b).min(habf_hashing::FAMILY_SIZE);
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                BloomFilter::build_with(
+                    &ds.positives,
+                    total_bits,
+                    BloomHashStrategy::family_prefix(k),
+                )
+            });
+            (Box::new(f), per)
+        }
+        Spec::BfCity64 => {
+            let b = total_bits as f64 / n_keys as f64;
+            let k = habf_filters::optimal_k(b);
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                BloomFilter::build_with(
+                    &ds.positives,
+                    total_bits,
+                    BloomHashStrategy::SeededCity64 { k },
+                )
+            });
+            (Box::new(f), per)
+        }
+        Spec::BfXxh128 => {
+            let b = total_bits as f64 / n_keys as f64;
+            let k = habf_filters::optimal_k(b);
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                BloomFilter::build_with(
+                    &ds.positives,
+                    total_bits,
+                    BloomHashStrategy::SeededXxh128 { k },
+                )
+            });
+            (Box::new(f), per)
+        }
+        Spec::Xor => {
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                XorFilter::build(&ds.positives, total_bits)
+            });
+            (Box::new(f), per)
+        }
+        Spec::Wbf => {
+            let negatives = ds.negatives_with_costs(costs);
+            let cache = (ds.negatives.len() / 100).clamp(64, 4096);
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                WeightedBloomFilter::build(&ds.positives, &negatives, total_bits, cache)
+            });
+            (Box::new(f), per)
+        }
+        Spec::Lbf => {
+            let model = Box::new(model_for_budget(total_bits, seed));
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                LearnedBloomFilter::build(&ds.positives, &ds.negatives, total_bits, model)
+            });
+            (Box::new(f), per)
+        }
+        Spec::Slbf => {
+            let model = Box::new(model_for_budget(total_bits, seed));
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                SandwichedLearnedBloomFilter::build(
+                    &ds.positives,
+                    &ds.negatives,
+                    total_bits,
+                    model,
+                )
+            });
+            (Box::new(f), per)
+        }
+        Spec::AdaBf => {
+            let model = Box::new(model_for_budget(total_bits, seed));
+            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+                AdaptiveLearnedBloomFilter::build(
+                    &ds.positives,
+                    &ds.negatives,
+                    total_bits,
+                    4,
+                    model,
+                )
+            });
+            (Box::new(f), per)
+        }
+    };
+    Built {
+        filter,
+        build_ns_per_key: per,
+    }
+}
+
+/// Weighted FPR (Eq 20) of a built filter over the dataset's negatives.
+#[must_use]
+pub fn weighted_fpr(filter: &dyn Filter, ds: &Dataset, costs: &[f64]) -> f64 {
+    metrics::weighted_fpr(|k| filter.contains(k), &ds.negatives, costs)
+}
+
+/// Asserts the one-sided-error contract — every figure run validates it.
+///
+/// # Panics
+/// Panics if the filter drops any positive key.
+pub fn assert_zero_fnr(filter: &dyn Filter, ds: &Dataset) {
+    let fns = metrics::false_negatives(|k| filter.contains(k), &ds.positives);
+    assert_eq!(fns, 0, "{} produced {fns} false negatives", filter.name());
+}
+
+/// Average query latency in ns over an even mix of positives/negatives.
+#[must_use]
+pub fn query_latency_ns(filter: &dyn Filter, ds: &Dataset) -> f64 {
+    let n = ds.positives.len().min(ds.negatives.len()).min(50_000);
+    let mut probe: Vec<Vec<u8>> = Vec::with_capacity(2 * n);
+    probe.extend_from_slice(&ds.positives[..n]);
+    probe.extend_from_slice(&ds.negatives[..n]);
+    metrics::query_latency_ns(|k| filter.contains(k), &probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use habf_filters::Classifier as _;
+    use habf_workloads::ShallaConfig;
+
+    fn tiny_dataset() -> Dataset {
+        ShallaConfig::with_scale(0.001).generate()
+    }
+
+    #[test]
+    fn every_spec_builds_and_has_zero_fnr() {
+        let ds = tiny_dataset();
+        let costs = vec![1.0; ds.negatives.len()];
+        let total = ds.positives.len() * 12;
+        for spec in [
+            Spec::Habf,
+            Spec::FHabf,
+            Spec::Bf,
+            Spec::BfTable2,
+            Spec::BfCity64,
+            Spec::BfXxh128,
+            Spec::Xor,
+            Spec::Wbf,
+            Spec::Lbf,
+            Spec::Slbf,
+            Spec::AdaBf,
+        ] {
+            let built = build(spec, &ds, &costs, total, 1);
+            // BF(XXH128) is the default BF implementation, so its filter
+            // reports the plain name.
+            if spec != Spec::BfXxh128 {
+                assert_eq!(built.filter.name(), spec.name());
+            }
+            assert_zero_fnr(built.filter.as_ref(), &ds);
+            let w = weighted_fpr(built.filter.as_ref(), &ds, &costs);
+            assert!((0.0..=1.0).contains(&w), "{}: {w}", spec.name());
+            assert!(built.build_ns_per_key > 0.0);
+        }
+    }
+
+    #[test]
+    fn model_sizing_respects_budget() {
+        let m = model_for_budget(1_000_000, 1);
+        assert!(m.size_bits() <= 1_000_000 / 4);
+        // Tiny budgets clamp at 2^6 dims.
+        let tiny = model_for_budget(1_000, 1);
+        assert_eq!(tiny.size_bits(), (64 + 1) * 32);
+    }
+
+    #[test]
+    fn latency_is_measurable() {
+        let ds = tiny_dataset();
+        let costs = vec![1.0; ds.negatives.len()];
+        let built = build(Spec::Bf, &ds, &costs, ds.positives.len() * 10, 2);
+        assert!(query_latency_ns(built.filter.as_ref(), &ds) > 0.0);
+    }
+}

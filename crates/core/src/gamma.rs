@@ -1,0 +1,227 @@
+//! The runtime index `Γ` (paper §III-D, Fig 5) and conflict detection
+//! (Algorithm 1).
+//!
+//! `Γ` has one bucket per Bloom bit; bucket `i` lists the *optimized keys*
+//! (negative keys currently rejected by the filter) that map to bit `i`
+//! under `H0`. When TPJO considers setting a currently-zero bit `ν` (the
+//! side effect of giving a positive key a replacement hash function),
+//! conflict detection walks bucket `ν` and collects the optimized keys
+//! whose *other* `k−1` bits are all already set — exactly those keys would
+//! flip back into collision keys if `ν` turned 1 (paper Algorithm 1).
+//!
+//! Membership of a bucket is never eagerly revoked: keys that turn into
+//! collision keys are *flagged* and skipped during detection (and
+//! re-inserted when re-optimized). f-HABF disables `Γ` entirely
+//! (paper §III-G), losing candidate classes (b)/(c) but skipping this
+//! module's work.
+
+use crate::vindex::VIndex;
+
+/// Per-bit buckets of optimized-key indices.
+#[derive(Clone, Debug)]
+pub struct Gamma {
+    buckets: Vec<Vec<u32>>,
+}
+
+/// Outcome of conflict detection on one bucket.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictSet {
+    /// Indices of the optimized keys that would become collision keys.
+    pub keys: Vec<u32>,
+    /// Their summed cost, `Θ(ν)` (paper §III-D).
+    pub total_cost: f64,
+}
+
+impl ConflictSet {
+    /// `true` when the bucket is *not* "conflict after adjustment".
+    #[must_use]
+    pub fn is_clear(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl Gamma {
+    /// Creates `m` empty buckets.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self {
+            buckets: vec![Vec::new(); m],
+        }
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` when there are no buckets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Registers optimized key `key_idx` into the buckets of all its
+    /// positions (call with the key's `k` `H0` positions).
+    pub fn insert(&mut self, key_idx: u32, positions: &[u32]) {
+        for &p in positions {
+            let bucket = &mut self.buckets[p as usize];
+            // A key whose hashes collide maps twice to one bucket; store it
+            // once to keep detection counts per-key.
+            if bucket.last() != Some(&key_idx) && !bucket.contains(&key_idx) {
+                bucket.push(key_idx);
+            }
+        }
+    }
+
+    /// Occupants of the bucket behind bit `position` (unfiltered).
+    #[must_use]
+    pub fn bucket(&self, position: usize) -> &[u32] {
+        &self.buckets[position]
+    }
+
+    /// Algorithm 1: collects the optimized keys of bucket `nu` that become
+    /// collision keys if bit `nu` flips to 1.
+    ///
+    /// * `nu` — the bucket/bit under consideration (currently 0).
+    /// * `v` — the `V` index, whose `keyid ≠ NULL` is the `σ(i) = 1` test.
+    /// * `k` — chain length.
+    /// * `neg_positions(key_idx)` — the key's `k` `H0` positions.
+    /// * `is_optimized(key_idx)` — `false` for entries lazily invalidated
+    ///   (keys that became collision keys again).
+    /// * `cost(key_idx)` — `Θ(e)`.
+    #[must_use]
+    pub fn detect_conflicts(
+        &self,
+        nu: usize,
+        v: &VIndex,
+        k: usize,
+        neg_positions: impl Fn(u32) -> [u32; crate::MAX_K],
+        is_optimized: impl Fn(u32) -> bool,
+        cost: impl Fn(u32) -> f64,
+    ) -> ConflictSet {
+        let mut out = ConflictSet::default();
+        for &key_idx in &self.buckets[nu] {
+            if !is_optimized(key_idx) {
+                continue;
+            }
+            let positions = neg_positions(key_idx);
+            let mut count = 0usize;
+            for &p in positions.iter().take(k) {
+                // Paper line 4: Γ[h(e)] ≠ ν excludes the candidate bit
+                // itself; V.keyid ≠ NULL tests σ(p) = 1.
+                if p as usize != nu && v.bit_is_set(p as usize) {
+                    count += 1;
+                }
+            }
+            if count == k - 1 {
+                out.keys.push(key_idx);
+                out.total_cost += cost(key_idx);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: usize = 3;
+
+    fn positions(map: &[(u32, [u32; K])], key: u32) -> [u32; crate::MAX_K] {
+        let mut out = [0u32; crate::MAX_K];
+        let found = map.iter().find(|(k, _)| *k == key).expect("known key").1;
+        out[..K].copy_from_slice(&found);
+        out
+    }
+
+    #[test]
+    fn detects_exactly_the_at_risk_keys() {
+        // Bits: 5 and 9 set; 2, 7 clear. Keys map as:
+        //   key 0: {2, 5, 9} -> other bits (5,9) all set  => conflicts on ν=2
+        //   key 1: {2, 7, 9} -> other bit 7 clear          => safe on ν=2
+        let mut v = VIndex::new(16);
+        v.insert(5, 100);
+        v.insert(9, 101);
+        let mapping = [(0u32, [2u32, 5, 9]), (1u32, [2u32, 7, 9])];
+        let mut gamma = Gamma::new(16);
+        gamma.insert(0, &[2, 5, 9]);
+        gamma.insert(1, &[2, 7, 9]);
+
+        let set = gamma.detect_conflicts(
+            2,
+            &v,
+            K,
+            |k| positions(&mapping, k),
+            |_| true,
+            |k| (k + 1) as f64,
+        );
+        assert_eq!(set.keys, vec![0]);
+        assert!((set.total_cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flagged_keys_are_skipped() {
+        let mut v = VIndex::new(8);
+        v.insert(1, 50);
+        v.insert(3, 51);
+        let mapping = [(7u32, [0u32, 1, 3])];
+        let mut gamma = Gamma::new(8);
+        gamma.insert(7, &[0, 1, 3]);
+        let set = gamma.detect_conflicts(
+            0,
+            &v,
+            K,
+            |k| positions(&mapping, k),
+            |_| false, // lazily invalidated
+            |_| 1.0,
+        );
+        assert!(set.is_clear());
+    }
+
+    #[test]
+    fn duplicate_positions_stored_once() {
+        let mut gamma = Gamma::new(8);
+        gamma.insert(3, &[4, 4, 6]);
+        assert_eq!(gamma.bucket(4), &[3]);
+        assert_eq!(gamma.bucket(6), &[3]);
+    }
+
+    #[test]
+    fn empty_bucket_is_clear() {
+        let gamma = Gamma::new(4);
+        let v = VIndex::new(4);
+        let set = gamma.detect_conflicts(
+            1,
+            &v,
+            K,
+            |_| [0u32; crate::MAX_K],
+            |_| true,
+            |_| 1.0,
+        );
+        assert!(set.is_clear());
+        assert_eq!(set.total_cost, 0.0);
+    }
+
+    #[test]
+    fn cost_sums_over_all_conflicting() {
+        let mut v = VIndex::new(8);
+        v.insert(1, 9);
+        v.insert(2, 9);
+        let mapping = [(0u32, [5u32, 1, 2]), (1u32, [5u32, 1, 2])];
+        let mut gamma = Gamma::new(8);
+        gamma.insert(0, &[5, 1, 2]);
+        gamma.insert(1, &[5, 1, 2]);
+        let set = gamma.detect_conflicts(
+            5,
+            &v,
+            K,
+            |k| positions(&mapping, k),
+            |_| true,
+            |k| 10.0 + k as f64,
+        );
+        assert_eq!(set.keys.len(), 2);
+        assert!((set.total_cost - 21.0).abs() < 1e-12);
+    }
+}

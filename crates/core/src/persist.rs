@@ -1,0 +1,300 @@
+//! Persistence: serialize built HABF / f-HABF filters to a compact binary
+//! format and load them back.
+//!
+//! The intended deployment (and the paper's setting) builds filters
+//! *offline*, where the negative keys and costs are collected, and ships
+//! them to query servers. The format is versioned and self-describing:
+//!
+//! ```text
+//! magic "HABF" | version u8 | kind u8 (0 = HABF, 1 = f-HABF)
+//! k u8 | cell_bits u8 | h0_len u8 | h0 bytes…
+//! family u64 (member count, or simulated size)
+//! sim_seed u64 (f-HABF only; 0 otherwise)
+//! m u64 | bloom words…
+//! omega u64 | inserted u64 | cell words…
+//! ```
+//!
+//! Hash-function ids are stable across versions (pinned by the golden
+//! vectors in `habf-hashing`), so a persisted HashExpressor chain decodes
+//! to the same functions forever. The entry points are
+//! [`crate::Habf::to_bytes`] / [`crate::Habf::from_bytes`] and their
+//! [`crate::FHabf`] counterparts.
+
+use crate::hash_expressor::HashExpressor;
+use habf_hashing::HashId;
+use habf_util::{BitVec, PackedCells};
+
+const MAGIC: &[u8; 4] = b"HABF";
+const VERSION: u8 = 1;
+
+/// Errors loading a persisted filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer does not start with the `HABF` magic.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// The kind byte does not match the requested filter type.
+    WrongKind,
+    /// The buffer ended early or a length field is inconsistent.
+    Truncated,
+    /// A field value is out of its legal range.
+    Corrupt(&'static str),
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a HABF filter image"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::WrongKind => write!(f, "filter kind mismatch"),
+            PersistError::Truncated => write!(f, "truncated filter image"),
+            PersistError::Corrupt(what) => write!(f, "corrupt filter image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn words(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
+        let raw = self.bytes(n.checked_mul(8).ok_or(PersistError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), PersistError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt("trailing bytes"))
+        }
+    }
+}
+
+pub(crate) struct Image<'a> {
+    pub kind: u8,
+    pub k: usize,
+    pub cell_bits: u32,
+    pub h0: Vec<HashId>,
+    pub family: usize,
+    pub sim_seed: u64,
+    pub bloom: &'a BitVec,
+    pub he: &'a HashExpressor,
+}
+
+pub(crate) fn encode(img: &Image<'_>) -> Vec<u8> {
+    let bloom_words = img.bloom.words();
+    let cell_words = img.he.cells().words();
+    let mut out = Vec::with_capacity(
+        32 + img.h0.len() + 8 * (bloom_words.len() + cell_words.len()),
+    );
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(img.kind);
+    out.push(img.k as u8);
+    out.push(img.cell_bits as u8);
+    out.push(img.h0.len() as u8);
+    out.extend_from_slice(&img.h0);
+    out.extend_from_slice(&(img.family as u64).to_le_bytes());
+    out.extend_from_slice(&img.sim_seed.to_le_bytes());
+    out.extend_from_slice(&(img.bloom.len() as u64).to_le_bytes());
+    for w in bloom_words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&(img.he.omega() as u64).to_le_bytes());
+    out.extend_from_slice(&(img.he.inserted() as u64).to_le_bytes());
+    for w in cell_words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+pub(crate) struct Decoded {
+    pub h0: Vec<HashId>,
+    pub family: usize,
+    pub sim_seed: u64,
+    pub bloom: BitVec,
+    pub he: HashExpressor,
+}
+
+pub(crate) fn decode(buf: &[u8], expect_kind: u8) -> Result<Decoded, PersistError> {
+    let mut r = Reader::new(buf);
+    if r.bytes(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != expect_kind {
+        return Err(PersistError::WrongKind);
+    }
+    let k = usize::from(r.u8()?);
+    let cell_bits = u32::from(r.u8()?);
+    if k == 0 || k > crate::MAX_K {
+        return Err(PersistError::Corrupt("k out of range"));
+    }
+    if !(2..=16).contains(&cell_bits) {
+        return Err(PersistError::Corrupt("cell width out of range"));
+    }
+    let h0_len = usize::from(r.u8()?);
+    if h0_len != k {
+        return Err(PersistError::Corrupt("H0 length differs from k"));
+    }
+    let h0: Vec<HashId> = r.bytes(h0_len)?.to_vec();
+    let family = r.u64()? as usize;
+    let max_id = (1usize << (cell_bits - 1)) - 1;
+    if family == 0 || family > max_id {
+        return Err(PersistError::Corrupt("family size out of id space"));
+    }
+    if h0.iter().any(|&id| id == 0 || usize::from(id) > family) {
+        return Err(PersistError::Corrupt("H0 id out of family"));
+    }
+    let sim_seed = r.u64()?;
+    let m = r.u64()? as usize;
+    if m == 0 {
+        return Err(PersistError::Corrupt("empty Bloom array"));
+    }
+    let bloom = BitVec::from_words(r.words(m.div_ceil(64))?, m);
+    let omega = r.u64()? as usize;
+    if omega == 0 {
+        return Err(PersistError::Corrupt("empty HashExpressor"));
+    }
+    let inserted = r.u64()? as usize;
+    let cell_word_count = (omega * cell_bits as usize).div_ceil(64);
+    let cells = PackedCells::from_words(r.words(cell_word_count)?, omega, cell_bits);
+    r.finish()?;
+    let _ = kind;
+    Ok(Decoded {
+        h0,
+        family,
+        sim_seed,
+        bloom,
+        he: HashExpressor::from_parts(cells, k, inserted),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::habf::{FHabf, Habf, HabfConfig};
+    use habf_filters::Filter;
+
+    type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
+
+    fn sample() -> Workload {
+        let pos: Vec<Vec<u8>> = (0..2_000)
+            .map(|i| format!("pos:{i}").into_bytes())
+            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = (0..2_000)
+            .map(|i| (format!("neg:{i}").into_bytes(), 1.0 + (i % 9) as f64))
+            .collect();
+        (pos, neg)
+    }
+
+    #[test]
+    fn habf_roundtrip_preserves_every_answer() {
+        let (pos, neg) = sample();
+        let original = Habf::build(&pos, &neg, &HabfConfig::with_total_bits(2_000 * 10));
+        let bytes = original.to_bytes();
+        let restored = Habf::from_bytes(&bytes).expect("roundtrip");
+        for k in &pos {
+            assert!(restored.contains(k));
+        }
+        for (k, _) in &neg {
+            assert_eq!(original.contains(k), restored.contains(k));
+        }
+        assert_eq!(original.space_bits(), restored.space_bits());
+    }
+
+    #[test]
+    fn fhabf_roundtrip_preserves_every_answer() {
+        let (pos, neg) = sample();
+        let original = FHabf::build(&pos, &neg, &HabfConfig::with_total_bits(2_000 * 10));
+        let bytes = original.to_bytes();
+        let restored = FHabf::from_bytes(&bytes).expect("roundtrip");
+        for k in &pos {
+            assert!(restored.contains(k));
+        }
+        for (k, _) in &neg {
+            assert_eq!(original.contains(k), restored.contains(k));
+        }
+    }
+
+    #[test]
+    fn kind_confusion_is_rejected() {
+        let (pos, neg) = sample();
+        let habf = Habf::build(&pos, &neg, &HabfConfig::with_total_bits(2_000 * 8));
+        assert!(matches!(
+            FHabf::from_bytes(&habf.to_bytes()),
+            Err(PersistError::WrongKind)
+        ));
+        let fhabf = FHabf::build(&pos, &neg, &HabfConfig::with_total_bits(2_000 * 8));
+        assert!(matches!(
+            Habf::from_bytes(&fhabf.to_bytes()),
+            Err(PersistError::WrongKind)
+        ));
+    }
+
+    #[test]
+    fn corrupted_images_error_not_panic() {
+        let (pos, neg) = sample();
+        let habf = Habf::build(&pos, &neg, &HabfConfig::with_total_bits(2_000 * 8));
+        let bytes = habf.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(Habf::from_bytes(&bad), Err(PersistError::BadMagic)));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Habf::from_bytes(&bad),
+            Err(PersistError::BadVersion(99))
+        ));
+        // Truncations at every prefix must error, never panic.
+        for cut in [0usize, 3, 5, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Habf::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            Habf::from_bytes(&bad),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

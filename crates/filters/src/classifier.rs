@@ -1,0 +1,407 @@
+//! From-scratch classifiers backing the learned-filter baselines.
+//!
+//! The paper trains a 16-dim character-level GRU and a six-layer fully
+//! connected network in Keras as the score oracles of LBF/SLBF/Ada-BF.
+//! Neither a GPU nor a deep-learning stack is available (nor allowed) here,
+//! so this module supplies the documented substitution (DESIGN.md §3):
+//!
+//! * [`LogisticRegression`] — logistic regression over feature-hashed byte
+//!   n-grams, trained with SGD. On URL-shaped keys (the Shalla-like
+//!   dataset) it picks up the same token/TLD/category signal the GRU
+//!   learns; on characteristic-free YCSB keys it fails the same way the
+//!   paper's models do (Fig 10(c,d)).
+//! * [`MlpClassifier`] — a one-hidden-layer network over the same features.
+//!   Strictly more capacity and an order of magnitude more train/inference
+//!   arithmetic, preserving the *shape* of the paper's latency and memory
+//!   comparisons (Figs 12 & 15) where learned filters are far costlier than
+//!   BF-family filters.
+//!
+//! Both models report their exact parameter size via
+//! [`Classifier::size_bits`], which the learned filters subtract from their
+//! space budget (Section V-B equalizes total space across filters).
+
+use habf_hashing::xxhash;
+use habf_util::Xoshiro256;
+
+/// A trainable score oracle `s(key) ∈ [0, 1]`.
+pub trait Classifier {
+    /// Trains on labelled keys (positives = label 1, negatives = label 0).
+    fn train(&mut self, positives: &[Vec<u8>], negatives: &[Vec<u8>]);
+
+    /// Scores a key; higher means "more likely a set member".
+    fn score(&self, key: &[u8]) -> f32;
+
+    /// Exact model size in bits (counted against the filter's space budget).
+    fn size_bits(&self) -> usize;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+const GRAM_SEED: u64 = 0x6E67_7261_6D73; // "ngrams"
+
+/// Writes the feature-hashed indices of `key` into `out` (cleared first).
+///
+/// Features are byte 3-grams plus begin/end sentinels and a length bucket —
+/// a standard text-hashing recipe that captures URL tokens, TLDs and path
+/// shapes without any vocabulary.
+fn features_into(key: &[u8], dim_mask: usize, out: &mut Vec<u32>) {
+    out.clear();
+    if key.len() >= 3 {
+        for w in key.windows(3) {
+            out.push((xxhash::xxh64(w, GRAM_SEED) as usize & dim_mask) as u32);
+        }
+    }
+    // Whole-key, prefix and suffix features anchor short keys and endpoints.
+    out.push((xxhash::xxh64(key, GRAM_SEED ^ 1) as usize & dim_mask) as u32);
+    let pfx = &key[..key.len().min(4)];
+    out.push((xxhash::xxh64(pfx, GRAM_SEED ^ 2) as usize & dim_mask) as u32);
+    let sfx = &key[key.len().saturating_sub(4)..];
+    out.push((xxhash::xxh64(sfx, GRAM_SEED ^ 3) as usize & dim_mask) as u32);
+    let len_bucket = (key.len().min(63) as u64).to_le_bytes();
+    out.push((xxhash::xxh64(&len_bucket, GRAM_SEED ^ 4) as usize & dim_mask) as u32);
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Logistic regression over hashed n-gram features.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f32>,
+    bias: f32,
+    dim_mask: usize,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model with `2^dim_log2` hashed feature slots.
+    ///
+    /// # Panics
+    /// Panics if `dim_log2` is not in `4..=24`.
+    #[must_use]
+    pub fn new(dim_log2: u32, epochs: usize, lr: f32, seed: u64) -> Self {
+        assert!((4..=24).contains(&dim_log2), "dim_log2 {dim_log2} out of range");
+        let dim = 1usize << dim_log2;
+        Self {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            dim_mask: dim - 1,
+            epochs,
+            lr,
+            seed,
+        }
+    }
+
+    /// The paper-scale default: 8192 feature slots (32 KB of weights),
+    /// 3 epochs.
+    #[must_use]
+    pub fn default_model() -> Self {
+        Self::new(13, 3, 0.15, 0xC1A5)
+    }
+
+    #[inline]
+    fn raw_score(&self, feats: &[u32]) -> f32 {
+        let mut z = self.bias;
+        for &f in feats {
+            z += self.weights[f as usize];
+        }
+        z
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn train(&mut self, positives: &[Vec<u8>], negatives: &[Vec<u8>]) {
+        let mut order: Vec<(u32, bool)> = (0..positives.len() as u32)
+            .map(|i| (i, true))
+            .chain((0..negatives.len() as u32).map(|i| (i, false)))
+            .collect();
+        let mut rng = Xoshiro256::new(self.seed);
+        let mut feats = Vec::with_capacity(64);
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let lr = self.lr / (1.0 + epoch as f32);
+            for &(i, is_pos) in &order {
+                let key: &[u8] = if is_pos {
+                    &positives[i as usize]
+                } else {
+                    &negatives[i as usize]
+                };
+                features_into(key, self.dim_mask, &mut feats);
+                let target = if is_pos { 1.0 } else { 0.0 };
+                let pred = sigmoid(self.raw_score(&feats));
+                let grad = (pred - target) * lr;
+                self.bias -= grad;
+                for &f in &feats {
+                    self.weights[f as usize] -= grad;
+                }
+            }
+        }
+    }
+
+    fn score(&self, key: &[u8]) -> f32 {
+        let mut feats = Vec::with_capacity(64);
+        features_into(key, self.dim_mask, &mut feats);
+        sigmoid(self.raw_score(&feats))
+    }
+
+    fn size_bits(&self) -> usize {
+        (self.weights.len() + 1) * 32
+    }
+
+    fn name(&self) -> &'static str {
+        "LogReg"
+    }
+}
+
+/// A one-hidden-layer MLP over the same hashed features — the heavier
+/// stand-in for the paper's GRU/FCNN in latency/memory experiments.
+#[derive(Clone, Debug)]
+pub struct MlpClassifier {
+    /// First layer, `[dim][hidden]` flattened row-major.
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    w2: Vec<f32>,
+    b2: f32,
+    hidden: usize,
+    dim_mask: usize,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+}
+
+impl MlpClassifier {
+    /// Creates an untrained MLP with `2^dim_log2` feature slots and
+    /// `hidden` ReLU units.
+    ///
+    /// # Panics
+    /// Panics if `dim_log2` not in `4..=20` or `hidden` not in `1..=64`.
+    #[must_use]
+    pub fn new(dim_log2: u32, hidden: usize, epochs: usize, lr: f32, seed: u64) -> Self {
+        assert!((4..=20).contains(&dim_log2), "dim_log2 {dim_log2} out of range");
+        assert!((1..=64).contains(&hidden), "hidden {hidden} out of range");
+        let dim = 1usize << dim_log2;
+        let mut rng = Xoshiro256::new(seed);
+        // Small symmetric init.
+        let mut init = |n: usize| -> Vec<f32> {
+            (0..n)
+                .map(|_| (rng.next_f64() as f32 - 0.5) * 0.1)
+                .collect()
+        };
+        Self {
+            w1: init(dim * hidden),
+            b1: vec![0.0; hidden],
+            w2: init(hidden),
+            b2: 0.0,
+            hidden,
+            dim_mask: dim - 1,
+            epochs,
+            lr,
+            seed,
+        }
+    }
+
+    /// Default sized like the paper's small GRU (~128 KB of parameters).
+    #[must_use]
+    pub fn default_model() -> Self {
+        Self::new(12, 8, 2, 0.1, 0xD33F)
+    }
+
+    /// Forward pass; fills `h` with hidden activations and returns the
+    /// pre-sigmoid output.
+    fn forward(&self, feats: &[u32], h: &mut [f32]) -> f32 {
+        h.copy_from_slice(&self.b1);
+        for &f in feats {
+            let row = f as usize * self.hidden;
+            for (j, hj) in h.iter_mut().enumerate() {
+                *hj += self.w1[row + j];
+            }
+        }
+        let mut z = self.b2;
+        for (j, hj) in h.iter_mut().enumerate() {
+            if *hj < 0.0 {
+                *hj = 0.0; // ReLU
+            }
+            z += self.w2[j] * *hj;
+        }
+        z
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn train(&mut self, positives: &[Vec<u8>], negatives: &[Vec<u8>]) {
+        let mut order: Vec<(u32, bool)> = (0..positives.len() as u32)
+            .map(|i| (i, true))
+            .chain((0..negatives.len() as u32).map(|i| (i, false)))
+            .collect();
+        let mut rng = Xoshiro256::new(self.seed ^ 0xFEED);
+        let mut feats = Vec::with_capacity(64);
+        let mut h = vec![0.0f32; self.hidden];
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            let lr = self.lr / (1.0 + epoch as f32);
+            for &(i, is_pos) in &order {
+                let key: &[u8] = if is_pos {
+                    &positives[i as usize]
+                } else {
+                    &negatives[i as usize]
+                };
+                features_into(key, self.dim_mask, &mut feats);
+                let z = self.forward(&feats, &mut h);
+                let target = if is_pos { 1.0 } else { 0.0 };
+                let delta = sigmoid(z) - target; // dL/dz
+                // Output layer.
+                self.b2 -= lr * delta;
+                let mut dh = vec![0.0f32; self.hidden];
+                for j in 0..self.hidden {
+                    dh[j] = if h[j] > 0.0 { self.w2[j] * delta } else { 0.0 };
+                    self.w2[j] -= lr * delta * h[j];
+                }
+                // Hidden layer (sparse input: gradient only on active rows).
+                for (b1j, &dhj) in self.b1.iter_mut().zip(dh.iter()) {
+                    *b1j -= lr * dhj;
+                }
+                for &f in &feats {
+                    let row = f as usize * self.hidden;
+                    for (j, &dhj) in dh.iter().enumerate() {
+                        self.w1[row + j] -= lr * dhj;
+                    }
+                }
+            }
+        }
+    }
+
+    fn score(&self, key: &[u8]) -> f32 {
+        let mut feats = Vec::with_capacity(64);
+        features_into(key, self.dim_mask, &mut feats);
+        let mut h = vec![0.0f32; self.hidden];
+        sigmoid(self.forward(&feats, &mut h))
+    }
+
+    fn size_bits(&self) -> usize {
+        (self.w1.len() + self.b1.len() + self.w2.len() + 1) * 32
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A learnable corpus: positives live under few "malicious" TLD-ish
+    /// suffixes, negatives under others — the structure the Shalla-like
+    /// generator plants.
+    fn corpus(n: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let pos = (0..n)
+            .map(|i| format!("http://bad{}.evil-domain.ru/warez/{}", i % 50, i).into_bytes())
+            .collect();
+        let neg = (0..n)
+            .map(|i| format!("http://shop{}.example.com/catalog/{}", i % 50, i).into_bytes())
+            .collect();
+        (pos, neg)
+    }
+
+    #[test]
+    fn logreg_separates_structured_corpus() {
+        let (pos, neg) = corpus(2_000);
+        let mut model = LogisticRegression::new(12, 3, 0.2, 1);
+        model.train(&pos, &neg);
+        let pos_mean: f32 =
+            pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
+        let neg_mean: f32 =
+            neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
+        assert!(
+            pos_mean > neg_mean + 0.3,
+            "no separation: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn mlp_separates_structured_corpus() {
+        let (pos, neg) = corpus(1_000);
+        let mut model = MlpClassifier::new(10, 8, 3, 0.1, 2);
+        model.train(&pos, &neg);
+        let pos_mean: f32 =
+            pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
+        let neg_mean: f32 =
+            neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
+        assert!(
+            pos_mean > neg_mean + 0.2,
+            "no separation: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (pos, neg) = corpus(200);
+        let mut model = LogisticRegression::new(10, 2, 0.2, 3);
+        model.train(&pos, &neg);
+        for k in pos.iter().chain(neg.iter()) {
+            let s = model.score(k);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn untrained_model_is_indifferent() {
+        let model = LogisticRegression::new(10, 1, 0.1, 4);
+        assert!((model.score(b"whatever") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn size_bits_counts_parameters() {
+        let lr = LogisticRegression::new(13, 1, 0.1, 5);
+        assert_eq!(lr.size_bits(), (8192 + 1) * 32);
+        let mlp = MlpClassifier::new(10, 8, 1, 0.1, 6);
+        assert_eq!(mlp.size_bits(), (1024 * 8 + 8 + 8 + 1) * 32);
+    }
+
+    #[test]
+    fn short_keys_are_scorable() {
+        let model = LogisticRegression::new(8, 1, 0.1, 7);
+        for key in [&b""[..], b"a", b"ab", b"abc"] {
+            let s = model.score(key);
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn random_keys_have_no_generalizable_signal() {
+        // On characteristic-free keys (YCSB-style) the model may memorize
+        // its training keys (that is faithful — the paper's models do too),
+        // but it must NOT generalize: *held-out* random keys must score the
+        // same regardless of which set they would belong to. This is the
+        // mechanism behind Fig 10(c,d).
+        let draw = |rng: &mut Xoshiro256, n: usize| -> Vec<Vec<u8>> {
+            (0..n)
+                .map(|_| {
+                    let mut k = b"user".to_vec();
+                    k.extend_from_slice(&rng.next_u64().to_le_bytes());
+                    k
+                })
+                .collect()
+        };
+        let mut rng = Xoshiro256::new(11);
+        let pos = draw(&mut rng, 2_000);
+        let neg = draw(&mut rng, 2_000);
+        let mut model = LogisticRegression::new(12, 2, 0.2, 12);
+        model.train(&pos, &neg);
+        let held_a = draw(&mut rng, 2_000);
+        let held_b = draw(&mut rng, 2_000);
+        let mean = |keys: &[Vec<u8>]| -> f32 {
+            keys.iter().map(|k| model.score(k)).sum::<f32>() / keys.len() as f32
+        };
+        let (a, b) = (mean(&held_a), mean(&held_b));
+        assert!(
+            (a - b).abs() < 0.1,
+            "model hallucinated signal on held-out random keys: {a:.3} vs {b:.3}"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Learned-filter baselines: LBF, SLBF and Ada-BF.
+//!
+//! All three follow the published constructions over a trainable score
+//! oracle (see [`crate::classifier`]):
+//!
+//! * **LBF** (Kraska et al.): classifier + threshold τ + backup Bloom
+//!   filter over the classifier's false negatives.
+//! * **SLBF** (Mitzenmacher): an *initial* Bloom filter in front of the
+//!   classifier absorbs most of the classifier's error — the paper observes
+//!   this makes SLBF the most robust learned baseline (Section V-E).
+//! * **Ada-BF** (Dai & Shrivastava): one shared bit array where the number
+//!   of probe positions per key *decreases* with the classifier score,
+//!   down to zero probes for the most confident region — which is exactly
+//!   why its accuracy collapses when the score is uninformative
+//!   (Fig 10(c,d): "There is a significant gap in performance between the
+//!   two datasets for Ada-BF").
+//!
+//! Every builder receives a *total* space budget and subtracts the model's
+//! `size_bits()` before sizing its bit arrays, matching the paper's
+//! equal-space methodology. Threshold/allocation knobs are tuned by a small
+//! grid search against the standard Bloom FPR estimate, standing in for the
+//! validation-set sweeps of the original papers.
+
+use crate::bloom::BloomFilter;
+use crate::classifier::Classifier;
+use crate::{optimal_k, Filter};
+use habf_hashing::DoubleHasher;
+use habf_util::BitVec;
+
+/// Quantiles of the negative score distribution tried as LBF/SLBF
+/// thresholds τ.
+const TAU_GRID: [f64; 6] = [0.5, 0.8, 0.9, 0.95, 0.99, 0.995];
+
+/// Initial/backup splits tried by SLBF.
+const SPLIT_GRID: [f64; 5] = [0.2, 0.35, 0.5, 0.65, 0.8];
+
+/// Theoretical Bloom FPR for `n` keys in `m` bits with the optimal k.
+fn bloom_fpr_estimate(n: usize, m: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if m == 0 {
+        return 1.0;
+    }
+    let b = m as f64 / n as f64;
+    let k = optimal_k(b) as f64;
+    (1.0 - (-k * n as f64 / m as f64).exp()).powf(k)
+}
+
+/// The score at negative-quantile `q` (ascending): a τ at this value lets
+/// a fraction `1-q` of negatives through the classifier stage.
+fn score_at_quantile(sorted_scores: &[f32], q: f64) -> f32 {
+    if sorted_scores.is_empty() {
+        return 0.5;
+    }
+    let idx = ((sorted_scores.len() as f64 * q).ceil() as usize)
+        .clamp(1, sorted_scores.len())
+        - 1;
+    sorted_scores[idx]
+}
+
+fn sorted_scores(model: &dyn Classifier, keys: &[Vec<u8>]) -> Vec<f32> {
+    let mut scores: Vec<f32> = keys.iter().map(|k| model.score(k)).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    scores
+}
+
+/// Learned Bloom filter (Kraska et al. 2018).
+pub struct LearnedBloomFilter {
+    model: Box<dyn Classifier>,
+    tau: f32,
+    backup: BloomFilter,
+}
+
+impl LearnedBloomFilter {
+    /// Trains `model` on the labelled sets and builds the filter within
+    /// `total_bits` (model size included).
+    ///
+    /// # Panics
+    /// Panics if the budget does not cover the model plus a minimal backup
+    /// filter, or if `positives` is empty.
+    #[must_use]
+    pub fn build(
+        positives: &[Vec<u8>],
+        negatives: &[Vec<u8>],
+        total_bits: usize,
+        mut model: Box<dyn Classifier>,
+    ) -> Self {
+        assert!(!positives.is_empty(), "LBF needs a non-empty positive set");
+        model.train(positives, negatives);
+        let budget = total_bits
+            .checked_sub(model.size_bits())
+            .expect("budget smaller than the model");
+        assert!(budget >= 64, "budget leaves no room for the backup filter");
+
+        let neg_scores = sorted_scores(model.as_ref(), negatives);
+        let pos_scores: Vec<f32> = positives.iter().map(|k| model.score(k)).collect();
+
+        // Grid-search τ: estimated FPR = (1-q) + q * backup-FPR.
+        let mut best: Option<(f64, f32)> = None;
+        for &q in &TAU_GRID {
+            let tau = score_at_quantile(&neg_scores, q);
+            let fn_count = pos_scores.iter().filter(|&&s| s < tau).count();
+            let est = (1.0 - q) + q * bloom_fpr_estimate(fn_count, budget);
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, tau));
+            }
+        }
+        let tau = best.expect("non-empty grid").1;
+
+        let fn_keys: Vec<&Vec<u8>> = positives
+            .iter()
+            .filter(|k| model.score(k) < tau)
+            .collect();
+        let backup = BloomFilter::build(&fn_keys, budget.max(64));
+        Self { model, tau, backup }
+    }
+
+    /// The tuned classifier threshold.
+    #[must_use]
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+}
+
+impl Filter for LearnedBloomFilter {
+    fn contains(&self, key: &[u8]) -> bool {
+        if self.model.score(key) >= self.tau {
+            true
+        } else {
+            self.backup.contains(key)
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.model.size_bits() + self.backup.space_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "LBF"
+    }
+}
+
+/// Sandwiched learned Bloom filter (Mitzenmacher 2018).
+pub struct SandwichedLearnedBloomFilter {
+    model: Box<dyn Classifier>,
+    tau: f32,
+    initial: BloomFilter,
+    backup: BloomFilter,
+}
+
+impl SandwichedLearnedBloomFilter {
+    /// Trains `model` and builds the sandwich within `total_bits`.
+    ///
+    /// # Panics
+    /// Panics if the budget does not cover the model plus minimal filters,
+    /// or if `positives` is empty.
+    #[must_use]
+    pub fn build(
+        positives: &[Vec<u8>],
+        negatives: &[Vec<u8>],
+        total_bits: usize,
+        mut model: Box<dyn Classifier>,
+    ) -> Self {
+        assert!(!positives.is_empty(), "SLBF needs a non-empty positive set");
+        model.train(positives, negatives);
+        let budget = total_bits
+            .checked_sub(model.size_bits())
+            .expect("budget smaller than the model");
+        assert!(budget >= 128, "budget leaves no room for the filters");
+
+        let neg_scores = sorted_scores(model.as_ref(), negatives);
+        let pos_scores: Vec<f32> = positives.iter().map(|k| model.score(k)).collect();
+
+        // Grid-search the (initial-fraction, τ) pair minimizing
+        //   FPR = fpr_init · [(1-q) + q · fpr_backup].
+        let mut best: Option<(f64, f64, f32)> = None;
+        for &split in &SPLIT_GRID {
+            let init_bits = ((budget as f64) * split) as usize;
+            let back_bits = budget - init_bits;
+            let fpr_init = bloom_fpr_estimate(positives.len(), init_bits);
+            for &q in &TAU_GRID {
+                let tau = score_at_quantile(&neg_scores, q);
+                let fn_count = pos_scores.iter().filter(|&&s| s < tau).count();
+                let est = fpr_init * ((1.0 - q) + q * bloom_fpr_estimate(fn_count, back_bits));
+                if best.is_none_or(|(b, _, _)| est < b) {
+                    best = Some((est, split, tau));
+                }
+            }
+        }
+        let (_, split, tau) = best.expect("non-empty grid");
+        let init_bits = ((budget as f64) * split) as usize;
+        let back_bits = budget - init_bits;
+
+        let initial = BloomFilter::build(positives, init_bits.max(64));
+        let fn_keys: Vec<&Vec<u8>> = positives
+            .iter()
+            .filter(|k| model.score(k) < tau)
+            .collect();
+        let backup = BloomFilter::build(&fn_keys, back_bits.max(64));
+        Self {
+            model,
+            tau,
+            initial,
+            backup,
+        }
+    }
+}
+
+impl Filter for SandwichedLearnedBloomFilter {
+    fn contains(&self, key: &[u8]) -> bool {
+        if !self.initial.contains(key) {
+            return false;
+        }
+        if self.model.score(key) >= self.tau {
+            true
+        } else {
+            self.backup.contains(key)
+        }
+    }
+
+    fn space_bits(&self) -> usize {
+        self.model.size_bits() + self.initial.space_bits() + self.backup.space_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "SLBF"
+    }
+}
+
+/// Adaptive learned Bloom filter (Ada-BF, Dai & Shrivastava 2020).
+pub struct AdaptiveLearnedBloomFilter {
+    model: Box<dyn Classifier>,
+    /// Ascending score boundaries splitting keys into `boundaries.len()+1`
+    /// groups.
+    boundaries: Vec<f32>,
+    /// Probes per group, decreasing; the last group may use zero probes
+    /// (accept on classifier confidence alone).
+    ks: Vec<usize>,
+    bits: BitVec,
+    seed: u64,
+}
+
+impl AdaptiveLearnedBloomFilter {
+    /// Trains `model` and builds the filter within `total_bits` using
+    /// `groups` score regions.
+    ///
+    /// # Panics
+    /// Panics if `groups < 2`, the budget does not cover the model, or
+    /// `positives` is empty.
+    #[must_use]
+    pub fn build(
+        positives: &[Vec<u8>],
+        negatives: &[Vec<u8>],
+        total_bits: usize,
+        groups: usize,
+        mut model: Box<dyn Classifier>,
+    ) -> Self {
+        assert!(groups >= 2, "Ada-BF needs at least two score groups");
+        assert!(!positives.is_empty(), "Ada-BF needs a non-empty positive set");
+        model.train(positives, negatives);
+        let m = total_bits
+            .checked_sub(model.size_bits())
+            .expect("budget smaller than the model")
+            .max(64);
+
+        // Boundaries at geometrically tightening negative-score quantiles:
+        // the top (zero-probe) region must contain almost no training
+        // negatives — Ada-BF's tuning pushes nearly all negatives into the
+        // many-probe groups and reserves the confident region for keys the
+        // classifier is nearly sure about.
+        let neg_scores = sorted_scores(model.as_ref(), negatives);
+        let mut boundaries = Vec::with_capacity(groups - 1);
+        let mut tail = 0.1; // fraction of negatives above the boundary
+        for _ in 0..groups - 1 {
+            boundaries.push(score_at_quantile(&neg_scores, 1.0 - tail));
+            tail *= 0.05; // 10% -> 0.5% -> 0.025% ...
+        }
+        boundaries.dedup_by(|a, b| a == b);
+
+        // k per group: linear descent from k_max (low scores) to 0
+        // (classifier-confident region).
+        let g = boundaries.len() + 1;
+        let k_max = (optimal_k(m as f64 / positives.len() as f64) + 1).max(2);
+        let ks: Vec<usize> = (0..g)
+            .map(|j| {
+                let frac = 1.0 - j as f64 / (g - 1) as f64;
+                (k_max as f64 * frac).round() as usize
+            })
+            .collect();
+
+        let mut filter = Self {
+            model,
+            boundaries,
+            ks,
+            bits: BitVec::new(m),
+            seed: 0x000A_DABF,
+        };
+        for key in positives {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn group_of(&self, score: f32) -> usize {
+        self.boundaries
+            .iter()
+            .position(|&b| score < b)
+            .unwrap_or(self.boundaries.len())
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let k = self.ks[self.group_of(self.model.score(key))];
+        let m = self.bits.len();
+        let h = DoubleHasher::new(key, self.seed);
+        for i in 0..k as u64 {
+            self.bits.set(h.position(i, m));
+        }
+    }
+
+    /// Probes used for a hypothetical key with the given score (test hook).
+    #[must_use]
+    pub fn probes_for_score(&self, score: f32) -> usize {
+        self.ks[self.group_of(score)]
+    }
+}
+
+impl Filter for AdaptiveLearnedBloomFilter {
+    fn contains(&self, key: &[u8]) -> bool {
+        let k = self.ks[self.group_of(self.model.score(key))];
+        if k == 0 {
+            return true; // classifier-confident region
+        }
+        let m = self.bits.len();
+        let h = DoubleHasher::new(key, self.seed);
+        (0..k as u64).all(|i| self.bits.get(h.position(i, m)))
+    }
+
+    fn space_bits(&self) -> usize {
+        self.model.size_bits() + self.bits.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Ada-BF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::LogisticRegression;
+
+    fn structured_corpus(n: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let pos = (0..n)
+            .map(|i| format!("http://malware{}.bad.ru/x/{}", i % 97, i).into_bytes())
+            .collect();
+        let neg = (0..n)
+            .map(|i| format!("http://news{}.example.org/a/{}", i % 97, i).into_bytes())
+            .collect();
+        (pos, neg)
+    }
+
+    fn model() -> Box<dyn Classifier> {
+        Box::new(LogisticRegression::new(11, 2, 0.2, 17))
+    }
+
+    #[test]
+    fn lbf_has_zero_false_negatives() {
+        let (pos, neg) = structured_corpus(2_000);
+        let f = LearnedBloomFilter::build(&pos, &neg, 120_000, model());
+        for k in &pos {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn slbf_has_zero_false_negatives() {
+        let (pos, neg) = structured_corpus(2_000);
+        let f = SandwichedLearnedBloomFilter::build(&pos, &neg, 120_000, model());
+        for k in &pos {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn adabf_has_zero_false_negatives() {
+        let (pos, neg) = structured_corpus(2_000);
+        let f = AdaptiveLearnedBloomFilter::build(&pos, &neg, 120_000, 4, model());
+        for k in &pos {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn learned_filters_beat_random_on_structured_data() {
+        // With a learnable corpus and a modest budget, the learned filters
+        // must reject the vast majority of fresh negatives.
+        let (pos, neg) = structured_corpus(3_000);
+        let fresh_neg: Vec<Vec<u8>> = (10_000..13_000)
+            .map(|i| format!("http://news{}.example.org/a/{}", i % 97, i).into_bytes())
+            .collect();
+        let f = LearnedBloomFilter::build(&pos, &neg, 150_000, model());
+        let fp = fresh_neg.iter().filter(|k| f.contains(k)).count();
+        let fpr = fp as f64 / fresh_neg.len() as f64;
+        assert!(fpr < 0.2, "LBF FPR {fpr:.3} on held-out negatives");
+    }
+
+    #[test]
+    fn adabf_probe_counts_decrease_with_score() {
+        let (pos, neg) = structured_corpus(1_000);
+        let f = AdaptiveLearnedBloomFilter::build(&pos, &neg, 100_000, 4, model());
+        let low = f.probes_for_score(0.0);
+        let high = f.probes_for_score(1.0);
+        assert!(low > high, "probes low={low} high={high}");
+        assert_eq!(high, 0, "top group should accept outright");
+    }
+
+    #[test]
+    fn space_accounting_includes_model() {
+        let (pos, neg) = structured_corpus(500);
+        let budget = 200_000;
+        let f = LearnedBloomFilter::build(&pos, &neg, budget, model());
+        assert!(f.space_bits() <= budget + 64);
+        let model_bits = LogisticRegression::new(11, 2, 0.2, 17).size_bits();
+        assert!(f.space_bits() > model_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget smaller than the model")]
+    fn budget_below_model_panics() {
+        let (pos, neg) = structured_corpus(100);
+        let _ = LearnedBloomFilter::build(&pos, &neg, 1_000, model());
+    }
+
+    #[test]
+    fn names() {
+        let (pos, neg) = structured_corpus(300);
+        assert_eq!(
+            LearnedBloomFilter::build(&pos, &neg, 120_000, model()).name(),
+            "LBF"
+        );
+        assert_eq!(
+            SandwichedLearnedBloomFilter::build(&pos, &neg, 120_000, model()).name(),
+            "SLBF"
+        );
+        assert_eq!(
+            AdaptiveLearnedBloomFilter::build(&pos, &neg, 120_000, 4, model()).name(),
+            "Ada-BF"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The Xor filter (Graf & Lemire, JEA 2020) — the paper's strongest
+//! non-learned baseline.
+//!
+//! A 3-wise xor filter: each key maps to one slot in each of three equal
+//! segments plus an `L`-bit fingerprint; construction peels a random
+//! 3-uniform hypergraph and assigns slot values so that
+//! `fp(x) = B[h0(x)] ⊕ B[h1(x)] ⊕ B[h2(x)]` for every member. Membership is
+//! exactly that equality. Following the paper's space accounting
+//! (Section V-A), [`XorFilter::build`] chooses the fingerprint width as
+//! `⌊b / (1.23 + 32/|S|)⌋` for a bits-per-key budget `b`.
+
+use crate::Filter;
+use habf_hashing::classic::wang_mix64;
+use habf_hashing::xxhash;
+use habf_util::PackedCells;
+
+/// A static xor filter over a set fixed at construction.
+#[derive(Clone, Debug)]
+pub struct XorFilter {
+    fingerprints: PackedCells,
+    seg_len: usize,
+    seed: u64,
+    fp_bits: u32,
+    items: usize,
+}
+
+#[derive(Clone, Copy)]
+struct KeyHashes {
+    slots: [usize; 3],
+    fp: u32,
+}
+
+#[inline]
+fn reduce(hash: u64, n: usize) -> usize {
+    // Lemire's multiply-shift range reduction.
+    (((hash as u128) * (n as u128)) >> 64) as usize
+}
+
+impl XorFilter {
+    /// Builds a filter for `keys` within a total budget of `m` bits,
+    /// deriving the fingerprint width with the paper's formula.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty or the budget is too small for even 1-bit
+    /// fingerprints.
+    #[must_use]
+    pub fn build(keys: &[impl AsRef<[u8]>], m: usize) -> Self {
+        let n = keys.len();
+        assert!(n > 0, "xor filter needs a non-empty key set");
+        let b = m as f64 / n as f64;
+        let fp_bits = (b / (1.23 + 32.0 / n as f64)).floor() as u32;
+        assert!(
+            fp_bits >= 1,
+            "budget of {b:.2} bits/key is below the xor filter minimum"
+        );
+        Self::build_with_fp_bits(keys, fp_bits.min(32))
+    }
+
+    /// Builds with an explicit fingerprint width in bits (1..=32).
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty, `fp_bits` is out of range, or peeling
+    /// fails 64 seeds in a row (astronomically unlikely at 1.23× slack).
+    #[must_use]
+    pub fn build_with_fp_bits(keys: &[impl AsRef<[u8]>], fp_bits: u32) -> Self {
+        let n = keys.len();
+        assert!(n > 0, "xor filter needs a non-empty key set");
+        assert!((1..=32).contains(&fp_bits), "fp_bits {fp_bits} not in 1..=32");
+        // 1.23× slack plus a constant pad, as in the reference construction.
+        let seg_len = ((1.23 * n as f64).ceil() as usize / 3 + 11).max(2);
+        for attempt in 0..64u64 {
+            let seed = wang_mix64(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x00C0_FFEE);
+            if let Some(filter) = Self::try_build(keys, seg_len, seed, fp_bits) {
+                return filter;
+            }
+        }
+        panic!("xor filter peeling failed for 64 seeds (n={n})");
+    }
+
+    fn hashes(key: &[u8], seed: u64, seg_len: usize, fp_bits: u32) -> KeyHashes {
+        let (a, b) = xxhash::xxh128(key, seed);
+        let h0 = reduce(a, seg_len);
+        let h1 = seg_len + reduce(b, seg_len);
+        let h2 = 2 * seg_len + reduce(wang_mix64(a ^ b.rotate_left(31)), seg_len);
+        let fp_mask = if fp_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << fp_bits) - 1
+        };
+        let fp = (wang_mix64(a.wrapping_add(b.rotate_left(17))) as u32) & fp_mask;
+        KeyHashes {
+            slots: [h0, h1, h2],
+            fp,
+        }
+    }
+
+    fn try_build(
+        keys: &[impl AsRef<[u8]>],
+        seg_len: usize,
+        seed: u64,
+        fp_bits: u32,
+    ) -> Option<Self> {
+        let n = keys.len();
+        let slots = 3 * seg_len;
+        let hashes: Vec<KeyHashes> = keys
+            .iter()
+            .map(|k| Self::hashes(k.as_ref(), seed, seg_len, fp_bits))
+            .collect();
+
+        // Peel the 3-uniform hypergraph: per slot keep the occupancy count
+        // and the xor of incident key indices; a count-1 slot reveals its
+        // single key.
+        let mut count = vec![0u32; slots];
+        let mut key_xor = vec![0u64; slots];
+        for (i, h) in hashes.iter().enumerate() {
+            for &s in &h.slots {
+                count[s] += 1;
+                key_xor[s] ^= i as u64;
+            }
+        }
+        let mut queue: Vec<usize> = (0..slots).filter(|&s| count[s] == 1).collect();
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n); // (key index, slot)
+        while let Some(slot) = queue.pop() {
+            if count[slot] != 1 {
+                continue;
+            }
+            let ki = key_xor[slot] as usize;
+            stack.push((ki, slot));
+            for &s in &hashes[ki].slots {
+                count[s] -= 1;
+                key_xor[s] ^= ki as u64;
+                if count[s] == 1 {
+                    queue.push(s);
+                }
+            }
+        }
+        if stack.len() != n {
+            return None; // a 2-core remained; retry with a new seed
+        }
+
+        let mut fingerprints = PackedCells::new(slots, fp_bits);
+        for &(ki, slot) in stack.iter().rev() {
+            let h = &hashes[ki];
+            let mut v = h.fp;
+            for &s in &h.slots {
+                if s != slot {
+                    v ^= fingerprints.get(s);
+                }
+            }
+            fingerprints.set(slot, v);
+        }
+        Some(Self {
+            fingerprints,
+            seg_len,
+            seed,
+            fp_bits,
+            items: n,
+        })
+    }
+
+    /// Fingerprint width in bits.
+    #[must_use]
+    pub fn fp_bits(&self) -> u32 {
+        self.fp_bits
+    }
+
+    /// Number of keys the filter was built from.
+    #[must_use]
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The theoretical FPR, `2^{-L}`.
+    #[must_use]
+    pub fn theoretical_fpr(&self) -> f64 {
+        0.5f64.powi(self.fp_bits as i32)
+    }
+}
+
+impl Filter for XorFilter {
+    fn contains(&self, key: &[u8]) -> bool {
+        let h = Self::hashes(key, self.seed, self.seg_len, self.fp_bits);
+        let stored = self.fingerprints.get(h.slots[0])
+            ^ self.fingerprints.get(h.slots[1])
+            ^ self.fingerprints.get(h.slots[2]);
+        stored == h.fp
+    }
+
+    fn space_bits(&self) -> usize {
+        self.fingerprints.len() * self.fp_bits as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "Xor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, tag: &str) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("{tag}:{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn zero_false_negatives() {
+        let pos = keys(10_000, "member");
+        let f = XorFilter::build_with_fp_bits(&pos, 8);
+        for k in &pos {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn fpr_tracks_two_to_minus_l() {
+        let pos = keys(8_000, "in");
+        let neg = keys(40_000, "out");
+        for fp_bits in [4u32, 8] {
+            let f = XorFilter::build_with_fp_bits(&pos, fp_bits);
+            let fp = neg.iter().filter(|k| f.contains(k)).count();
+            let measured = fp as f64 / neg.len() as f64;
+            let theory = f.theoretical_fpr();
+            assert!(
+                measured < theory * 2.0 + 0.002,
+                "L={fp_bits}: measured {measured:.5} vs theory {theory:.5}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_build_follows_paper_formula() {
+        let pos = keys(5_000, "k");
+        // b = 10 bits/key: L = floor(10 / (1.23 + 32/5000)) = floor(8.08) = 8.
+        let f = XorFilter::build(&pos, 50_000);
+        assert_eq!(f.fp_bits(), 8);
+        // Space is 3 * seg_len * L bits, within ~24% of the budget.
+        assert!(f.space_bits() < 50_000 * 125 / 100);
+    }
+
+    #[test]
+    fn tiny_sets_build() {
+        for n in [1usize, 2, 3, 10] {
+            let pos = keys(n, "tiny");
+            let f = XorFilter::build_with_fp_bits(&pos, 8);
+            for k in &pos {
+                assert!(f.contains(k), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_panics() {
+        let empty: Vec<Vec<u8>> = vec![];
+        let _ = XorFilter::build_with_fp_bits(&empty, 8);
+    }
+
+    #[test]
+    fn name_and_items() {
+        let pos = keys(100, "a");
+        let f = XorFilter::build_with_fp_bits(&pos, 6);
+        assert_eq!(f.name(), "Xor");
+        assert_eq!(f.items(), 100);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the baseline filters.
+
+use habf_filters::{
+    BloomFilter, BloomHashStrategy, Filter, WeightedBloomFilter, XorFilter,
+};
+use proptest::prelude::*;
+
+fn keys_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::hash_set("[a-z0-9./:-]{1,24}", 1..150)
+        .prop_map(|set| set.into_iter().map(String::into_bytes).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every Bloom strategy upholds zero FNR on arbitrary key sets.
+    #[test]
+    fn bloom_all_strategies_zero_fnr(keys in keys_strategy(), k in 1usize..9) {
+        let m = (keys.len() * 10).max(64);
+        for strategy in [
+            BloomHashStrategy::family_prefix(k.min(7)),
+            BloomHashStrategy::SeededCity64 { k },
+            BloomHashStrategy::SeededXxh128 { k },
+            BloomHashStrategy::DoubleHashing { k, seed: 42 },
+        ] {
+            let f = BloomFilter::build_with(&keys, m, strategy);
+            for key in &keys {
+                prop_assert!(f.contains(key), "{} dropped {:?}", f.name(), key);
+            }
+        }
+    }
+
+    /// The xor filter stores and recovers arbitrary sets at any width.
+    #[test]
+    fn xor_zero_fnr_any_width(keys in keys_strategy(), fp_bits in 1u32..=16) {
+        let f = XorFilter::build_with_fp_bits(&keys, fp_bits);
+        for key in &keys {
+            prop_assert!(f.contains(key));
+        }
+        prop_assert_eq!(f.items(), keys.len());
+    }
+
+    /// WBF never drops positives regardless of the cost landscape.
+    #[test]
+    fn wbf_zero_fnr(
+        keys in keys_strategy(),
+        costs_seed in any::<u32>(),
+        cache in 0usize..64,
+    ) {
+        let negatives: Vec<(Vec<u8>, f64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                (
+                    format!("NEG{i}").into_bytes(),
+                    1.0 + f64::from((costs_seed.wrapping_mul(i as u32 + 1)) % 1000),
+                )
+            })
+            .collect();
+        let m = (keys.len() * 10).max(64);
+        let f = WeightedBloomFilter::build(&keys, &negatives, m, cache);
+        for key in &keys {
+            prop_assert!(f.contains(key));
+        }
+    }
+
+    /// Bloom fill ratio never exceeds the k·n/m upper bound.
+    #[test]
+    fn bloom_fill_bounded(keys in keys_strategy()) {
+        let m = (keys.len() * 8).max(64);
+        let f = BloomFilter::build(&keys, m);
+        let upper = (f.k() * keys.len()) as f64 / m as f64;
+        prop_assert!(f.fill_ratio() <= upper + 1e-9);
+    }
+}

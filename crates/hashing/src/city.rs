@@ -1,0 +1,287 @@
+//! CityHash64 — the `CityHash` entry of Table II.
+//!
+//! A port of Google's CityHash v1.1 `CityHash64` (and the seeded variant
+//! used by the `BF(City64)` baseline of Fig 14). The structure follows the
+//! published `city.cc`: `HashLen0to16` / `HashLen17to32` / `HashLen33to64`
+//! and the 64-byte main loop with `WeakHashLen32WithSeeds`.
+
+const K0: u64 = 0xC3A5_C85C_97CB_3127;
+const K1: u64 = 0xB492_B66F_BE98_F273;
+const K2: u64 = 0x9AE1_6A3B_2F90_404F;
+const K_MUL: u64 = 0x9DDF_EA08_EB38_2D69;
+
+#[inline]
+fn fetch64(s: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(s[i..i + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn fetch32(s: &[u8], i: usize) -> u64 {
+    u64::from(u32::from_le_bytes(s[i..i + 4].try_into().expect("4 bytes")))
+}
+
+#[inline]
+fn rotate(v: u64, shift: u32) -> u64 {
+    v.rotate_right(shift)
+}
+
+#[inline]
+fn shift_mix(v: u64) -> u64 {
+    v ^ (v >> 47)
+}
+
+#[inline]
+fn hash128_to_64(lo: u64, hi: u64) -> u64 {
+    let mut a = (lo ^ hi).wrapping_mul(K_MUL);
+    a ^= a >> 47;
+    let mut b = (hi ^ a).wrapping_mul(K_MUL);
+    b ^= b >> 47;
+    b.wrapping_mul(K_MUL)
+}
+
+#[inline]
+fn hash_len16(u: u64, v: u64) -> u64 {
+    hash128_to_64(u, v)
+}
+
+#[inline]
+fn hash_len16_mul(u: u64, v: u64, mul: u64) -> u64 {
+    let mut a = (u ^ v).wrapping_mul(mul);
+    a ^= a >> 47;
+    let mut b = (v ^ a).wrapping_mul(mul);
+    b ^= b >> 47;
+    b.wrapping_mul(mul)
+}
+
+fn hash_len_0_to_16(s: &[u8]) -> u64 {
+    let len = s.len();
+    if len >= 8 {
+        let mul = K2.wrapping_add(len as u64 * 2);
+        let a = fetch64(s, 0).wrapping_add(K2);
+        let b = fetch64(s, len - 8);
+        let c = rotate(b, 37).wrapping_mul(mul).wrapping_add(a);
+        let d = rotate(a, 25).wrapping_add(b).wrapping_mul(mul);
+        return hash_len16_mul(c, d, mul);
+    }
+    if len >= 4 {
+        let mul = K2.wrapping_add(len as u64 * 2);
+        let a = fetch32(s, 0);
+        return hash_len16_mul(
+            (len as u64).wrapping_add(a << 3),
+            fetch32(s, len - 4),
+            mul,
+        );
+    }
+    if len > 0 {
+        let a = u64::from(s[0]);
+        let b = u64::from(s[len >> 1]);
+        let c = u64::from(s[len - 1]);
+        let y = a.wrapping_add(b << 8);
+        let z = (len as u64).wrapping_add(c << 2);
+        return shift_mix(y.wrapping_mul(K2) ^ z.wrapping_mul(K0)).wrapping_mul(K2);
+    }
+    K2
+}
+
+fn hash_len_17_to_32(s: &[u8]) -> u64 {
+    let len = s.len();
+    let mul = K2.wrapping_add(len as u64 * 2);
+    let a = fetch64(s, 0).wrapping_mul(K1);
+    let b = fetch64(s, 8);
+    let c = fetch64(s, len - 8).wrapping_mul(mul);
+    let d = fetch64(s, len - 16).wrapping_mul(K2);
+    hash_len16_mul(
+        rotate(a.wrapping_add(b), 43)
+            .wrapping_add(rotate(c, 30))
+            .wrapping_add(d),
+        a.wrapping_add(rotate(b.wrapping_add(K2), 18))
+            .wrapping_add(c),
+        mul,
+    )
+}
+
+#[allow(clippy::many_single_char_names)]
+fn hash_len_33_to_64(s: &[u8]) -> u64 {
+    let len = s.len();
+    let mul = K2.wrapping_add(len as u64 * 2);
+    let mut a = fetch64(s, 0).wrapping_mul(K2);
+    let mut b = fetch64(s, 8);
+    let c = fetch64(s, len - 24);
+    let d = fetch64(s, len - 32);
+    let e = fetch64(s, 16).wrapping_mul(K2);
+    let f = fetch64(s, 24).wrapping_mul(9);
+    let g = fetch64(s, len - 8);
+    let h = fetch64(s, len - 16).wrapping_mul(mul);
+
+    let u = rotate(a.wrapping_add(g), 43)
+        .wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
+    let v = (a.wrapping_add(g) ^ d).wrapping_add(f).wrapping_add(1);
+    let w = (u.wrapping_add(v).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(h);
+    let x = rotate(e.wrapping_add(f), 42).wrapping_add(c);
+    let y = (v.wrapping_add(w).wrapping_mul(mul))
+        .swap_bytes()
+        .wrapping_add(g)
+        .wrapping_mul(mul);
+    let z = e.wrapping_add(f).wrapping_add(c);
+    a = (x.wrapping_add(z).wrapping_mul(mul).wrapping_add(y))
+        .swap_bytes()
+        .wrapping_add(b);
+    b = shift_mix(
+        z.wrapping_add(a)
+            .wrapping_mul(mul)
+            .wrapping_add(d)
+            .wrapping_add(h),
+    )
+    .wrapping_mul(mul);
+    b.wrapping_add(x)
+}
+
+#[allow(clippy::many_single_char_names)]
+fn weak_hash_len32_with_seeds(
+    w: u64,
+    x: u64,
+    y: u64,
+    z: u64,
+    mut a: u64,
+    mut b: u64,
+) -> (u64, u64) {
+    a = a.wrapping_add(w);
+    b = rotate(b.wrapping_add(a).wrapping_add(z), 21);
+    let c = a;
+    a = a.wrapping_add(x);
+    a = a.wrapping_add(y);
+    b = b.wrapping_add(rotate(a, 44));
+    (a.wrapping_add(z), b.wrapping_add(c))
+}
+
+fn weak_hash_at(s: &[u8], i: usize, a: u64, b: u64) -> (u64, u64) {
+    weak_hash_len32_with_seeds(
+        fetch64(s, i),
+        fetch64(s, i + 8),
+        fetch64(s, i + 16),
+        fetch64(s, i + 24),
+        a,
+        b,
+    )
+}
+
+/// CityHash64 of `key`.
+#[must_use]
+#[allow(clippy::many_single_char_names)]
+pub fn city64(key: &[u8]) -> u64 {
+    let len = key.len();
+    if len <= 32 {
+        if len <= 16 {
+            return hash_len_0_to_16(key);
+        }
+        return hash_len_17_to_32(key);
+    }
+    if len <= 64 {
+        return hash_len_33_to_64(key);
+    }
+
+    let mut x = fetch64(key, len - 40);
+    let mut y = fetch64(key, len - 16).wrapping_add(fetch64(key, len - 56));
+    let mut z = hash_len16(
+        fetch64(key, len - 48).wrapping_add(len as u64),
+        fetch64(key, len - 24),
+    );
+    let mut v = weak_hash_at(key, len - 64, len as u64, z);
+    let mut w = weak_hash_at(key, len - 32, y.wrapping_add(K1), x);
+    x = x.wrapping_mul(K1).wrapping_add(fetch64(key, 0));
+
+    let mut remaining = (len - 1) & !63usize;
+    let mut off = 0usize;
+    loop {
+        x = rotate(
+            x.wrapping_add(y)
+                .wrapping_add(v.0)
+                .wrapping_add(fetch64(key, off + 8)),
+            37,
+        )
+        .wrapping_mul(K1);
+        y = rotate(
+            y.wrapping_add(v.1).wrapping_add(fetch64(key, off + 48)),
+            42,
+        )
+        .wrapping_mul(K1);
+        x ^= w.1;
+        y = y.wrapping_add(v.0).wrapping_add(fetch64(key, off + 40));
+        z = rotate(z.wrapping_add(w.0), 33).wrapping_mul(K1);
+        v = weak_hash_at(key, off, v.1.wrapping_mul(K1), x.wrapping_add(w.0));
+        w = weak_hash_at(
+            key,
+            off + 32,
+            z.wrapping_add(w.1),
+            y.wrapping_add(fetch64(key, off + 16)),
+        );
+        core::mem::swap(&mut z, &mut x);
+        off += 64;
+        remaining -= 64;
+        if remaining == 0 {
+            break;
+        }
+    }
+    hash_len16(
+        hash_len16(v.0, w.0)
+            .wrapping_add(shift_mix(y).wrapping_mul(K1))
+            .wrapping_add(z),
+        hash_len16(v.1, w.1).wrapping_add(x),
+    )
+}
+
+/// CityHash64 with two seeds (`CityHash64WithSeeds`).
+#[must_use]
+pub fn city64_with_seeds(key: &[u8], seed0: u64, seed1: u64) -> u64 {
+    hash_len16(city64(key).wrapping_sub(seed0), seed1)
+}
+
+/// CityHash64 with one seed (`CityHash64WithSeed`), as used by `BF(City64)`.
+#[must_use]
+pub fn city64_seeded(key: &[u8], seed: u64) -> u64 {
+    city64_with_seeds(key, K2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_key_is_k2() {
+        assert_eq!(city64(b""), K2);
+    }
+
+    #[test]
+    fn covers_all_length_classes() {
+        // 0..=16, 17..=32, 33..=64, >64 single block, >64 multi block.
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in [0usize, 1, 3, 4, 7, 8, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 199] {
+            assert!(seen.insert(city64(&data[..len])), "len {len} collided");
+        }
+    }
+
+    #[test]
+    fn seeded_variant_changes_output() {
+        let k = b"seeded city hash";
+        assert_ne!(city64_seeded(k, 0), city64_seeded(k, 1));
+        assert_ne!(city64_seeded(k, 0), city64(k));
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = b"a slightly longer key to push past the tiny-length paths....64+";
+        assert_eq!(city64(k), city64(k));
+    }
+
+    #[test]
+    fn avalanche_on_long_keys() {
+        let mut a = vec![0x5Au8; 100];
+        let h0 = city64(&a);
+        a[50] ^= 1;
+        let h1 = city64(&a);
+        assert!((h0 ^ h1).count_ones() >= 16);
+    }
+}

@@ -1,0 +1,80 @@
+//! Software CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Table II lists `crc32` among the global family. This is the classic
+//! reflected CRC-32 with polynomial `0xEDB88320`, computed with a lazily
+//! built 256-entry lookup table (byte-at-a-time). The 32-bit CRC is widened
+//! to 64 bits for family membership by mixing in the key length, preserving
+//! the CRC's (mediocre) distribution properties that the paper's Fig 14
+//! discussion is about.
+
+/// The 256-entry CRC table for the reflected IEEE polynomial.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// Raw CRC-32 (IEEE) of `key`.
+#[must_use]
+pub fn crc32_raw(key: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in key {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// CRC-32 widened to a 64-bit family member.
+#[must_use]
+pub fn crc32(key: &[u8]) -> u64 {
+    let c = crc32_raw(key);
+    // Widen without destroying the CRC's own distribution: the low word IS
+    // the CRC; the high word is a cheap mix of CRC and length so that
+    // `% m` for m > 2^32 still covers the space.
+    u64::from(c) | (u64::from(c ^ 0xA5A5_A5A5).wrapping_mul(0x9E37_79B9) << 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32_raw(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_raw(b""), 0x0000_0000);
+        assert_eq!(crc32_raw(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32_raw(b"abc"), 0x3524_41C2);
+        assert_eq!(crc32_raw(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn widened_low_word_is_the_crc() {
+        let key = b"low word check";
+        assert_eq!(crc32(key) as u32, crc32_raw(key));
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(crc32(b"x"), crc32(b"x"));
+        assert_ne!(crc32(b"x"), crc32(b"y"));
+        assert_ne!(crc32(b"ax"), crc32(b"xa"));
+    }
+}

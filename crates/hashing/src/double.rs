@@ -1,0 +1,208 @@
+//! Double hashing (Kirsch–Mitzenmacher) and the simulated hash family used
+//! by f-HABF.
+//!
+//! Section III-G of the paper: *"we reduce hash function calculation by
+//! simulating a new hash value from two previously calculated hash values
+//! h1(x) and h2(x), e.g., simulated hash values g_i(x) = h1(x) + i·h2(x)"*.
+//! f-HABF applies this to the whole global family: a single 128-bit xxHash
+//! evaluation yields `h1, h2`, and family member `i` is `g_i`.
+
+use crate::family::{HashId, HashProvider};
+use crate::xxhash;
+
+/// Per-key double-hashing state: one 128-bit hash evaluation, then `O(1)`
+/// per derived function.
+#[derive(Clone, Copy, Debug)]
+pub struct DoubleHasher {
+    h1: u64,
+    h2: u64,
+}
+
+impl DoubleHasher {
+    /// Computes the two base hashes of `key` under `seed`.
+    #[must_use]
+    pub fn new(key: &[u8], seed: u64) -> Self {
+        let (h1, h2) = xxh128_pair(key, seed);
+        Self { h1, h2 }
+    }
+
+    /// The `i`-th simulated hash value, `g_i = h1 + i·h2`.
+    #[must_use]
+    #[inline]
+    pub fn g(&self, i: u64) -> u64 {
+        self.h1.wrapping_add(i.wrapping_mul(self.h2))
+    }
+
+    /// The `i`-th probe position in a table of `m` slots.
+    #[must_use]
+    #[inline]
+    pub fn position(&self, i: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        (self.g(i) % m as u64) as usize
+    }
+}
+
+/// Computes an `(h1, h2)` pair with `h2` forced odd so the probe sequence
+/// never degenerates (an even `h2` shared with a power-of-two-ish `m`
+/// collapses the sequence onto a coset).
+#[must_use]
+fn xxh128_pair(key: &[u8], seed: u64) -> (u64, u64) {
+    let (h1, mut h2) = xxhash::xxh128(key, seed);
+    h2 |= 1;
+    (h1, h2)
+}
+
+/// A hash family whose members are *simulated* by double hashing — the
+/// f-HABF fast path (Section III-G).
+///
+/// Member `id` hashes `key` as `g_{id-1}(key) = h1(key) + (id−1)·h2(key)`.
+/// Every query computes the 128-bit base hash exactly once and then derives
+/// any number of family members with one multiply-add each, which is where
+/// f-HABF's construction/query speedup over HABF comes from.
+#[derive(Clone, Copy, Debug)]
+pub struct SimulatedFamily {
+    size: usize,
+    seed: u64,
+}
+
+impl SimulatedFamily {
+    /// Creates a simulated family of `size` members derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or exceeds 255 (ids must fit a `HashId`).
+    #[must_use]
+    pub fn new(size: usize, seed: u64) -> Self {
+        assert!((1..=255).contains(&size), "size {size} not in 1..=255");
+        Self { size, seed }
+    }
+
+    /// The seed all base hashes are derived from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Precomputes the per-key base state to derive many members cheaply.
+    #[must_use]
+    pub fn hasher(&self, key: &[u8]) -> DoubleHasher {
+        DoubleHasher::new(key, self.seed)
+    }
+}
+
+impl HashProvider for SimulatedFamily {
+    #[inline]
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn hash_id(&self, id: HashId, key: &[u8]) -> u64 {
+        debug_assert!(id != 0 && usize::from(id) <= self.size);
+        DoubleHasher::new(key, self.seed).g(u64::from(id) - 1)
+    }
+
+    fn positions_batch(&self, key: &[u8], ids: &[HashId], m: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let h = self.hasher(key); // one 128-bit evaluation for all ids
+        out.extend(ids.iter().map(|&id| h.position(u64::from(id) - 1, m) as u32));
+    }
+}
+
+/// A [`HashProvider`] bound to one key's precomputed double-hashing state:
+/// `hash_id(id, _)` ignores the key argument and returns `g_{id−1}` of the
+/// bound key. Used on f-HABF's query path so one xxh128 evaluation serves
+/// both query rounds and the HashExpressor chain walk.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyBoundSimulated {
+    hasher: DoubleHasher,
+    size: usize,
+}
+
+impl KeyBoundSimulated {
+    /// Binds `family` to `key`.
+    #[must_use]
+    pub fn new(family: &SimulatedFamily, key: &[u8]) -> Self {
+        Self {
+            hasher: family.hasher(key),
+            size: family.size,
+        }
+    }
+}
+
+impl HashProvider for KeyBoundSimulated {
+    #[inline]
+    fn len(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn hash_id(&self, id: HashId, _key: &[u8]) -> u64 {
+        debug_assert!(id != 0 && usize::from(id) <= self.size);
+        self.hasher.g(u64::from(id) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_sequence_is_affine() {
+        let h = DoubleHasher::new(b"affine", 7);
+        let g0 = h.g(0);
+        let g1 = h.g(1);
+        let g2 = h.g(2);
+        assert_eq!(g1.wrapping_sub(g0), g2.wrapping_sub(g1));
+    }
+
+    #[test]
+    fn h2_is_odd_so_probes_spread() {
+        for i in 0..50u32 {
+            let key = i.to_le_bytes();
+            let h = DoubleHasher::new(&key, 0);
+            let step = h.g(1).wrapping_sub(h.g(0));
+            assert_eq!(step & 1, 1, "even step for key {i}");
+        }
+    }
+
+    #[test]
+    fn simulated_family_matches_hasher_shortcut() {
+        let fam = SimulatedFamily::new(15, 42);
+        let key = b"simulated member";
+        let hasher = fam.hasher(key);
+        for id in 1..=15u8 {
+            assert_eq!(fam.hash_id(id, key), hasher.g(u64::from(id) - 1));
+        }
+    }
+
+    #[test]
+    fn members_disagree() {
+        let fam = SimulatedFamily::new(7, 1);
+        let key = b"disagreement probe";
+        let vals: std::collections::HashSet<u64> =
+            (1..=7u8).map(|id| fam.hash_id(id, key)).collect();
+        assert_eq!(vals.len(), 7);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SimulatedFamily::new(5, 1);
+        let b = SimulatedFamily::new(5, 2);
+        assert_ne!(a.hash_id(1, b"seed probe"), b.hash_id(1, b"seed probe"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in 1..=255")]
+    fn zero_size_panics() {
+        let _ = SimulatedFamily::new(0, 0);
+    }
+
+    #[test]
+    fn positions_in_range() {
+        let fam = SimulatedFamily::new(9, 3);
+        let h = fam.hasher(b"position probe");
+        for i in 0..9 {
+            assert!(h.position(i, 12345) < 12345);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The global hash-function family `H` of the HABF paper.
+//!
+//! HABF (ICDE 2021) customizes, per positive key, which `k`-subset of a
+//! fixed global family `H = {h1, …, h|H|}` the key is hashed with. Table II
+//! of the paper enumerates the 22 functions of that family; this crate
+//! implements all of them from scratch:
+//!
+//! | Table II entry | Module |
+//! |---|---|
+//! | xxHash | [`xxhash`] (XXH64 + derived 128-bit variant) |
+//! | CityHash | [`city`] (CityHash64) |
+//! | MurmurHash | [`murmur`] (MurmurHash64A) |
+//! | SuperFast, Hsieh | [`superfast`] |
+//! | crc32 | [`crc32`] |
+//! | FNV | [`classic::fnv1a`] |
+//! | BOB | [`lookup3`] (Bob Jenkins' lookup3) |
+//! | OAAT | [`classic::oaat`] (Jenkins one-at-a-time) |
+//! | DEK, PYHash, BRP, TWMX, APHash, NDJB, DJB, BKDR, PJW, JSHash, RSHash, SDBM, ELF | [`classic`] |
+//!
+//! The crate exposes three views of the family used in different parts of
+//! the reproduction:
+//!
+//! * [`HashFamily`] — the ordered registry of distinct functions, addressed
+//!   by 1-based [`HashId`] (`0` is reserved as "empty" for HashExpressor
+//!   cells). HABF's TPJO optimizer draws per-key subsets from here.
+//! * [`DoubleHasher`] — Kirsch–Mitzenmacher double hashing
+//!   (`g_i(x) = h1(x) + i·h2(x)`), used by f-HABF (paper Section III-G) and
+//!   by the seeded Bloom-filter baselines of Fig 14.
+//! * Seeded single functions ([`xxhash::xxh64`], [`city::city64_seeded`],
+//!   [`xxhash::xxh128`]) for `BF(City64)` / `BF(XXH128)`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod city;
+pub mod classic;
+pub mod crc32;
+pub mod double;
+pub mod family;
+pub mod lookup3;
+pub mod murmur;
+pub mod superfast;
+pub mod xxhash;
+
+pub use double::DoubleHasher;
+pub use family::{HashFamily, HashFunction, HashId, HashProvider, EMPTY_HASH_ID, FAMILY_SIZE};

@@ -1,0 +1,178 @@
+//! Bob Jenkins' lookup3 hash — the `BOB` entry of Table II.
+//!
+//! A faithful port of `hashlittle()` / `hashlittle2()` from Jenkins'
+//! public-domain `lookup3.c` (byte-addressed path). The 64-bit family
+//! member concatenates the two 32-bit outputs of `hashlittle2`.
+
+#[inline]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+#[inline]
+#[allow(clippy::many_single_char_names)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+#[inline]
+#[allow(clippy::many_single_char_names)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+#[inline]
+fn le32(k: &[u8], i: usize) -> u32 {
+    u32::from(k[i])
+        | (u32::from(k[i + 1]) << 8)
+        | (u32::from(k[i + 2]) << 16)
+        | (u32::from(k[i + 3]) << 24)
+}
+
+/// `hashlittle2`: returns the pair `(primary, secondary)` of 32-bit hashes.
+#[must_use]
+#[allow(clippy::many_single_char_names)]
+pub fn hashlittle2(key: &[u8], pc: u32, pb: u32) -> (u32, u32) {
+    let mut length = key.len();
+    let init = 0xDEAD_BEEFu32
+        .wrapping_add(key.len() as u32)
+        .wrapping_add(pc);
+    let mut a = init;
+    let mut b = init;
+    let mut c = init.wrapping_add(pb);
+
+    let mut off = 0usize;
+    while length > 12 {
+        a = a.wrapping_add(le32(key, off));
+        b = b.wrapping_add(le32(key, off + 4));
+        c = c.wrapping_add(le32(key, off + 8));
+        mix(&mut a, &mut b, &mut c);
+        length -= 12;
+        off += 12;
+    }
+
+    let k = &key[off..];
+    // The byte-addressed tail switch from lookup3.c (fall-through preserved
+    // by the descending match arms).
+    if length == 0 {
+        return (c, b);
+    }
+    if length >= 12 {
+        c = c.wrapping_add(u32::from(k[11]) << 24);
+    }
+    if length >= 11 {
+        c = c.wrapping_add(u32::from(k[10]) << 16);
+    }
+    if length >= 10 {
+        c = c.wrapping_add(u32::from(k[9]) << 8);
+    }
+    if length >= 9 {
+        c = c.wrapping_add(u32::from(k[8]));
+    }
+    if length >= 8 {
+        b = b.wrapping_add(u32::from(k[7]) << 24);
+    }
+    if length >= 7 {
+        b = b.wrapping_add(u32::from(k[6]) << 16);
+    }
+    if length >= 6 {
+        b = b.wrapping_add(u32::from(k[5]) << 8);
+    }
+    if length >= 5 {
+        b = b.wrapping_add(u32::from(k[4]));
+    }
+    if length >= 4 {
+        a = a.wrapping_add(u32::from(k[3]) << 24);
+    }
+    if length >= 3 {
+        a = a.wrapping_add(u32::from(k[2]) << 16);
+    }
+    if length >= 2 {
+        a = a.wrapping_add(u32::from(k[1]) << 8);
+    }
+    if length >= 1 {
+        a = a.wrapping_add(u32::from(k[0]));
+    }
+    final_mix(&mut a, &mut b, &mut c);
+    (c, b)
+}
+
+/// `hashlittle`: the primary 32-bit hash.
+#[must_use]
+pub fn hashlittle(key: &[u8], initval: u32) -> u32 {
+    hashlittle2(key, initval, 0).0
+}
+
+/// The 64-bit `BOB` family member: both `hashlittle2` words concatenated.
+#[must_use]
+pub fn bob(key: &[u8]) -> u64 {
+    let (c, b) = hashlittle2(key, 0, 0);
+    (u64::from(b) << 32) | u64::from(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published self-test vectors from lookup3.c.
+    #[test]
+    fn lookup3_published_vectors() {
+        assert_eq!(hashlittle(b"", 0), 0xDEAD_BEEF);
+        assert_eq!(hashlittle(b"", 0xDEAD_BEEF), 0xBD5B_7DDE);
+        assert_eq!(hashlittle(b"Four score and seven years ago", 0), 0x1777_0551);
+        assert_eq!(hashlittle(b"Four score and seven years ago", 1), 0xCD62_8161);
+    }
+
+    #[test]
+    fn hashlittle2_secondary_word_differs() {
+        let (c, b) = hashlittle2(b"some key material", 0, 0);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn all_tail_lengths() {
+        // Drive every branch of the tail switch (lengths 0..=25 cover two
+        // blocks plus all remainders).
+        let data: Vec<u8> = (0u8..26).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=25 {
+            assert!(seen.insert(bob(&data[..len])), "length {len} collided");
+        }
+    }
+
+    #[test]
+    fn bob_is_deterministic() {
+        assert_eq!(bob(b"determinism"), bob(b"determinism"));
+        assert_ne!(bob(b"determinism"), bob(b"determinisn"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Statistical quality tests for the hash family.
+//!
+//! These are not smhasher-grade batteries; they verify the properties the
+//! HABF algorithms actually rely on: (1) every family member spreads keys
+//! over Bloom positions without catastrophic bucket skew, (2) members are
+//! pairwise decorrelated enough that swapping one function for another
+//! actually moves keys, and (3) the strong functions avalanche.
+
+use habf_hashing::{HashFamily, HashFunction, HashProvider};
+
+fn probe_keys(n: usize) -> Vec<Vec<u8>> {
+    // A mix of URL-like and YCSB-like keys, matching the paper's datasets.
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                format!("http://host{}.example.com/path/{}?q={}", i % 97, i, i * 7).into_bytes()
+            } else {
+                let mut k = b"user".to_vec();
+                k.extend_from_slice(&(i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes());
+                k
+            }
+        })
+        .collect()
+}
+
+/// Chi-squared statistic of hashing `keys` into `buckets`.
+fn chi_squared(f: HashFunction, keys: &[Vec<u8>], buckets: usize) -> f64 {
+    let mut counts = vec![0usize; buckets];
+    for k in keys {
+        counts[(f.hash(k) % buckets as u64) as usize] += 1;
+    }
+    let expected = keys.len() as f64 / buckets as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn no_family_member_is_catastrophically_skewed() {
+    // The classic hashes are legitimately skewed (the paper leans on that:
+    // Section I notes performance degradation "if the shared hash functions
+    // are not uniformly random or even skewed"), so this test only rejects
+    // *collapse*: a function must still reach most buckets and must not
+    // funnel a large fraction of keys into one bucket.
+    let keys = probe_keys(20_000);
+    let buckets = 128usize;
+    for f in HashFunction::ALL {
+        let mut counts = vec![0usize; buckets];
+        for k in &keys {
+            counts[(f.hash(k) % buckets as u64) as usize] += 1;
+        }
+        let nonempty = counts.iter().filter(|&&c| c > 0).count();
+        let max_load = *counts.iter().max().unwrap();
+        assert!(
+            nonempty >= buckets / 2,
+            "{} reaches only {nonempty}/{buckets} buckets",
+            f.name()
+        );
+        // PJW-style positional hashes legitimately put ~10% of structured
+        // keys into one bucket; only outright collapse (>20%) is a bug.
+        assert!(
+            max_load < keys.len() / 5,
+            "{} funnels {max_load}/{} keys into one bucket",
+            f.name(),
+            keys.len()
+        );
+    }
+}
+
+#[test]
+fn strong_functions_are_near_uniform() {
+    let keys = probe_keys(20_000);
+    let buckets = 128;
+    for f in [
+        HashFunction::XxHash,
+        HashFunction::CityHash,
+        HashFunction::MurmurHash,
+        HashFunction::Bob,
+    ] {
+        let chi = chi_squared(f, &keys, buckets);
+        // 3-sigma band around the chi-squared mean for 127 dof is ~±48.
+        assert!(
+            chi < 127.0 + 80.0,
+            "{} chi-squared {chi:.1} too far from uniform",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn swapping_functions_moves_most_keys() {
+    // The TPJO optimizer relies on h_c(e) != h_u(e) for most keys when it
+    // swaps one family member for another; verify the collision rate on
+    // positions is near 1/m for every ordered pair of the first 7 members
+    // (the default cell-size-4 family).
+    let family = HashFamily::with_size(7);
+    let keys = probe_keys(4_000);
+    let m = 1usize << 16;
+    for a in family.ids() {
+        for b in family.ids() {
+            if a == b {
+                continue;
+            }
+            let same = keys
+                .iter()
+                .filter(|k| family.position(a, k, m) == family.position(b, k, m))
+                .count();
+            let rate = same as f64 / keys.len() as f64;
+            assert!(
+                rate < 0.01,
+                "functions {a} and {b} agree on {:.3}% of positions",
+                rate * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn low_bits_vary_for_all_members() {
+    // Bloom position = hash % m, so the low bits must not be constant.
+    let keys = probe_keys(1_000);
+    for f in HashFunction::ALL {
+        let mut low_bits_seen = std::collections::HashSet::new();
+        for k in &keys {
+            low_bits_seen.insert(f.hash(k) & 0xFF);
+        }
+        assert!(
+            low_bits_seen.len() > 64,
+            "{} low byte only takes {} values",
+            f.name(),
+            low_bits_seen.len()
+        );
+    }
+}
+
+#[test]
+fn distinct_keys_rarely_fully_collide() {
+    // Full 64-bit collisions across 20k keys should essentially never
+    // happen for any member.
+    let keys = probe_keys(20_000);
+    for f in [
+        HashFunction::XxHash,
+        HashFunction::CityHash,
+        HashFunction::MurmurHash,
+        HashFunction::Bob,
+        HashFunction::Fnv,
+        HashFunction::Oaat,
+    ] {
+        let mut seen = std::collections::HashSet::with_capacity(keys.len());
+        let collisions = keys.iter().filter(|k| !seen.insert(f.hash(k))).count();
+        assert_eq!(collisions, 0, "{} collides on the probe corpus", f.name());
+    }
+}

@@ -1,0 +1,225 @@
+//! A sorted immutable run (SSTable stand-in) with an optional filter.
+
+use habf_core::{FHabf, Habf, HabfConfig};
+use habf_filters::{BloomFilter, Filter};
+
+/// The filter attached to one run.
+pub enum RunFilter {
+    /// No filter: every probe pays the block read.
+    None,
+    /// Standard Bloom filter (`k = ln2 · b`).
+    Bloom(BloomFilter),
+    /// Hash Adaptive Bloom Filter with TPJO over the negative hints.
+    Habf(Habf),
+    /// The fast HABF variant.
+    FHabf(FHabf),
+}
+
+impl RunFilter {
+    /// Tests the filter; `None` always passes (no pruning).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        match self {
+            RunFilter::None => true,
+            RunFilter::Bloom(f) => f.contains(key),
+            RunFilter::Habf(f) => f.contains(key),
+            RunFilter::FHabf(f) => f.contains(key),
+        }
+    }
+
+    /// Filter memory in bits (0 for `None`).
+    #[must_use]
+    pub fn space_bits(&self) -> usize {
+        match self {
+            RunFilter::None => 0,
+            RunFilter::Bloom(f) => f.space_bits(),
+            RunFilter::Habf(f) => f.space_bits(),
+            RunFilter::FHabf(f) => f.space_bits(),
+        }
+    }
+}
+
+/// An immutable sorted run of key-value entries.
+pub struct Run {
+    /// Entries sorted by key, duplicate-free.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    filter: RunFilter,
+}
+
+impl Run {
+    /// Builds a run from sorted, deduplicated entries and a filter.
+    ///
+    /// # Panics
+    /// Panics (debug) if entries are not strictly sorted.
+    #[must_use]
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>, filter: RunFilter) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "run entries must be strictly sorted"
+        );
+        Self { entries, filter }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the run holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The filter guarding this run.
+    #[must_use]
+    pub fn filter(&self) -> &RunFilter {
+        &self.filter
+    }
+
+    /// The sorted entries (used by compaction).
+    #[must_use]
+    pub fn entries(&self) -> &[(Vec<u8>, Vec<u8>)] {
+        &self.entries
+    }
+
+    /// Consumes the run, yielding its entries.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.entries
+    }
+
+    /// Point lookup inside the run (binary search — the "block read").
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Builds the configured filter for `keys`, excluding hints that are
+    /// actually present in the run (a hint that became a member must not be
+    /// treated as negative).
+    #[must_use]
+    pub fn build_filter(
+        entries: &[(Vec<u8>, Vec<u8>)],
+        kind: &crate::FilterKind,
+        hints: &[(Vec<u8>, f64)],
+    ) -> RunFilter {
+        use crate::FilterKind;
+        if entries.is_empty() {
+            return RunFilter::None;
+        }
+        let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        match kind {
+            FilterKind::None => RunFilter::None,
+            FilterKind::Bloom { bits_per_key } => {
+                let m = ((keys.len() as f64) * bits_per_key) as usize;
+                RunFilter::Bloom(BloomFilter::build(&keys, m.max(64)))
+            }
+            FilterKind::Habf { bits_per_key } | FilterKind::FHabf { bits_per_key } => {
+                let total = (((keys.len() as f64) * bits_per_key) as usize).max(256);
+                // Cap the hint list relative to the run size: the
+                // HashExpressor stores one chain per optimized key, and its
+                // accidental-chain FPR grows with occupancy (paper §III-F,
+                // F_h ≤ t/ω), so feeding a small run an oversized hint list
+                // degrades instead of helping. Hints arrive cost-sorted, so
+                // the cap keeps the costliest.
+                let negatives: Vec<(&[u8], f64)> = hints
+                    .iter()
+                    .filter(|(k, _)| {
+                        entries
+                            .binary_search_by(|(ek, _)| ek.as_slice().cmp(k.as_slice()))
+                            .is_err()
+                    })
+                    .take(2 * entries.len())
+                    .map(|(k, c)| (k.as_slice(), *c))
+                    .collect();
+                let cfg = HabfConfig::with_total_bits(total);
+                if matches!(kind, FilterKind::Habf { .. }) {
+                    RunFilter::Habf(Habf::build(&keys, &negatives, &cfg))
+                } else {
+                    RunFilter::FHabf(FHabf::build(&keys, &negatives, &cfg))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("key{i:06}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn get_finds_members_and_rejects_others() {
+        let run = Run::new(entries(100), RunFilter::None);
+        assert_eq!(run.get(b"key000042"), Some(b"val42".as_slice()));
+        assert_eq!(run.get(b"key000100"), None);
+        assert_eq!(run.len(), 100);
+    }
+
+    #[test]
+    fn bloom_filter_run_never_drops_members() {
+        let es = entries(500);
+        let filter = Run::build_filter(&es, &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
+        let run = Run::new(es, filter);
+        for i in 0..500 {
+            let key = format!("key{i:06}").into_bytes();
+            assert!(run.filter().may_contain(&key), "member pruned");
+            assert!(run.get(&key).is_some());
+        }
+    }
+
+    #[test]
+    fn habf_filter_uses_hints() {
+        let es = entries(400);
+        let hints: Vec<(Vec<u8>, f64)> = (0..400)
+            .map(|i| (format!("miss{i:06}").into_bytes(), 10.0))
+            .collect();
+        let filter =
+            Run::build_filter(&es, &crate::FilterKind::Habf { bits_per_key: 10.0 }, &hints);
+        let run = Run::new(es, filter);
+        for i in 0..400 {
+            let key = format!("key{i:06}").into_bytes();
+            assert!(run.filter().may_contain(&key));
+        }
+        // The hinted misses should be pruned almost always.
+        let pruned = hints
+            .iter()
+            .filter(|(k, _)| !run.filter().may_contain(k))
+            .count();
+        assert!(pruned > 300, "only {pruned}/400 hinted misses pruned");
+    }
+
+    #[test]
+    fn hints_that_are_members_are_ignored() {
+        let es = entries(100);
+        // Hint a key that IS in the run: must not break zero-FNR.
+        let hints = vec![(b"key000050".to_vec(), 100.0)];
+        let filter =
+            Run::build_filter(&es, &crate::FilterKind::Habf { bits_per_key: 12.0 }, &hints);
+        let run = Run::new(es, filter);
+        assert!(run.filter().may_contain(b"key000050"));
+    }
+
+    #[test]
+    fn empty_run_gets_no_filter() {
+        let filter =
+            Run::build_filter(&[], &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
+        assert!(matches!(filter, RunFilter::None));
+        assert_eq!(filter.space_bits(), 0);
+    }
+}

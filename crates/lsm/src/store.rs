@@ -1,0 +1,384 @@
+//! The leveled store: memtable, flush, compaction, and I/O accounting.
+
+use crate::run::Run;
+use std::collections::BTreeMap;
+
+/// Which filter each run carries.
+#[derive(Clone, Debug)]
+pub enum FilterKind {
+    /// No filters — every lookup probes every overlapping run.
+    None,
+    /// Standard Bloom filter with the given space budget.
+    Bloom {
+        /// Filter bits per stored key.
+        bits_per_key: f64,
+    },
+    /// HABF built with the store's negative hints.
+    Habf {
+        /// Filter bits per stored key (same budget as the Bloom baseline).
+        bits_per_key: f64,
+    },
+    /// f-HABF built with the store's negative hints.
+    FHabf {
+        /// Filter bits per stored key.
+        bits_per_key: f64,
+    },
+}
+
+/// Store configuration.
+#[derive(Clone, Debug)]
+pub struct LsmConfig {
+    /// Memtable entries before a flush to level 0.
+    pub memtable_capacity: usize,
+    /// Runs a level may hold before compacting into the next level.
+    pub level_fanout: usize,
+    /// The per-run filter policy.
+    pub filter: FilterKind,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self {
+            memtable_capacity: 4096,
+            level_fanout: 4,
+            filter: FilterKind::Bloom { bits_per_key: 10.0 },
+        }
+    }
+}
+
+/// Simulated I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IoStats {
+    /// Run probes that the filter did not prune (each costs a block read).
+    pub block_reads: u64,
+    /// Block reads that found nothing — wasted I/O from false positives.
+    pub wasted_reads: u64,
+    /// Run probes pruned by a filter (saved block reads).
+    pub pruned_probes: u64,
+    /// Level-weighted read cost: each block read at level `L` costs `L+1`
+    /// units (deeper levels are colder — the ElasticBF cost model).
+    pub weighted_cost: u64,
+    /// Level-weighted wasted cost (the quantity HABF minimizes).
+    pub wasted_weighted_cost: u64,
+}
+
+/// The LSM store.
+pub struct Lsm {
+    config: LsmConfig,
+    memtable: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// `levels[0]` is the youngest level; within a level, runs are ordered
+    /// oldest → newest and probed newest-first.
+    levels: Vec<Vec<Run>>,
+    /// Cost-annotated keys known to be frequently looked up but absent.
+    negative_hints: Vec<(Vec<u8>, f64)>,
+    io: IoStats,
+}
+
+impl Lsm {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: LsmConfig) -> Self {
+        assert!(config.memtable_capacity > 0, "memtable capacity must be > 0");
+        assert!(config.level_fanout > 0, "level fanout must be > 0");
+        Self {
+            config,
+            memtable: BTreeMap::new(),
+            levels: Vec::new(),
+            negative_hints: Vec::new(),
+            io: IoStats::default(),
+        }
+    }
+
+    /// Registers the cost-annotated negative lookup hints used when
+    /// building HABF run filters (e.g. mined from a query log of misses).
+    /// Hints are sorted by descending cost and deduplicated.
+    pub fn set_negative_hints(&mut self, mut hints: Vec<(Vec<u8>, f64)>) {
+        hints.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN cost"));
+        hints.dedup_by(|a, b| a.0 == b.0);
+        self.negative_hints = hints;
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.memtable.insert(key, value);
+        if self.memtable.len() >= self.config.memtable_capacity {
+            self.flush();
+        }
+    }
+
+    /// Flushes the memtable into a new level-0 run (no-op when empty).
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut self.memtable)
+            .into_iter()
+            .collect();
+        let hints = self.hints_with_siblings(entries.len());
+        let filter = Run::build_filter(&entries, &self.config.filter, &hints);
+        self.push_run(0, Run::new(entries, filter));
+    }
+
+    /// Assembles the negative hints for a new run: the operator-provided
+    /// cost-annotated misses first (sorted by descending cost), then the
+    /// keys resident in sibling runs with unit cost — a point lookup for a
+    /// key stored in another run is the most frequent "negative" a run's
+    /// filter sees, and the store knows those keys exactly at build time.
+    fn hints_with_siblings(&self, run_len: usize) -> Vec<(Vec<u8>, f64)> {
+        let cap = 2 * run_len;
+        let mut hints: Vec<(Vec<u8>, f64)> = Vec::with_capacity(cap.min(16_384));
+        hints.extend(self.negative_hints.iter().take(cap).cloned());
+        if hints.len() < cap {
+            for runs in &self.levels {
+                for run in runs {
+                    for (k, _) in run.entries() {
+                        if hints.len() >= cap {
+                            return hints;
+                        }
+                        hints.push((k.clone(), 1.0));
+                    }
+                }
+            }
+        }
+        hints
+    }
+
+    fn push_run(&mut self, level: usize, run: Run) {
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, Vec::new);
+        }
+        self.levels[level].push(run);
+        if self.levels[level].len() > self.config.level_fanout {
+            self.compact(level);
+        }
+    }
+
+    /// Merges all runs of `level` into one run on `level + 1`
+    /// (newest-wins on duplicate keys).
+    fn compact(&mut self, level: usize) {
+        let runs = std::mem::take(&mut self.levels[level]);
+        // Newest runs take precedence: insert oldest first, overwrite later.
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for run in runs {
+            for (k, v) in run.into_entries() {
+                merged.insert(k, v);
+            }
+        }
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
+        let hints = self.hints_with_siblings(entries.len());
+        let filter = Run::build_filter(&entries, &self.config.filter, &hints);
+        self.push_run(level + 1, Run::new(entries, filter));
+    }
+
+    /// Point lookup. Probes the memtable, then every run from the youngest
+    /// level down, newest run first; filters prune run probes, and every
+    /// unpruned probe is charged as a (level-weighted) block read.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        if let Some(v) = self.memtable.get(key) {
+            return Some(v.clone());
+        }
+        for (level, runs) in self.levels.iter().enumerate() {
+            let level_cost = level as u64 + 1;
+            for run in runs.iter().rev() {
+                if !run.filter().may_contain(key) {
+                    self.io.pruned_probes += 1;
+                    continue;
+                }
+                self.io.block_reads += 1;
+                self.io.weighted_cost += level_cost;
+                match run.get(key) {
+                    Some(v) => return Some(v.to_vec()),
+                    None => {
+                        self.io.wasted_reads += 1;
+                        self.io.wasted_weighted_cost += level_cost;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Simulated I/O counters accumulated so far.
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+
+    /// Resets the I/O counters (e.g. after a warm-up phase).
+    pub fn reset_io_stats(&mut self) {
+        self.io = IoStats::default();
+    }
+
+    /// Number of levels currently holding runs.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total entries across memtable and all runs (duplicates included).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.memtable.len()
+            + self
+                .levels
+                .iter()
+                .flat_map(|runs| runs.iter().map(Run::len))
+                .sum::<usize>()
+    }
+
+    /// Total filter memory across all runs, in bits.
+    #[must_use]
+    pub fn filter_bits(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|runs| runs.iter().map(|r| r.filter().space_bits()))
+            .sum()
+    }
+
+    /// Iterates over `(level, run)` pairs (diagnostics).
+    pub fn runs(&self) -> impl Iterator<Item = (usize, &Run)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .flat_map(|(l, runs)| runs.iter().map(move |r| (l, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(filter: FilterKind) -> Lsm {
+        Lsm::new(LsmConfig {
+            memtable_capacity: 128,
+            level_fanout: 3,
+            filter,
+        })
+    }
+
+    fn key(i: usize) -> Vec<u8> {
+        format!("user{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_roundtrip_through_flushes() {
+        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        for i in 0..1_000 {
+            db.put(key(i), format!("v{i}").into_bytes());
+        }
+        db.flush();
+        for i in 0..1_000 {
+            assert_eq!(db.get(&key(i)), Some(format!("v{i}").into_bytes()), "key {i}");
+        }
+        assert!(db.depth() >= 1);
+    }
+
+    #[test]
+    fn newest_value_wins_after_compaction() {
+        let mut db = store(FilterKind::None);
+        for round in 0..5 {
+            for i in 0..300 {
+                db.put(key(i), format!("r{round}v{i}").into_bytes());
+            }
+        }
+        db.flush();
+        for i in 0..300 {
+            assert_eq!(db.get(&key(i)), Some(format!("r4v{i}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn filters_prune_misses() {
+        let mut with = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        let mut without = store(FilterKind::None);
+        for i in 0..2_000 {
+            with.put(key(i), b"v".to_vec());
+            without.put(key(i), b"v".to_vec());
+        }
+        with.flush();
+        without.flush();
+        for i in 10_000..12_000 {
+            assert_eq!(with.get(&key(i)), None);
+            assert_eq!(without.get(&key(i)), None);
+        }
+        let a = with.io_stats();
+        let b = without.io_stats();
+        assert!(a.pruned_probes > 0, "filters never pruned");
+        assert!(
+            a.wasted_reads < b.wasted_reads / 4,
+            "bloom {} vs none {}",
+            a.wasted_reads,
+            b.wasted_reads
+        );
+    }
+
+    #[test]
+    fn habf_hints_cut_wasted_reads_vs_bloom() {
+        // Run sizes must be large enough that the HashExpressor share of
+        // the per-run budget holds the optimized chains (the paper's
+        // filters are MB-scale; 1k-entry runs are the small end of
+        // realistic).
+        let misses: Vec<(Vec<u8>, f64)> =
+            (50_000..52_000).map(|i| (key(i), 5.0)).collect();
+        let build = |kind: FilterKind| -> Lsm {
+            let mut db = Lsm::new(LsmConfig {
+                memtable_capacity: 1024,
+                level_fanout: 3,
+                filter: kind,
+            });
+            db.set_negative_hints(misses.clone());
+            for i in 0..3_000 {
+                db.put(key(i), b"v".to_vec());
+            }
+            db.flush();
+            db.reset_io_stats();
+            db
+        };
+        // Equal filter budget for both.
+        let mut bloom_db = build(FilterKind::Bloom { bits_per_key: 12.0 });
+        let mut habf_db = build(FilterKind::Habf { bits_per_key: 12.0 });
+        for (k, _) in &misses {
+            let _ = bloom_db.get(k);
+            let _ = habf_db.get(k);
+        }
+        let bloom_wasted = bloom_db.io_stats().wasted_reads;
+        let habf_wasted = habf_db.io_stats().wasted_reads;
+        assert!(
+            habf_wasted <= bloom_wasted,
+            "HABF wasted {habf_wasted} > Bloom wasted {bloom_wasted}"
+        );
+    }
+
+    #[test]
+    fn weighted_cost_grows_with_depth() {
+        let mut db = store(FilterKind::None);
+        for i in 0..2_000 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        assert!(db.depth() >= 2, "compaction never ran");
+        db.reset_io_stats();
+        let _ = db.get(&key(999_999)); // total miss probes every level
+        let io = db.io_stats();
+        assert!(io.weighted_cost >= io.block_reads, "weights not applied");
+    }
+
+    #[test]
+    fn filter_bits_reported() {
+        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        for i in 0..500 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        assert!(db.filter_bits() > 0);
+        assert!(db.entry_count() >= 500);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut db = store(FilterKind::None);
+        db.flush();
+        assert_eq!(db.depth(), 0);
+        assert_eq!(db.get(b"nothing"), None);
+    }
+}

@@ -1,0 +1,232 @@
+//! A compact bit vector.
+//!
+//! All filters in this workspace store their state in a [`BitVec`]. The
+//! implementation keeps bits in `u64` words, supports clearing (needed by the
+//! TPJO optimizer, which resets Bloom bits when a positive key is re-hashed
+//! away from them) and exposes the exact heap footprint for the space
+//! accounting used in the paper's head-to-head comparisons.
+
+/// A fixed-length vector of bits backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    /// Number of addressable bits; may be smaller than `words.len() * 64`.
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector with `len` bits, all zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let words = vec![0u64; len.div_ceil(64)];
+        Self { words, len }
+    }
+
+    /// Number of addressable bits.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector has zero bits.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the value of bit `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets bit `idx` to one. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let old = *word & mask != 0;
+        *word |= mask;
+        old
+    }
+
+    /// Clears bit `idx` to zero. Returns the previous value.
+    #[inline]
+    pub fn clear(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let old = *word & mask != 0;
+        *word &= !mask;
+        old
+    }
+
+    /// Writes `value` into bit `idx`.
+    #[inline]
+    pub fn assign(&mut self, idx: usize, value: bool) {
+        if value {
+            self.set(idx);
+        } else {
+            self.clear(idx);
+        }
+    }
+
+    /// Sets all bits to zero, keeping the length.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of one-bits in the vector.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits that are one (`0.0` for an empty vector).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Exact heap footprint of the bit storage in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * core::mem::size_of::<u64>()
+    }
+
+    /// The backing words (little-endian bit order within each word) — used
+    /// by persistence.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a bit vector from backing words and a bit length.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        Self { words, len }
+    }
+
+    /// Iterates over the indices of all set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * 64;
+            let mut w = w;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let bv = BitVec::new(130);
+        assert_eq!(bv.len(), 130);
+        assert!(!bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        for i in 0..130 {
+            assert!(!bv.get(i));
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bv = BitVec::new(200);
+        assert!(!bv.set(63));
+        assert!(!bv.set(64));
+        assert!(!bv.set(199));
+        assert!(bv.get(63));
+        assert!(bv.get(64));
+        assert!(bv.get(199));
+        assert_eq!(bv.count_ones(), 3);
+        // Setting again reports the old value.
+        assert!(bv.set(63));
+        assert_eq!(bv.count_ones(), 3);
+        assert!(bv.clear(63));
+        assert!(!bv.get(63));
+        assert!(!bv.clear(63));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    fn assign_writes_both_values() {
+        let mut bv = BitVec::new(10);
+        bv.assign(3, true);
+        assert!(bv.get(3));
+        bv.assign(3, false);
+        assert!(!bv.get(3));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut bv = BitVec::new(100);
+        for i in (0..100).step_by(7) {
+            bv.set(i);
+        }
+        assert!(bv.count_ones() > 0);
+        bv.reset();
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn iter_ones_matches_gets() {
+        let mut bv = BitVec::new(300);
+        let idxs = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &i in &idxs {
+            bv.set(i);
+        }
+        let collected: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(collected, idxs);
+    }
+
+    #[test]
+    fn fill_ratio_empty_and_full() {
+        assert_eq!(BitVec::new(0).fill_ratio(), 0.0);
+        let mut bv = BitVec::new(64);
+        for i in 0..64 {
+            bv.set(i);
+        }
+        assert!((bv.fill_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bv = BitVec::new(10);
+        let _ = bv.get(10);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_len() {
+        let small = BitVec::new(64);
+        let large = BitVec::new(64 * 1000);
+        assert!(large.heap_bytes() >= small.heap_bytes() * 500);
+    }
+}

@@ -1,0 +1,243 @@
+//! A packed array of fixed-width cells.
+//!
+//! The HashExpressor of the paper stores `ω` cells of `α` bits each
+//! (Section III-C: cell = ⟨endbit, hashindex⟩ with α ∈ {3,4,5}), and the Xor
+//! filter stores `⌈1.23·n⌉` fingerprints of `L` bits. Both need sub-byte
+//! packing to honour the paper's space accounting, which this module
+//! provides. Cells are stored little-endian within a `u64`-word array and may
+//! straddle a word boundary.
+
+/// A fixed-length array of `len` cells, each `width` bits wide (1..=32).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedCells {
+    words: Vec<u64>,
+    width: u32,
+    len: usize,
+}
+
+impl PackedCells {
+    /// Creates `len` zeroed cells of `width` bits each.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or greater than 32.
+    #[must_use]
+    pub fn new(len: usize, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "cell width {width} not in 1..=32");
+        let total_bits = len * width as usize;
+        Self {
+            words: vec![0u64; total_bits.div_ceil(64)],
+            width,
+            len,
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when there are no cells.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cell width in bits.
+    #[must_use]
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Maximum storable value, `2^width - 1`.
+    #[must_use]
+    #[inline]
+    pub fn max_value(&self) -> u32 {
+        if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        }
+    }
+
+    /// Reads cell `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        assert!(idx < self.len, "cell index {idx} out of range {}", self.len);
+        let bit = idx * self.width as usize;
+        let word = bit / 64;
+        let off = (bit % 64) as u32;
+        let mask = (self.max_value() as u64) << off;
+        let mut v = (self.words[word] & mask) >> off;
+        let taken = 64 - off;
+        if taken < self.width {
+            // The cell straddles into the next word.
+            let rest = self.width - taken;
+            let lo_mask = (1u64 << rest) - 1;
+            v |= (self.words[word + 1] & lo_mask) << taken;
+        }
+        v as u32
+    }
+
+    /// Writes `value` into cell `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len()` or `value > max_value()`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: u32) {
+        assert!(idx < self.len, "cell index {idx} out of range {}", self.len);
+        assert!(
+            value <= self.max_value(),
+            "value {value} exceeds cell capacity {}",
+            self.max_value()
+        );
+        let bit = idx * self.width as usize;
+        let word = bit / 64;
+        let off = (bit % 64) as u32;
+        let mask = (self.max_value() as u64) << off;
+        self.words[word] = (self.words[word] & !mask) | ((value as u64) << off);
+        let taken = 64 - off;
+        if taken < self.width {
+            let rest = self.width - taken;
+            let lo_mask = (1u64 << rest) - 1;
+            self.words[word + 1] =
+                (self.words[word + 1] & !lo_mask) | ((value as u64) >> taken);
+        }
+    }
+
+    /// Sets all cells to zero, keeping the length.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of cells with a non-zero value.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i) != 0).count()
+    }
+
+    /// Exact heap footprint of the cell storage in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * core::mem::size_of::<u64>()
+    }
+
+    /// The backing words — used by persistence.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a cell array from backing words.
+    ///
+    /// # Panics
+    /// Panics if `width` is out of range or `words` has the wrong length.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "cell width {width} not in 1..=32");
+        assert_eq!(
+            words.len(),
+            (len * width as usize).div_ceil(64),
+            "word count mismatch"
+        );
+        Self { words, width, len }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_creation() {
+        let cells = PackedCells::new(100, 5);
+        for i in 0..100 {
+            assert_eq!(cells.get(i), 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for width in [1u32, 3, 4, 5, 7, 8, 13, 16, 31, 32] {
+            let mut cells = PackedCells::new(77, width);
+            let max = cells.max_value();
+            for i in 0..77 {
+                let v = (i as u64 * 2654435761 % (max as u64 + 1)) as u32;
+                cells.set(i, v);
+            }
+            for i in 0..77 {
+                let v = (i as u64 * 2654435761 % (max as u64 + 1)) as u32;
+                assert_eq!(cells.get(i), v, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_unaffected_by_write() {
+        let mut cells = PackedCells::new(64, 5);
+        for i in 0..64 {
+            cells.set(i, (i % 32) as u32);
+        }
+        cells.set(13, 31);
+        for i in 0..64 {
+            let expect = if i == 13 { 31 } else { (i % 32) as u32 };
+            assert_eq!(cells.get(i), expect);
+        }
+    }
+
+    #[test]
+    fn straddling_boundary_cells() {
+        // width 5 => cell 12 occupies bits 60..65, straddling words 0 and 1.
+        let mut cells = PackedCells::new(16, 5);
+        cells.set(12, 0b10101);
+        assert_eq!(cells.get(12), 0b10101);
+        assert_eq!(cells.get(11), 0);
+        assert_eq!(cells.get(13), 0);
+        cells.set(12, 0);
+        assert_eq!(cells.get(12), 0);
+    }
+
+    #[test]
+    fn count_nonzero_counts() {
+        let mut cells = PackedCells::new(10, 4);
+        assert_eq!(cells.count_nonzero(), 0);
+        cells.set(1, 3);
+        cells.set(9, 15);
+        assert_eq!(cells.count_nonzero(), 2);
+        cells.set(1, 0);
+        assert_eq!(cells.count_nonzero(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell capacity")]
+    fn overflow_value_panics() {
+        let mut cells = PackedCells::new(4, 3);
+        cells.set(0, 8);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut cells = PackedCells::new(20, 6);
+        for i in 0..20 {
+            cells.set(i, 33);
+        }
+        cells.reset();
+        assert_eq!(cells.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn width_32_full_range() {
+        let mut cells = PackedCells::new(5, 32);
+        cells.set(0, u32::MAX);
+        cells.set(4, 123456789);
+        assert_eq!(cells.get(0), u32::MAX);
+        assert_eq!(cells.get(4), 123456789);
+    }
+}

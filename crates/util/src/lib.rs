@@ -1,0 +1,30 @@
+//! Shared low-level utilities for the HABF reproduction.
+//!
+//! This crate provides the storage and measurement substrate that every other
+//! crate in the workspace builds on:
+//!
+//! * [`BitVec`] — a compact, heap-allocated bit vector used as the underlying
+//!   storage of every filter (Bloom, HABF, Weighted Bloom, …).
+//! * [`PackedCells`] — a fixed-width packed cell array used by the
+//!   HashExpressor (cells of 3–5 bits) and the Xor filter (fingerprints).
+//! * [`rng`] — small, fast, deterministic pseudo-random generators
+//!   (SplitMix64 / xoshiro256**) so that every experiment in the repository is
+//!   reproducible from a seed without external dependencies.
+//! * [`alloc`] — a tracking global allocator used by the Fig 15 benchmark to
+//!   measure peak construction memory.
+//! * [`stats`] — mean/stddev/percentile helpers and a monotonic timer used by
+//!   the benchmark harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod alloc;
+pub mod bitvec;
+pub mod cells;
+pub mod rng;
+pub mod stats;
+
+pub use bitvec::BitVec;
+pub use cells::PackedCells;
+pub use rng::SplitMix64;
+pub use rng::Xoshiro256;

@@ -1,0 +1,148 @@
+//! Statistics and timing helpers for the benchmark harness.
+//!
+//! The paper reports per-key construction/query time in nanoseconds and
+//! averages weighted FPR over ten shuffled cost assignments (Section V-C).
+//! These helpers keep that bookkeeping in one place.
+
+use std::time::Instant;
+
+/// Arithmetic mean of a sample; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n-1 denominator); `0.0` for fewer than two points.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Geometric mean; `0.0` for an empty slice. Non-positive inputs are
+/// clamped to a tiny epsilon so that zero-cost keys cannot poison the mean
+/// (mirrors how the Weighted Bloom filter paper normalizes weights).
+#[must_use]
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is out of range.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Times a closure, returning `(result, elapsed_nanoseconds)`.
+pub fn time_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = Instant::now();
+    let out = f();
+    let ns = start.elapsed().as_nanos() as u64;
+    (out, ns)
+}
+
+/// Times a closure and divides by an item count, returning
+/// `(result, ns_per_item)`. `items == 0` yields `0.0`.
+pub fn time_per_item<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
+    let (out, ns) = time_ns(f);
+    let per = if items == 0 { 0.0 } else { ns as f64 / items as f64 };
+    (out, per)
+}
+
+/// Pretty-prints a byte count as B/KB/MB/GB (powers of 1024).
+#[must_use]
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        let g = geometric_mean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn time_helpers_report_positive() {
+        let (v, ns) = time_ns(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(ns > 0);
+        let (_, per) = time_per_item(100, || std::hint::black_box(3 * 7));
+        assert!(per >= 0.0);
+        let (_, zero) = time_per_item(0, || ());
+        assert_eq!(zero, 0.0);
+    }
+
+    #[test]
+    fn human_bytes_scales() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MB");
+        assert!(human_bytes(5 * 1024 * 1024 * 1024).starts_with("5.00 GB"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the storage primitives.
+
+use habf_util::{BitVec, PackedCells, Xoshiro256};
+use proptest::prelude::*;
+
+proptest! {
+    /// A BitVec behaves exactly like a Vec<bool> model under an arbitrary
+    /// sequence of set/clear/assign operations.
+    #[test]
+    fn bitvec_matches_bool_vec_model(
+        len in 1usize..2048,
+        ops in prop::collection::vec((0usize..2048, 0u8..3), 0..300),
+    ) {
+        let mut bv = BitVec::new(len);
+        let mut model = vec![false; len];
+        for (idx, op) in ops {
+            let idx = idx % len;
+            match op {
+                0 => { bv.set(idx); model[idx] = true; }
+                1 => { bv.clear(idx); model[idx] = false; }
+                _ => { let v = idx % 2 == 0; bv.assign(idx, v); model[idx] = v; }
+            }
+        }
+        for (i, &expect) in model.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), expect);
+        }
+        prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        let model_ones: Vec<usize> =
+            model.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(ones, model_ones);
+    }
+
+    /// PackedCells round-trips arbitrary writes for every width, matching a
+    /// Vec<u32> model.
+    #[test]
+    fn packed_cells_match_u32_model(
+        len in 1usize..512,
+        width in 1u32..=32,
+        writes in prop::collection::vec((0usize..512, 0u64..u64::from(u32::MAX)), 0..200),
+    ) {
+        let mut cells = PackedCells::new(len, width);
+        let mut model = vec![0u32; len];
+        let max = cells.max_value() as u64;
+        for (idx, raw) in writes {
+            let idx = idx % len;
+            let v = (raw % (max + 1)) as u32;
+            cells.set(idx, v);
+            model[idx] = v;
+        }
+        for (i, &expect) in model.iter().enumerate() {
+            prop_assert_eq!(cells.get(i), expect);
+        }
+        prop_assert_eq!(cells.count_nonzero(), model.iter().filter(|&&v| v != 0).count());
+    }
+
+    /// Shuffling never loses or duplicates elements.
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..200)) {
+        let mut rng = Xoshiro256::new(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    /// distinct_indices draws n distinct in-bound values for any feasible request.
+    #[test]
+    fn distinct_indices_contract(seed in any::<u64>(), bound in 1usize..300, frac in 0.0f64..=1.0) {
+        let n = ((bound as f64) * frac) as usize;
+        let mut rng = Xoshiro256::new(seed);
+        let idxs = rng.distinct_indices(n, bound);
+        prop_assert_eq!(idxs.len(), n);
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n);
+        prop_assert!(idxs.iter().all(|&i| i < bound));
+    }
+}

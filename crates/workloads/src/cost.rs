@@ -1,0 +1,105 @@
+//! Cost assignment: attaching Zipf costs to negative keys (paper §V-C).
+//!
+//! The paper averages the weighted FPR over ten independent shuffles of
+//! the same Zipf cost vector. [`CostAssignment`] packages one such
+//! experiment: a skewness, a number of shuffles, and a base seed; iterating
+//! yields one cost vector per shuffle, each a fresh random permutation of
+//! the rank costs.
+
+use crate::zipf::zipf_costs;
+use habf_util::Xoshiro256;
+
+/// A reproducible family of shuffled Zipf cost vectors.
+#[derive(Clone, Debug)]
+pub struct CostAssignment {
+    /// Number of keys costs are generated for.
+    pub n: usize,
+    /// Zipf skewness `s` (0 = uniform).
+    pub skewness: f64,
+    /// Number of shuffles to average over (paper: 10).
+    pub shuffles: usize,
+    /// Base seed; shuffle `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl CostAssignment {
+    /// The paper's setup: 10 shuffles.
+    #[must_use]
+    pub fn new(n: usize, skewness: f64, seed: u64) -> Self {
+        Self {
+            n,
+            skewness,
+            shuffles: 10,
+            seed,
+        }
+    }
+
+    /// Uniform costs (skewness 0) need no averaging.
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            n,
+            skewness: 0.0,
+            shuffles: 1,
+            seed: 0,
+        }
+    }
+
+    /// The cost vector of shuffle `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= shuffles`.
+    #[must_use]
+    pub fn shuffle(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.shuffles, "shuffle {i} out of {}", self.shuffles);
+        let mut rng = Xoshiro256::new(self.seed.wrapping_add(i as u64));
+        zipf_costs(self.n, self.skewness, &mut rng)
+    }
+
+    /// Iterates over all shuffles.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<f64>> + '_ {
+        (0..self.shuffles).map(|i| self.shuffle(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffles_are_permutations_of_each_other() {
+        let ca = CostAssignment::new(100, 1.0, 7);
+        let mut a = ca.shuffle(0);
+        let mut b = ca.shuffle(1);
+        assert_ne!(a, b, "two shuffles identical");
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b, "shuffles are not permutations of the same costs");
+    }
+
+    #[test]
+    fn uniform_assignment_is_all_ones() {
+        let ca = CostAssignment::uniform(10);
+        assert_eq!(ca.shuffles, 1);
+        assert!(ca.shuffle(0).iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn iter_yields_all_shuffles() {
+        let ca = CostAssignment::new(20, 2.0, 3);
+        assert_eq!(ca.iter().count(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ca = CostAssignment::new(50, 1.5, 11);
+        assert_eq!(ca.shuffle(3), ca.shuffle(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_shuffle_panics() {
+        let ca = CostAssignment::new(10, 1.0, 1);
+        let _ = ca.shuffle(10);
+    }
+}

@@ -1,0 +1,101 @@
+//! Dataset plumbing shared by the generators and the benchmark harness.
+
+/// A labelled membership-testing dataset: disjoint positive (`S`) and
+/// negative (`O`) key sets.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Display name ("Shalla", "YCSB", …).
+    pub name: String,
+    /// The positive set `S` (keys the filter must accept).
+    pub positives: Vec<Vec<u8>>,
+    /// The negative set `O` (keys whose misidentification costs).
+    pub negatives: Vec<Vec<u8>>,
+}
+
+impl Dataset {
+    /// Total number of keys, `|S| + |O|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positives.len() + self.negatives.len()
+    }
+
+    /// `true` when both sets are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positives.is_empty() && self.negatives.is_empty()
+    }
+
+    /// Pairs the negatives with a cost vector (`costs.len()` must equal
+    /// `negatives.len()`), borrowing the keys.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch.
+    #[must_use]
+    pub fn negatives_with_costs<'a>(&'a self, costs: &[f64]) -> Vec<(&'a [u8], f64)> {
+        assert_eq!(
+            costs.len(),
+            self.negatives.len(),
+            "cost vector does not match the negative set"
+        );
+        self.negatives
+            .iter()
+            .zip(costs.iter())
+            .map(|(k, &c)| (k.as_slice(), c))
+            .collect()
+    }
+
+    /// Sanity check used by tests and the harness: the two sets must be
+    /// disjoint and duplicate-free (the paper's datasets are).
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.len());
+        self.positives
+            .iter()
+            .chain(self.negatives.iter())
+            .all(|k| seen.insert(k.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            positives: vec![b"a".to_vec(), b"b".to_vec()],
+            negatives: vec![b"c".to_vec()],
+        }
+    }
+
+    #[test]
+    fn len_and_wellformed() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(d.is_well_formed());
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let mut d = tiny();
+        d.negatives.push(b"a".to_vec());
+        assert!(!d.is_well_formed());
+    }
+
+    #[test]
+    fn costs_pairing() {
+        let d = tiny();
+        let paired = d.negatives_with_costs(&[2.5]);
+        assert_eq!(paired.len(), 1);
+        assert_eq!(paired[0].0, b"c");
+        assert_eq!(paired[0].1, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn cost_length_mismatch_panics() {
+        let d = tiny();
+        let _ = d.negatives_with_costs(&[1.0, 2.0]);
+    }
+}

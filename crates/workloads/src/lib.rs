@@ -1,0 +1,34 @@
+//! Workload substrate for the HABF reproduction (paper Section V).
+//!
+//! The paper evaluates on two datasets and a family of cost distributions:
+//!
+//! * **Shalla's Blacklists** — 2.927M URLs "with evident characteristics"
+//!   (1,491,178 positive / 1,435,527 negative). The original service is
+//!   defunct, so [`shalla`] synthesizes a URL corpus with the same size,
+//!   split, and — crucially — the same *learnability* structure
+//!   (category/TLD/path-token signal that a classifier can exploit).
+//! * **YCSB** — 24,074,812 keys of "a 4-byte prefix and a 64-bit integer
+//!   without evident characteristics" (12,500,611 / 11,574,201), generated
+//!   in [`ycsb`] from a seeded bijective mixer (keys are unique by
+//!   construction).
+//! * **Costs** — Zipf distributions with skewness 0–3.0, shuffled across
+//!   keys and averaged over shuffles ([`zipf`], [`cost`]; §V-C).
+//!
+//! [`metrics`] implements the weighted-FPR measure of Eq (20) and the
+//! latency helpers used by every figure binary.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cost;
+pub mod dataset;
+pub mod metrics;
+pub mod shalla;
+pub mod ycsb;
+pub mod zipf;
+
+pub use cost::CostAssignment;
+pub use dataset::Dataset;
+pub use shalla::ShallaConfig;
+pub use ycsb::YcsbConfig;
+pub use zipf::{zipf_costs, ZipfSampler};

@@ -1,0 +1,147 @@
+//! Evaluation metrics (paper §V-B).
+//!
+//! The headline metric is the **weighted FPR** of Eq (20):
+//!
+//! ```text
+//!                Σ_{e' ∈ O'} Θ(e')
+//! WeightedFPR = ------------------      (O' = false positives from O)
+//!                Σ_{e ∈ O}  Θ(e)
+//! ```
+//!
+//! With uniform costs this equals the classic FPR. The latency helpers
+//! report per-key times in nanoseconds, matching Fig 12's units.
+//!
+//! All functions take the membership test as a closure so this crate stays
+//! independent of any particular filter implementation.
+
+use habf_util::stats::time_ns;
+
+/// Eq (20): cost-weighted false-positive rate over the negative set.
+///
+/// # Panics
+/// Panics if `negatives` and `costs` differ in length or total cost is 0.
+#[must_use]
+pub fn weighted_fpr(
+    mut contains: impl FnMut(&[u8]) -> bool,
+    negatives: &[Vec<u8>],
+    costs: &[f64],
+) -> f64 {
+    assert_eq!(negatives.len(), costs.len(), "cost vector mismatch");
+    let mut fp_cost = 0.0;
+    let mut total = 0.0;
+    for (key, &cost) in negatives.iter().zip(costs.iter()) {
+        total += cost;
+        if contains(key) {
+            fp_cost += cost;
+        }
+    }
+    assert!(total > 0.0, "total cost must be positive");
+    fp_cost / total
+}
+
+/// Classic (unweighted) FPR.
+#[must_use]
+pub fn fpr(mut contains: impl FnMut(&[u8]) -> bool, negatives: &[Vec<u8>]) -> f64 {
+    if negatives.is_empty() {
+        return 0.0;
+    }
+    let fp = negatives.iter().filter(|k| contains(k)).count();
+    fp as f64 / negatives.len() as f64
+}
+
+/// Zero-FNR check: every positive key must be accepted.
+#[must_use]
+pub fn false_negatives(
+    mut contains: impl FnMut(&[u8]) -> bool,
+    positives: &[Vec<u8>],
+) -> usize {
+    positives.iter().filter(|k| !contains(k)).count()
+}
+
+/// Average query latency in ns/key over the given probe keys.
+#[must_use]
+pub fn query_latency_ns(mut contains: impl FnMut(&[u8]) -> bool, keys: &[Vec<u8>]) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let (hits, ns) = time_ns(|| {
+        let mut hits = 0usize;
+        for k in keys {
+            if contains(k) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    std::hint::black_box(hits);
+    ns as f64 / keys.len() as f64
+}
+
+/// Times a construction closure, returning `(artifact, ns_per_key)` with
+/// `n_keys` the number of keys the paper divides by (|S| + |O| for HABF,
+/// |S| for the baselines — Fig 12 reports ns/key).
+pub fn construction_ns_per_key<T>(n_keys: usize, build: impl FnOnce() -> T) -> (T, f64) {
+    let (artifact, ns) = time_ns(build);
+    let per = if n_keys == 0 {
+        0.0
+    } else {
+        ns as f64 / n_keys as f64
+    };
+    (artifact, per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("k{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn weighted_fpr_counts_costs() {
+        let negs = keys(4);
+        let costs = [1.0, 2.0, 3.0, 4.0];
+        // Accept exactly the last two keys.
+        let w = weighted_fpr(|k| k == b"k2".as_slice() || k == b"k3".as_slice(), &negs, &costs);
+        assert!((w - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weighted_equals_classic() {
+        let negs = keys(10);
+        let costs = vec![1.0; 10];
+        let pred = |k: &[u8]| k[1].is_multiple_of(2);
+        let a = weighted_fpr(pred, &negs, &costs);
+        let b = fpr(pred, &negs);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_negatives_counts_misses() {
+        let pos = keys(5);
+        assert_eq!(false_negatives(|_| true, &pos), 0);
+        assert_eq!(false_negatives(|_| false, &pos), 5);
+    }
+
+    #[test]
+    fn latency_is_positive_per_key() {
+        let ks = keys(1000);
+        let ns = query_latency_ns(|k| k.len() > 1, &ks);
+        assert!(ns > 0.0);
+        assert_eq!(query_latency_ns(|_| true, &[]), 0.0);
+    }
+
+    #[test]
+    fn construction_timer_divides() {
+        let (v, per) = construction_ns_per_key(100, || 42u8);
+        assert_eq!(v, 42);
+        assert!(per >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_costs_panic() {
+        let _ = weighted_fpr(|_| false, &keys(2), &[1.0]);
+    }
+}

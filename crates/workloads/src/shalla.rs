@@ -1,0 +1,191 @@
+//! Synthetic Shalla-style URL blacklist (paper §V-C-1).
+//!
+//! Shalla's Blacklists was a categorized URL blocklist (2.927M keys in the
+//! paper's snapshot: 1,491,178 positives, 1,435,527 negatives); the service
+//! shut down and the snapshot is not redistributable, so this module
+//! synthesizes a corpus with the properties the experiments actually use
+//! (DESIGN.md §3):
+//!
+//! 1. **Size & split** — the paper's cardinalities at `scale = 1.0`.
+//! 2. **Evident characteristics** — positives (blacklisted URLs) draw
+//!    their domain tokens, TLDs, and path vocabulary from "suspicious"
+//!    pools and negatives from "benign" pools, with deliberate overlap so
+//!    that a classifier separates them *well but not perfectly* — the
+//!    regime in which learned filters shine on Fig 10(b) yet still need a
+//!    backup filter.
+//! 3. **Uniqueness** — every URL embeds a per-set counter, so the sets are
+//!    duplicate-free and disjoint by construction.
+
+use crate::dataset::Dataset;
+use habf_util::Xoshiro256;
+
+/// Paper cardinalities at scale 1.0.
+const FULL_POSITIVES: usize = 1_491_178;
+const FULL_NEGATIVES: usize = 1_435_527;
+
+/// Token pools. Overlap between the two worlds is intentional (see module
+/// docs): ~20% of domains cross over.
+const BAD_WORDS: &[&str] = &[
+    "warez", "crack", "casino", "xxx", "porn", "phish", "malware", "trojan", "spyware",
+    "pirate", "torrent", "keygen", "spam", "botnet", "exploit", "darkweb", "gamble",
+];
+const GOOD_WORDS: &[&str] = &[
+    "news", "shop", "blog", "wiki", "docs", "mail", "forum", "store", "photo", "video",
+    "music", "sport", "travel", "health", "school", "bank", "weather",
+];
+const BAD_TLDS: &[&str] = &["ru", "cn", "xyz", "info", "tk", "top", "cc"];
+const GOOD_TLDS: &[&str] = &["com", "org", "net", "edu", "gov", "io", "de"];
+const BAD_PATHS: &[&str] = &["download", "free", "serial", "adult", "win", "bonus", "click"];
+const GOOD_PATHS: &[&str] = &["article", "item", "page", "user", "post", "view", "help"];
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct ShallaConfig {
+    /// Fraction of the paper's dataset size to generate (1.0 = 2.927M keys).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Cross-over fraction: how often a key borrows tokens from the other
+    /// world (keeps the corpus imperfectly separable).
+    pub crossover: f64,
+}
+
+impl Default for ShallaConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 0x0054_A11A,
+            crossover: 0.2,
+        }
+    }
+}
+
+impl ShallaConfig {
+    /// A scaled-down config for tests and default benchmark runs.
+    #[must_use]
+    pub fn with_scale(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Number of positive keys at this scale.
+    #[must_use]
+    pub fn n_positives(&self) -> usize {
+        ((FULL_POSITIVES as f64 * self.scale) as usize).max(1)
+    }
+
+    /// Number of negative keys at this scale.
+    #[must_use]
+    pub fn n_negatives(&self) -> usize {
+        ((FULL_NEGATIVES as f64 * self.scale) as usize).max(1)
+    }
+
+    /// Generates the dataset.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        let mut rng = Xoshiro256::new(self.seed);
+        let n_pos = self.n_positives();
+        let n_neg = self.n_negatives();
+        let positives = (0..n_pos)
+            .map(|i| self.url(&mut rng, true, i))
+            .collect();
+        let negatives = (0..n_neg)
+            .map(|i| self.url(&mut rng, false, i))
+            .collect();
+        Dataset {
+            name: "Shalla".into(),
+            positives,
+            negatives,
+        }
+    }
+
+    fn pick<'a>(rng: &mut Xoshiro256, pool: &[&'a str]) -> &'a str {
+        pool[rng.next_index(pool.len())]
+    }
+
+    /// One URL. `counter` guarantees uniqueness; the `p`/`n` marker keeps
+    /// the sets disjoint even when all random tokens coincide.
+    fn url(&self, rng: &mut Xoshiro256, positive: bool, counter: usize) -> Vec<u8> {
+        let cross = rng.next_f64() < self.crossover;
+        let bad_side = positive != cross;
+        let (words, tlds, paths) = if bad_side {
+            (BAD_WORDS, BAD_TLDS, BAD_PATHS)
+        } else {
+            (GOOD_WORDS, GOOD_TLDS, GOOD_PATHS)
+        };
+        let marker = if positive { 'p' } else { 'n' };
+        let sub = Self::pick(rng, words);
+        let dom = Self::pick(rng, words);
+        let tld = Self::pick(rng, tlds);
+        let path = Self::pick(rng, paths);
+        let num = rng.next_below(100_000);
+        format!("http://{sub}{num}.{dom}.{tld}/{path}/{marker}{counter}").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities_at_full_scale() {
+        let cfg = ShallaConfig::default();
+        assert_eq!(cfg.n_positives(), FULL_POSITIVES);
+        assert_eq!(cfg.n_negatives(), FULL_NEGATIVES);
+    }
+
+    #[test]
+    fn scaled_generation_is_well_formed() {
+        let d = ShallaConfig::with_scale(0.002).generate();
+        assert!(d.positives.len() > 2_000);
+        assert!(d.negatives.len() > 2_000);
+        assert!(d.is_well_formed(), "duplicate or overlapping keys");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ShallaConfig::with_scale(0.001).generate();
+        let b = ShallaConfig::with_scale(0.001).generate();
+        assert_eq!(a.positives, b.positives);
+        assert_eq!(a.negatives, b.negatives);
+        let mut cfg = ShallaConfig::with_scale(0.001);
+        cfg.seed ^= 1;
+        let c = cfg.generate();
+        assert_ne!(a.positives, c.positives);
+    }
+
+    #[test]
+    fn keys_look_like_urls() {
+        let d = ShallaConfig::with_scale(0.0005).generate();
+        for k in d.positives.iter().take(100) {
+            let s = std::str::from_utf8(k).expect("UTF-8 URL");
+            assert!(s.starts_with("http://"), "{s}");
+            assert!(s.contains('/'), "{s}");
+            assert!(s.contains('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn corpus_is_learnably_separable() {
+        // Token-level signal must exist: count bad-TLD usage per side.
+        let d = ShallaConfig::with_scale(0.002).generate();
+        let is_bad_tld = |k: &[u8]| {
+            let s = std::str::from_utf8(k).unwrap();
+            let host = s.strip_prefix("http://").unwrap().split('/').next().unwrap();
+            let tld = host.rsplit('.').next().unwrap();
+            BAD_TLDS.contains(&tld)
+        };
+        let pos_rate = d.positives.iter().filter(|k| is_bad_tld(k)).count() as f64
+            / d.positives.len() as f64;
+        let neg_rate = d.negatives.iter().filter(|k| is_bad_tld(k)).count() as f64
+            / d.negatives.len() as f64;
+        assert!(
+            pos_rate > 0.6 && neg_rate < 0.4,
+            "no separation: pos {pos_rate:.2} vs neg {neg_rate:.2}"
+        );
+        // But not perfectly separable (crossover).
+        assert!(pos_rate < 0.95 && neg_rate > 0.05);
+    }
+}

@@ -1,0 +1,146 @@
+//! YCSB-style key generator (paper §V-C-2).
+//!
+//! The paper modifies YCSB's uniform generator to emit 24,074,812 keys
+//! whose schema is "a 4-byte prefix and a 64-bit integer without evident
+//! characteristics" (12,500,611 positives, 11,574,201 negatives). This
+//! module reproduces that schema: every key is the ASCII prefix `user`
+//! followed by the 8 little-endian bytes of a SplitMix64-mixed counter.
+//! The mixer's output function is a bijection over `u64`, so keys are
+//! unique by construction; positives and negatives draw from disjoint
+//! counter ranges, so the sets never overlap.
+
+use crate::dataset::Dataset;
+use habf_util::SplitMix64;
+
+/// Paper cardinalities at scale 1.0.
+const FULL_POSITIVES: usize = 12_500_611;
+const FULL_NEGATIVES: usize = 11_574_201;
+
+/// The 4-byte key prefix.
+pub const PREFIX: &[u8; 4] = b"user";
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Fraction of the paper's dataset size (1.0 = 24.07M keys).
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 0x9C5B,
+        }
+    }
+}
+
+impl YcsbConfig {
+    /// A scaled-down config for tests and default benchmark runs.
+    #[must_use]
+    pub fn with_scale(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Number of positive keys at this scale.
+    #[must_use]
+    pub fn n_positives(&self) -> usize {
+        ((FULL_POSITIVES as f64 * self.scale) as usize).max(1)
+    }
+
+    /// Number of negative keys at this scale.
+    #[must_use]
+    pub fn n_negatives(&self) -> usize {
+        ((FULL_NEGATIVES as f64 * self.scale) as usize).max(1)
+    }
+
+    /// Generates the dataset.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        let n_pos = self.n_positives();
+        let n_neg = self.n_negatives();
+        // SplitMix64 advances its state by a fixed odd constant and applies
+        // a bijective output mix, so a single stream yields unique values;
+        // positives take the first n_pos outputs, negatives the next n_neg.
+        let mut sm = SplitMix64::new(self.seed);
+        let mut make = |n: usize| -> Vec<Vec<u8>> {
+            (0..n)
+                .map(|_| {
+                    let v = sm.next_u64();
+                    let mut key = Vec::with_capacity(12);
+                    key.extend_from_slice(PREFIX);
+                    key.extend_from_slice(&v.to_le_bytes());
+                    key
+                })
+                .collect()
+        };
+        let positives = make(n_pos);
+        let negatives = make(n_neg);
+        Dataset {
+            name: "YCSB".into(),
+            positives,
+            negatives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities_at_full_scale() {
+        let cfg = YcsbConfig::default();
+        assert_eq!(cfg.n_positives(), FULL_POSITIVES);
+        assert_eq!(cfg.n_negatives(), FULL_NEGATIVES);
+        assert_eq!(FULL_POSITIVES + FULL_NEGATIVES, 24_074_812);
+    }
+
+    #[test]
+    fn schema_is_prefix_plus_u64() {
+        let d = YcsbConfig::with_scale(0.0001).generate();
+        for k in d.positives.iter().chain(d.negatives.iter()).take(200) {
+            assert_eq!(k.len(), 12);
+            assert_eq!(&k[..4], PREFIX);
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_and_disjoint() {
+        let d = YcsbConfig::with_scale(0.002).generate();
+        assert!(d.positives.len() > 20_000);
+        assert!(d.is_well_formed());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = YcsbConfig::with_scale(0.0005).generate();
+        let b = YcsbConfig::with_scale(0.0005).generate();
+        assert_eq!(a.positives, b.positives);
+        let mut cfg = YcsbConfig::with_scale(0.0005);
+        cfg.seed ^= 0xFF;
+        assert_ne!(cfg.generate().positives, a.positives);
+    }
+
+    #[test]
+    fn integers_look_uniform() {
+        // The low byte of the mixed integer should be near-uniform.
+        let d = YcsbConfig::with_scale(0.001).generate();
+        let mut counts = [0usize; 256];
+        for k in &d.positives {
+            counts[k[4] as usize] += 1;
+        }
+        let expected = d.positives.len() / 256;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected as i64).max(10) * 2,
+                "byte bucket {c} vs expected {expected}"
+            );
+        }
+    }
+}

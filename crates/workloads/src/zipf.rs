@@ -1,0 +1,156 @@
+//! Zipf distributions (paper §V-C).
+//!
+//! The paper attaches Zipf-distributed costs to keys: "we generate Zipf
+//! distributions with various skewness factors (from 0 to 3.0) … for each
+//! skewness factor, we randomly shuffle the generated Zipf distribution 10
+//! times and apply it to each dataset". [`zipf_costs`] produces exactly
+//! that: the rank-`r` cost is `r^{-s}`, and the ranks are shuffled over the
+//! keys. Skewness 0 degenerates to the uniform distribution, where the
+//! weighted FPR of Eq (20) equals the classic FPR.
+//!
+//! [`ZipfSampler`] additionally draws *indices* Zipf-distributed by rank —
+//! used by the LSM example to generate skewed query traffic.
+
+use habf_util::Xoshiro256;
+
+/// Generates `n` Zipf(s) cost values, shuffled over key indices.
+///
+/// Rank `r ∈ 1..=n` has cost `r^{-s}`; the assignment of ranks to indices
+/// is a uniform random permutation drawn from `rng`. With `s = 0` every
+/// cost is `1.0`.
+#[must_use]
+pub fn zipf_costs(n: usize, skewness: f64, rng: &mut Xoshiro256) -> Vec<f64> {
+    let mut costs: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-skewness)).collect();
+    rng.shuffle(&mut costs);
+    costs
+}
+
+/// Draws indices in `[0, n)` with probability proportional to
+/// `(rank+1)^{-s}` via inverse-CDF binary search.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// Cumulative weights, ascending; last entry is the total mass.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with skewness `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "sampler needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "skewness {s} invalid");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n {
+            total += (r as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when the sampler is over an empty domain (never — see `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank index in `[0, n)`; rank 0 is the most popular.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.next_f64() * total;
+        // partition_point returns the first index with cum > target.
+        self.cumulative.partition_point(|&c| c <= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_zero_is_uniform() {
+        let mut rng = Xoshiro256::new(1);
+        let costs = zipf_costs(100, 0.0, &mut rng);
+        assert!(costs.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn costs_are_a_permutation_of_ranks() {
+        let mut rng = Xoshiro256::new(2);
+        let mut costs = zipf_costs(50, 1.0, &mut rng);
+        costs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (i, &c) in costs.iter().enumerate() {
+            let expect = ((i + 1) as f64).powf(-1.0);
+            assert!((c - expect).abs() < 1e-12, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass() {
+        let mut rng = Xoshiro256::new(3);
+        for s in [0.5, 1.0, 2.0, 3.0] {
+            let costs = zipf_costs(1_000, s, &mut rng);
+            let total: f64 = costs.iter().sum();
+            let max = costs.iter().cloned().fold(0.0, f64::max);
+            let share = max / total;
+            // The top key's share grows with skewness.
+            let lighter = zipf_costs(1_000, s * 0.5, &mut rng);
+            let lighter_share =
+                lighter.iter().cloned().fold(0.0, f64::max) / lighter.iter().sum::<f64>();
+            assert!(
+                share > lighter_share,
+                "share {share:.4} not above {lighter_share:.4} at s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(1_000, 1.2);
+        let mut rng = Xoshiro256::new(4);
+        let mut counts = vec![0usize; 1_000];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        assert!(counts[0] > 2_000, "rank 0 drew only {}", counts[0]);
+    }
+
+    #[test]
+    fn sampler_uniform_at_zero_skew() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = Xoshiro256::new(5);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "bucket {c}");
+        }
+    }
+
+    #[test]
+    fn sampler_indices_in_range() {
+        let sampler = ZipfSampler::new(7, 2.0);
+        let mut rng = Xoshiro256::new(6);
+        for _ in 0..1_000 {
+            assert!(sampler.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_sampler_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

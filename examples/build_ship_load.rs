@@ -1,0 +1,55 @@
+//! Offline build → ship → online load, the intended HABF deployment.
+//!
+//! The negative keys and costs live where the logs are (a batch job); the
+//! query servers only need the finished filter. This example builds an
+//! HABF, writes its binary image to disk, loads it back, and verifies the
+//! loaded filter answers identically.
+//!
+//! ```sh
+//! cargo run --release --example build_ship_load
+//! ```
+
+use habf::core::{Habf, HabfConfig};
+use habf::filters::Filter;
+use habf::workloads::ShallaConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // "Offline": the batch side with access to logs.
+    let ds = ShallaConfig::with_scale(0.01).generate();
+    let negatives: Vec<(&[u8], f64)> = ds
+        .negatives
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_slice(), 1.0 + (i % 100) as f64))
+        .collect();
+    let filter = Habf::build(
+        &ds.positives,
+        &negatives,
+        &HabfConfig::with_total_bits(ds.positives.len() * 10),
+    );
+    let image = filter.to_bytes();
+    let path = std::env::temp_dir().join("habf_filter.bin");
+    std::fs::write(&path, &image)?;
+    println!(
+        "built over {} positives / {} known negatives; image: {} bytes -> {}",
+        ds.positives.len(),
+        ds.negatives.len(),
+        image.len(),
+        path.display()
+    );
+
+    // "Online": a query server with no access to the key sets.
+    let shipped = Habf::from_bytes(&std::fs::read(&path)?)?;
+    let mut checked = 0usize;
+    for key in ds.positives.iter().chain(ds.negatives.iter()) {
+        assert_eq!(filter.contains(key), shipped.contains(key));
+        checked += 1;
+    }
+    println!("loaded filter agrees with the original on all {checked} keys");
+    println!(
+        "members always accepted: {}",
+        ds.positives.iter().all(|k| shipped.contains(k))
+    );
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build an HABF from a member set and a cost-annotated set of
+//! known negatives, and compare it head-to-head with a standard Bloom
+//! filter of identical size.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use habf::core::{Habf, HabfConfig};
+use habf::filters::{BloomFilter, Filter};
+
+fn main() {
+    // The set we want to answer membership queries for.
+    let members: Vec<Vec<u8>> = (0..50_000)
+        .map(|i| format!("user:{i}").into_bytes())
+        .collect();
+
+    // Keys we know will be queried but are NOT members, with the cost of
+    // mistakenly admitting each one. Here every 50th key is 100× more
+    // expensive (think: a hot object whose false positive triggers a cold
+    // disk read on every lookup).
+    let known_negatives: Vec<(Vec<u8>, f64)> = (0..50_000)
+        .map(|i| {
+            let cost = if i % 50 == 0 { 100.0 } else { 1.0 };
+            (format!("bot:{i}").into_bytes(), cost)
+        })
+        .collect();
+
+    // Same space for both filters: 10 bits per member.
+    let total_bits = members.len() * 10;
+
+    let habf = Habf::build(
+        &members,
+        &known_negatives,
+        &HabfConfig::with_total_bits(total_bits),
+    );
+    let bloom = BloomFilter::build(&members, total_bits);
+
+    // One-sided error: members are always admitted.
+    assert!(members.iter().all(|k| habf.contains(k)));
+    assert!(members.iter().all(|k| bloom.contains(k)));
+
+    // Cost-weighted false positives over the known negatives.
+    let weigh = |f: &dyn Filter| -> (f64, usize) {
+        let mut fp_cost = 0.0;
+        let mut fp = 0usize;
+        let total: f64 = known_negatives.iter().map(|(_, c)| c).sum();
+        for (key, cost) in &known_negatives {
+            if f.contains(key) {
+                fp_cost += cost;
+                fp += 1;
+            }
+        }
+        (fp_cost / total, fp)
+    };
+    let (habf_wfpr, habf_fp) = weigh(&habf);
+    let (bloom_wfpr, bloom_fp) = weigh(&bloom);
+
+    println!("space budget       : {total_bits} bits ({} bits/key)", 10);
+    println!("members            : {}", members.len());
+    println!("known negatives    : {}", known_negatives.len());
+    println!();
+    println!(
+        "standard Bloom     : {bloom_fp} false positives, weighted FPR {:.4}%",
+        bloom_wfpr * 100.0
+    );
+    println!(
+        "HABF               : {habf_fp} false positives, weighted FPR {:.4}%",
+        habf_wfpr * 100.0
+    );
+    println!(
+        "HABF optimizer     : {} collision keys found, {} optimized, {} chains stored",
+        habf.stats().initial_collision_keys,
+        habf.stats().optimized,
+        habf.expressor_entries()
+    );
+    assert!(
+        habf_wfpr <= bloom_wfpr,
+        "HABF should not lose to BF when the negatives are known"
+    );
+}

@@ -1,0 +1,176 @@
+//! `habf` — command-line front end for building, querying, and inspecting
+//! HABF filter images.
+//!
+//! ```text
+//! habf build --positives pos.txt --negatives neg.txt --bits-per-key 10 --out filter.bin
+//! habf query filter.bin <key> [<key>…]        # exit 0 if all maybe-present
+//! habf inspect filter.bin
+//! ```
+//!
+//! `--negatives` lines are either `key` (cost 1) or `key<TAB>cost`. Keys
+//! are one per line, newline-delimited, matched as raw bytes.
+
+use habf::core::{FHabf, Habf, HabfConfig};
+use habf::filters::Filter;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
+         [--fast] [--seed N] [--out FILE]\n  habf query FILTER KEY [KEY…]\n  habf inspect FILTER"
+    );
+    std::process::exit(2);
+}
+
+fn read_lines(path: &str) -> Vec<Vec<u8>> {
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| { eprintln!("habf: cannot open {path}: {e}"); std::process::exit(1) });
+    std::io::BufReader::new(file)
+        .split(b'\n')
+        .map(|l| l.expect("read line"))
+        .filter(|l| !l.is_empty())
+        .collect()
+}
+
+fn parse_negatives(path: &str) -> Vec<(Vec<u8>, f64)> {
+    read_lines(path)
+        .into_iter()
+        .map(|line| {
+            // `key\tcost` or bare `key`.
+            match line.iter().rposition(|&b| b == b'\t') {
+                Some(tab) => {
+                    let cost = std::str::from_utf8(&line[tab + 1..])
+                        .ok()
+                        .and_then(|s| s.trim().parse::<f64>().ok());
+                    match cost {
+                        Some(c) if c.is_finite() && c > 0.0 => (line[..tab].to_vec(), c),
+                        _ => (line, 1.0), // tab was part of the key
+                    }
+                }
+                None => (line, 1.0),
+            }
+        })
+        .collect()
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let mut positives_path = None;
+    let mut negatives_path = None;
+    let mut bits_per_key = 10.0f64;
+    let mut fast = false;
+    let mut seed = 0x4841_4246u64;
+    let mut out = "filter.bin".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--positives" => positives_path = Some(val()),
+            "--negatives" => negatives_path = Some(val()),
+            "--bits-per-key" => bits_per_key = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val(),
+            "--fast" => fast = true,
+            _ => usage(),
+        }
+    }
+    let (Some(pp), Some(np)) = (positives_path, negatives_path) else { usage() };
+    let positives = read_lines(&pp);
+    if positives.is_empty() {
+        eprintln!("habf: {pp} holds no keys");
+        return ExitCode::FAILURE;
+    }
+    let negatives = parse_negatives(&np);
+    let mut cfg =
+        HabfConfig::with_total_bits((positives.len() as f64 * bits_per_key) as usize);
+    cfg.seed = seed;
+
+    let (image, stats_line) = if fast {
+        let f = FHabf::build(&positives, &negatives, &cfg);
+        let s = f.stats().clone();
+        (f.to_bytes(), format!(
+            "f-HABF: {} positives, {} negatives, {} collision keys, {} optimized",
+            s.positives, s.negatives, s.initial_collision_keys, s.optimized
+        ))
+    } else {
+        let f = Habf::build(&positives, &negatives, &cfg);
+        let s = f.stats().clone();
+        (f.to_bytes(), format!(
+            "HABF: {} positives, {} negatives, {} collision keys, {} optimized, {} failed",
+            s.positives, s.negatives, s.initial_collision_keys, s.optimized, s.failed
+        ))
+    };
+    if let Err(e) = std::fs::write(&out, &image) {
+        eprintln!("habf: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{stats_line}");
+    println!("wrote {} bytes to {out}", image.len());
+    ExitCode::SUCCESS
+}
+
+/// Loads either filter kind from an image.
+fn load(path: &str) -> Result<Box<dyn Filter>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(f) = Habf::from_bytes(&bytes) {
+        return Ok(Box::new(f));
+    }
+    FHabf::from_bytes(&bytes)
+        .map(|f| Box::new(f) as Box<dyn Filter>)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let [path, keys @ ..] = args else { usage() };
+    if keys.is_empty() {
+        usage();
+    }
+    let filter = match load(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("habf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    let mut all_present = true;
+    for key in keys {
+        let hit = filter.contains(key.as_bytes());
+        all_present &= hit;
+        let _ = writeln!(lock, "{}\t{}", if hit { "maybe" } else { "no" }, key);
+    }
+    if all_present {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let [path] = args else { usage() };
+    match load(path) {
+        Ok(f) => {
+            println!("kind        : {}", f.name());
+            println!("space       : {} bits ({} KB)", f.space_bits(), f.space_bits() / 8 / 1024);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("habf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "build" => cmd_build(rest),
+            "query" => cmd_query(rest),
+            "inspect" => cmd_inspect(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

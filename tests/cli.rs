@@ -1,0 +1,142 @@
+//! End-to-end tests of the `habf` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_habf")
+}
+
+fn write_file(dir: &std::path::Path, name: &str, lines: &[String]) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    for l in lines {
+        writeln!(f, "{l}").expect("write");
+    }
+    path
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("habf-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("mkdir");
+        Self(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn build_query_inspect_roundtrip() {
+    let dir = TempDir::new("roundtrip");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..3000).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let mut neg_lines: Vec<String> = (0..3000).map(|i| format!("bot:{i}")).collect();
+    neg_lines.push("bot:hot\t500".into()); // tab-separated cost
+    let neg = write_file(&dir.0, "neg.txt", &neg_lines);
+    let out = dir.0.join("filter.bin");
+
+    let build = Command::new(bin())
+        .args(["build", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&neg)
+        .args(["--bits-per-key", "10", "--out"])
+        .arg(&out)
+        .output()
+        .expect("run build");
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    assert!(out.exists());
+
+    // Members answer "maybe" with exit 0.
+    let hit = Command::new(bin())
+        .arg("query")
+        .arg(&out)
+        .args(["user:1", "user:2999"])
+        .output()
+        .expect("run query");
+    assert!(hit.status.success());
+    let stdout = String::from_utf8_lossy(&hit.stdout);
+    assert_eq!(stdout.matches("maybe\t").count(), 2, "{stdout}");
+
+    // The costly known negative answers "no" with exit 1.
+    let miss = Command::new(bin())
+        .arg("query")
+        .arg(&out)
+        .arg("bot:hot")
+        .output()
+        .expect("run query");
+    assert_eq!(miss.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&miss.stdout).starts_with("no\t"));
+
+    let inspect = Command::new(bin())
+        .arg("inspect")
+        .arg(&out)
+        .output()
+        .expect("run inspect");
+    assert!(inspect.status.success());
+    let text = String::from_utf8_lossy(&inspect.stdout);
+    assert!(text.contains("HABF"), "{text}");
+    assert!(text.contains("bits"), "{text}");
+}
+
+#[test]
+fn fast_variant_builds_and_loads() {
+    let dir = TempDir::new("fast");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..500).map(|i| format!("k{i}")).collect::<Vec<_>>(),
+    );
+    let neg = write_file(
+        &dir.0,
+        "neg.txt",
+        &(0..500).map(|i| format!("n{i}")).collect::<Vec<_>>(),
+    );
+    let out = dir.0.join("fast.bin");
+    let build = Command::new(bin())
+        .args(["build", "--fast", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&neg)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("run build");
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    let inspect = Command::new(bin())
+        .arg("inspect")
+        .arg(&out)
+        .output()
+        .expect("inspect");
+    assert!(String::from_utf8_lossy(&inspect.stdout).contains("f-HABF"));
+}
+
+#[test]
+fn corrupt_filter_file_fails_cleanly() {
+    let dir = TempDir::new("corrupt");
+    let bad = write_file(&dir.0, "bad.bin", &["this is not a filter".into()]);
+    let out = Command::new(bin())
+        .arg("inspect")
+        .arg(&bad)
+        .output()
+        .expect("inspect");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("habf:"));
+}
+
+#[test]
+fn missing_args_show_usage() {
+    let out = Command::new(bin()).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,99 @@
+//! End-to-end LSM integration: the paper's motivating application wired
+//! through the real crates.
+
+use habf::lsm::{FilterKind, Lsm, LsmConfig};
+use habf::util::Xoshiro256;
+use habf::workloads::ZipfSampler;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("row:{i:09}").into_bytes()
+}
+
+fn ghost(i: usize) -> Vec<u8> {
+    format!("ghost:{i:09}").into_bytes()
+}
+
+fn populate(filter: FilterKind, n: usize, hints: Vec<(Vec<u8>, f64)>) -> Lsm {
+    let mut db = Lsm::new(LsmConfig {
+        memtable_capacity: 8_192,
+        level_fanout: 3,
+        filter,
+    });
+    db.set_negative_hints(hints);
+    for i in 0..n {
+        db.put(key(i), format!("v{i}").into_bytes());
+    }
+    db.flush();
+    db.reset_io_stats();
+    db
+}
+
+#[test]
+fn durability_across_compactions() {
+    let mut db = populate(FilterKind::Bloom { bits_per_key: 10.0 }, 30_000, vec![]);
+    for i in (0..30_000).step_by(7) {
+        assert_eq!(db.get(&key(i)), Some(format!("v{i}").into_bytes()));
+    }
+    assert!(db.depth() >= 1);
+}
+
+#[test]
+fn habf_filters_reduce_weighted_miss_cost() {
+    // Hot missing keys with Zipf traffic, mined into hints.
+    let sampler = ZipfSampler::new(4_000, 1.2);
+    let mut rng = Xoshiro256::new(3);
+    let mut freq = vec![0u32; 4_000];
+    for _ in 0..60_000 {
+        freq[sampler.sample(&mut rng)] += 1;
+    }
+    let hints: Vec<(Vec<u8>, f64)> = freq
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| (ghost(i), f64::from(f)))
+        .collect();
+
+    let mut bloom_db = populate(FilterKind::Bloom { bits_per_key: 10.0 }, 24_000, hints.clone());
+    let mut habf_db = populate(FilterKind::Habf { bits_per_key: 10.0 }, 24_000, hints);
+
+    // Replay a fresh window of the same traffic (misses only).
+    let mut rng = Xoshiro256::new(4);
+    for _ in 0..30_000 {
+        let k = ghost(sampler.sample(&mut rng));
+        assert_eq!(bloom_db.get(&k), None);
+        assert_eq!(habf_db.get(&k), None);
+    }
+    let b = bloom_db.io_stats();
+    let h = habf_db.io_stats();
+    assert!(
+        h.wasted_weighted_cost <= b.wasted_weighted_cost,
+        "HABF wasted weighted cost {} above Bloom {}",
+        h.wasted_weighted_cost,
+        b.wasted_weighted_cost
+    );
+}
+
+#[test]
+fn point_lookups_return_latest_version() {
+    let mut db = populate(FilterKind::FHabf { bits_per_key: 10.0 }, 10_000, vec![]);
+    // Overwrite a slice of keys; new versions must win through compaction.
+    for i in 0..2_000 {
+        db.put(key(i), b"NEW".to_vec());
+    }
+    db.flush();
+    for i in 0..2_000 {
+        assert_eq!(db.get(&key(i)), Some(b"NEW".to_vec()), "key {i}");
+    }
+    for i in 2_000..2_100 {
+        assert_eq!(db.get(&key(i)), Some(format!("v{i}").into_bytes()));
+    }
+}
+
+#[test]
+fn filter_memory_is_accounted() {
+    let db = populate(FilterKind::Habf { bits_per_key: 10.0 }, 20_000, vec![]);
+    let bits = db.filter_bits();
+    // Roughly bits_per_key × entries, within rounding and duplicates.
+    assert!(bits > 20_000 * 6, "filter bits {bits} suspiciously low");
+    assert!(bits < 20_000 * 16, "filter bits {bits} suspiciously high");
+}

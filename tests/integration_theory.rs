@@ -1,0 +1,70 @@
+//! The Fig 8 claim as a regression test: the Section IV upper bound on the
+//! optimized FPR dominates the measured FPR of a real build.
+
+use habf::core::{theory, Habf, HabfConfig};
+use habf::filters::Filter;
+use habf::workloads::{metrics, ShallaConfig};
+
+fn measured_vs_bound(k: usize, bits_per_key: f64) -> (f64, f64) {
+    let ds = ShallaConfig::with_scale(0.005).generate();
+    let m = (bits_per_key * ds.positives.len() as f64) as usize;
+    let cfg = HabfConfig {
+        total_bits: m + m / 4,
+        delta: 0.25,
+        k,
+        cell_bits: 5,
+        seed: 0xF18,
+        requeue_cap: 3,
+    };
+    let (m_real, omega) = cfg.split();
+    let negatives: Vec<(&[u8], f64)> = ds
+        .negatives
+        .iter()
+        .map(|key| (key.as_slice(), 1.0))
+        .collect();
+    let filter = Habf::build(&ds.positives, &negatives, &cfg);
+    let measured = metrics::fpr(|key| filter.contains(key), &ds.negatives);
+    let bound = theory::f_star_upper_bound(
+        k,
+        m_real as f64 / ds.positives.len() as f64,
+        ds.negatives.len(),
+        m_real,
+        omega,
+        cfg.usable_hashes(),
+    );
+    (measured, bound)
+}
+
+#[test]
+fn fig8a_bound_holds_across_k() {
+    for k in [2usize, 4, 6, 8] {
+        let (measured, bound) = measured_vs_bound(k, 10.0);
+        assert!(
+            measured <= bound,
+            "k={k}: measured {measured} above bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn fig8b_bound_holds_across_b() {
+    for b in [5.0f64, 8.0, 11.0] {
+        let (measured, bound) = measured_vs_bound(4, b);
+        assert!(
+            measured <= bound,
+            "b={b}: measured {measured} above bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn bound_is_not_vacuous() {
+    // The bound must genuinely improve on the unoptimized Bloom FPR for a
+    // loaded configuration — otherwise Fig 8 would be trivially true.
+    let (_, bound) = measured_vs_bound(4, 6.0);
+    let plain = theory::bloom_fpr(4, 6.0);
+    assert!(
+        bound < plain,
+        "bound {bound} does not improve on plain Bloom {plain}"
+    );
+}
