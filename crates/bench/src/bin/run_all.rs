@@ -8,8 +8,10 @@ use habf_bench::{figures, RunOpts};
 
 fn main() {
     let opts = RunOpts::parse();
-    println!("# HABF full evaluation (scales: shalla={}, ycsb={}, shuffles={})",
-        opts.scale_shalla, opts.scale_ycsb, opts.shuffles);
+    println!(
+        "# HABF full evaluation (scales: shalla={}, ycsb={}, shuffles={})",
+        opts.scale_shalla, opts.scale_ycsb, opts.shuffles
+    );
     println!("\n########## Table II ##########");
     figures::table2::run();
     println!("\n########## Fig 8 ##########");

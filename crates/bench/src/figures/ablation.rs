@@ -48,11 +48,41 @@ pub fn run(opts: &RunOpts) {
     let family = HashFamily::with_size(7);
 
     let variants = [
-        Variant { name: "full (paper)", use_gamma: true, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 3 },
-        Variant { name: "no class (c)", use_gamma: true, enable_class_c: false, overlap_tiebreak: true, requeue_cap: 3 },
-        Variant { name: "no overlap tie-break", use_gamma: true, enable_class_c: true, overlap_tiebreak: false, requeue_cap: 3 },
-        Variant { name: "Γ disabled (class a only)", use_gamma: false, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 3 },
-        Variant { name: "requeue cap 0", use_gamma: true, enable_class_c: true, overlap_tiebreak: true, requeue_cap: 0 },
+        Variant {
+            name: "full (paper)",
+            use_gamma: true,
+            enable_class_c: true,
+            overlap_tiebreak: true,
+            requeue_cap: 3,
+        },
+        Variant {
+            name: "no class (c)",
+            use_gamma: true,
+            enable_class_c: false,
+            overlap_tiebreak: true,
+            requeue_cap: 3,
+        },
+        Variant {
+            name: "no overlap tie-break",
+            use_gamma: true,
+            enable_class_c: true,
+            overlap_tiebreak: false,
+            requeue_cap: 3,
+        },
+        Variant {
+            name: "Γ disabled (class a only)",
+            use_gamma: false,
+            enable_class_c: true,
+            overlap_tiebreak: true,
+            requeue_cap: 3,
+        },
+        Variant {
+            name: "requeue cap 0",
+            use_gamma: true,
+            enable_class_c: true,
+            overlap_tiebreak: true,
+            requeue_cap: 0,
+        },
     ];
 
     let mut table = Table::new(

@@ -52,10 +52,7 @@ trait UnitCosts {
 
 impl UnitCosts for habf_workloads::Dataset {
     fn negatives_with_costs_unit(&self) -> Vec<(&[u8], f64)> {
-        self.negatives
-            .iter()
-            .map(|k| (k.as_slice(), 1.0))
-            .collect()
+        self.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect()
     }
 }
 
@@ -83,7 +80,11 @@ pub fn run(opts: &RunOpts) {
             k.to_string(),
             pct(real),
             pct(bound),
-            if real <= bound { "yes".into() } else { "VIOLATED".into() },
+            if real <= bound {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     a.print();
@@ -98,7 +99,11 @@ pub fn run(opts: &RunOpts) {
             bits.to_string(),
             pct(real),
             pct(bound),
-            if real <= bound { "yes".into() } else { "VIOLATED".into() },
+            if real <= bound {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     b.print();

@@ -73,7 +73,11 @@ pub fn run(opts: &RunOpts) {
         // sweep therefore runs this point with 5-bit cells.
         let cell_bits = if k >= 7 { 5 } else { 4 };
         let w = build_and_measure(&ds, two_mb, 0.25, k, cell_bits, opts.seed);
-        let note = if (3..=5).contains(&k) { "paper optimum band" } else { "" };
+        let note = if (3..=5).contains(&k) {
+            "paper optimum band"
+        } else {
+            ""
+        };
         a2.row(&[k.to_string(), pct(w), note.into()]);
     }
     a2.print();
@@ -88,7 +92,12 @@ pub fn run(opts: &RunOpts) {
             .iter()
             .map(|&a| pct(build_and_measure(&ds, bits, 0.25, 3, a, opts.seed)))
             .collect();
-        b.row(&[format!("{mb}"), row[0].clone(), row[1].clone(), row[2].clone()]);
+        b.row(&[
+            format!("{mb}"),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
     }
     b.print();
 }

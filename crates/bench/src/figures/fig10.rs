@@ -18,7 +18,14 @@ const PAPER_SHALLA_1_5MB: [(Spec, f64); 7] = [
     (Spec::FHabf, 0.0055),
 ];
 
-fn sweep(ds: &Dataset, specs: &[Spec], spaces_mb: &[f64], bits_of: impl Fn(f64) -> usize, seed: u64, refs: Option<(&str, &[(Spec, f64)])>) {
+fn sweep(
+    ds: &Dataset,
+    specs: &[Spec],
+    spaces_mb: &[f64],
+    bits_of: impl Fn(f64) -> usize,
+    seed: u64,
+    refs: Option<(&str, &[(Spec, f64)])>,
+) {
     let costs = vec![1.0; ds.negatives.len()];
     let mut table = Table::new(
         &format!("{} — weighted FPR vs space (uniform costs)", ds.name),

@@ -76,8 +76,7 @@ fn sweep(
 
 /// Runs all four panels.
 pub fn run(opts: &RunOpts) {
-    const NON_LEARNED_W: [Spec; 5] =
-        [Spec::Habf, Spec::FHabf, Spec::Xor, Spec::Bf, Spec::Wbf];
+    const NON_LEARNED_W: [Spec; 5] = [Spec::Habf, Spec::FHabf, Spec::Xor, Spec::Bf, Spec::Wbf];
 
     let shalla = ShallaConfig {
         scale: opts.scale_shalla,
@@ -91,8 +90,20 @@ pub fn run(opts: &RunOpts) {
         shalla.negatives.len()
     );
     let shalla_spaces = [1.25, 1.75, 2.25, 2.75, 3.25];
-    sweep(&shalla, &NON_LEARNED_W, &shalla_spaces, |mb| opts.shalla_bits(mb), opts);
-    sweep(&shalla, &Spec::LEARNED, &shalla_spaces, |mb| opts.shalla_bits(mb), opts);
+    sweep(
+        &shalla,
+        &NON_LEARNED_W,
+        &shalla_spaces,
+        |mb| opts.shalla_bits(mb),
+        opts,
+    );
+    sweep(
+        &shalla,
+        &Spec::LEARNED,
+        &shalla_spaces,
+        |mb| opts.shalla_bits(mb),
+        opts,
+    );
     println!(
         "paper ranges 1.25→3.25 MB (Shalla, skew 1.0): HABF 8.67e-3→2.56e-6, \
          f-HABF 1.37e-2→3.86e-6, BF 2.81e-2→7.49e-5, Xor 2.67e-2→2.74e-5, \
@@ -111,8 +122,20 @@ pub fn run(opts: &RunOpts) {
         ycsb.negatives.len()
     );
     let ycsb_spaces = [12.5, 17.5, 22.5, 27.5, 32.5];
-    sweep(&ycsb, &NON_LEARNED_W, &ycsb_spaces, |mb| opts.ycsb_bits(mb), opts);
-    sweep(&ycsb, &Spec::LEARNED, &ycsb_spaces, |mb| opts.ycsb_bits(mb), opts);
+    sweep(
+        &ycsb,
+        &NON_LEARNED_W,
+        &ycsb_spaces,
+        |mb| opts.ycsb_bits(mb),
+        opts,
+    );
+    sweep(
+        &ycsb,
+        &Spec::LEARNED,
+        &ycsb_spaces,
+        |mb| opts.ycsb_bits(mb),
+        opts,
+    );
     println!(
         "paper ranges 12.5→32.5 MB (YCSB, skew 1.0): HABF 1.99e-3→1.97e-6; \
          best baseline 5.80e-3→5.14e-6."

@@ -46,10 +46,16 @@ fn dataset_table(ds: &Dataset, bits: usize, seed: u64, col: usize) {
         .sum();
     let mut table = Table::new(
         &format!("{} — peak construction memory", ds.name),
-        &["filter", "build peak", "incl. dataset", "paper (full scale)"],
+        &[
+            "filter",
+            "build peak",
+            "incl. dataset",
+            "paper (full scale)",
+        ],
     );
     for spec in Spec::ALL_TIMED {
-        let (built, peak) = TrackingAllocator::measure(|| suite::build(spec, ds, &costs, bits, seed));
+        let (built, peak) =
+            TrackingAllocator::measure(|| suite::build(spec, ds, &costs, bits, seed));
         suite::assert_zero_fnr(built.filter.as_ref(), ds);
         drop(built);
         table.row(&[

@@ -2,9 +2,8 @@
 
 use habf_core::{FHabf, Habf, HabfConfig};
 use habf_filters::{
-    AdaptiveLearnedBloomFilter, BloomFilter, BloomHashStrategy, Filter,
-    LearnedBloomFilter, LogisticRegression, SandwichedLearnedBloomFilter, WeightedBloomFilter,
-    XorFilter,
+    AdaptiveLearnedBloomFilter, BloomFilter, BloomHashStrategy, Filter, LearnedBloomFilter,
+    LogisticRegression, SandwichedLearnedBloomFilter, WeightedBloomFilter, XorFilter,
 };
 use habf_workloads::{metrics, Dataset};
 
@@ -59,8 +58,7 @@ impl Spec {
     /// The non-learned comparison set of Fig 10(a)/(c).
     pub const NON_LEARNED: [Spec; 4] = [Spec::Habf, Spec::FHabf, Spec::Xor, Spec::Bf];
     /// The learned comparison set of Fig 10(b)/(d).
-    pub const LEARNED: [Spec; 5] =
-        [Spec::Habf, Spec::FHabf, Spec::Lbf, Spec::AdaBf, Spec::Slbf];
+    pub const LEARNED: [Spec; 5] = [Spec::Habf, Spec::FHabf, Spec::Lbf, Spec::AdaBf, Spec::Slbf];
     /// Everything measured in Figs 12/15.
     pub const ALL_TIMED: [Spec; 8] = [
         Spec::Habf,
@@ -184,12 +182,7 @@ pub fn build(spec: Spec, ds: &Dataset, costs: &[f64], total_bits: usize, seed: u
         Spec::Slbf => {
             let model = Box::new(model_for_budget(total_bits, seed));
             let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                SandwichedLearnedBloomFilter::build(
-                    &ds.positives,
-                    &ds.negatives,
-                    total_bits,
-                    model,
-                )
+                SandwichedLearnedBloomFilter::build(&ds.positives, &ds.negatives, total_bits, model)
             });
             (Box::new(f), per)
         }

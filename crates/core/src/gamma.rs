@@ -192,14 +192,7 @@ mod tests {
     fn empty_bucket_is_clear() {
         let gamma = Gamma::new(4);
         let v = VIndex::new(4);
-        let set = gamma.detect_conflicts(
-            1,
-            &v,
-            K,
-            |_| [0u32; crate::MAX_K],
-            |_| true,
-            |_| 1.0,
-        );
+        let set = gamma.detect_conflicts(1, &v, K, |_| [0u32; crate::MAX_K], |_| true, |_| 1.0);
         assert!(set.is_clear());
         assert_eq!(set.total_cost, 0.0);
     }

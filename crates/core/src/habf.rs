@@ -402,10 +402,7 @@ mod tests {
     #[test]
     fn habf_zero_false_negatives() {
         let pos = keys(3_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let f = Habf::build(&pos, &neg, &config(3_000 * 10));
         for k in &pos {
             assert!(f.contains(k), "HABF dropped a member");
@@ -415,10 +412,7 @@ mod tests {
     #[test]
     fn fhabf_zero_false_negatives() {
         let pos = keys(3_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let f = FHabf::build(&pos, &neg, &config(3_000 * 10));
         for k in &pos {
             assert!(f.contains(k), "f-HABF dropped a member");
@@ -475,10 +469,7 @@ mod tests {
     #[test]
     fn incremental_insert_preserves_zero_fnr() {
         let pos = keys(1_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(1_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(1_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let mut f = Habf::build(&pos, &neg, &config(2_000 * 10));
         let late = keys(500, "late");
         for k in &late {
@@ -492,10 +483,7 @@ mod tests {
     #[test]
     fn query_verbose_distinguishes_rounds() {
         let pos = keys(2_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(2_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(2_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let f = Habf::build(&pos, &neg, &config(2_000 * 8));
         let mut round1 = 0usize;
         let mut round2 = 0usize;

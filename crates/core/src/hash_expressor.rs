@@ -171,7 +171,11 @@ impl HashExpressor {
         loop {
             // Read through the staged overlay first: the chain may revisit
             // a cell it claimed earlier in this same plan.
-            let staged = writes.iter().rev().find(|(p, _)| *p == pos).map(|&(_, v)| v);
+            let staged = writes
+                .iter()
+                .rev()
+                .find(|(p, _)| *p == pos)
+                .map(|&(_, v)| v);
             let value = staged.unwrap_or_else(|| self.cells.get(pos));
             if value == 0 {
                 // Case 1: claim the empty cell with a random invalid member.
@@ -401,6 +405,7 @@ mod tests {
         // Write the f-cell with a valid index but no endbit.
         let pos = he.f_cell(key);
         he.cells.set(pos, 3); // hashindex 3, endbit 0
+
         // The query follows to the next cells which are empty -> None,
         // or finishes without endbit -> None. Either way: None.
         assert!(he.query(key, &family).is_none());

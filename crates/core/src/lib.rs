@@ -56,8 +56,8 @@ pub mod tpjo;
 pub mod vindex;
 
 pub use habf::{FHabf, Habf, HabfConfig, QueryOutcome};
-pub use persist::PersistError;
 pub use hash_expressor::HashExpressor;
+pub use persist::PersistError;
 pub use tpjo::{BuildStats, TpjoConfig};
 
 /// Upper bound on the supported chain length `k` (the paper evaluates

@@ -117,9 +117,8 @@ pub(crate) struct Image<'a> {
 pub(crate) fn encode(img: &Image<'_>) -> Vec<u8> {
     let bloom_words = img.bloom.words();
     let cell_words = img.he.cells().words();
-    let mut out = Vec::with_capacity(
-        32 + img.h0.len() + 8 * (bloom_words.len() + cell_words.len()),
-    );
+    let mut out =
+        Vec::with_capacity(32 + img.h0.len() + 8 * (bloom_words.len() + cell_words.len()));
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.push(img.kind);
@@ -277,7 +276,10 @@ mod tests {
         // Bad magic.
         let mut bad = bytes.clone();
         bad[0] = b'X';
-        assert!(matches!(Habf::from_bytes(&bad), Err(PersistError::BadMagic)));
+        assert!(matches!(
+            Habf::from_bytes(&bad),
+            Err(PersistError::BadMagic)
+        ));
         // Bad version.
         let mut bad = bytes.clone();
         bad[4] = 99;

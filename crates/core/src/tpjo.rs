@@ -252,6 +252,7 @@ pub fn run<P: HashProvider>(
 
             // Candidate replacements from H_c = H − φ(e_s).
             let mut direct: Vec<(HashId, u32)> = Vec::new(); // classes (a)+(b)
+
             // Γ disabled (f-HABF): adjustments onto a zero bit are made
             // *blindly* — no conflict detection runs, so new collision keys
             // may appear unnoticed. This is the paper's "sacrificing
@@ -285,9 +286,7 @@ pub fn run<P: HashProvider>(
                         direct.push((id, p)); // class (b)
                     } else if config.enable_class_c {
                         let gain = eck_cost - cs.total_cost;
-                        if gain >= 0.0
-                            && costly.as_ref().is_none_or(|&(_, _, _, g0)| gain > g0)
-                        {
+                        if gain >= 0.0 && costly.as_ref().is_none_or(|&(_, _, _, g0)| gain > g0) {
                             costly = Some((id, p, cs, gain)); // class (c) best
                         }
                     }
@@ -299,28 +298,29 @@ pub fn run<P: HashProvider>(
             // Phase-II: keep the insertable plan with maximal cell overlap.
             // Side-effect-free candidates (class a / checked class b) are
             // preferred over blind ones.
-            let pick_best = |pool: &[(HashId, u32)],
-                                 he: &HashExpressor,
-                                 rng: &mut Xoshiro256|
-             -> Option<(crate::hash_expressor::InsertPlan, HashId, u32)> {
-                let mut best: Option<(crate::hash_expressor::InsertPlan, HashId, u32)> = None;
-                for &(id, p) in pool {
-                    let mut phi2: Vec<HashId> = phi.to_vec();
-                    phi2[slot] = id;
-                    if let Some(plan) = he.plan(es_key, &phi2, provider, rng) {
-                        if best
-                            .as_ref()
-                            .is_none_or(|(b, _, _)| plan.shared_cells() > b.shared_cells())
-                        {
-                            best = Some((plan, id, p));
-                        }
-                        if !config.overlap_tiebreak {
-                            break; // ablation: first insertable candidate wins
+            let pick_best =
+                |pool: &[(HashId, u32)],
+                 he: &HashExpressor,
+                 rng: &mut Xoshiro256|
+                 -> Option<(crate::hash_expressor::InsertPlan, HashId, u32)> {
+                    let mut best: Option<(crate::hash_expressor::InsertPlan, HashId, u32)> = None;
+                    for &(id, p) in pool {
+                        let mut phi2: Vec<HashId> = phi.to_vec();
+                        phi2[slot] = id;
+                        if let Some(plan) = he.plan(es_key, &phi2, provider, rng) {
+                            if best
+                                .as_ref()
+                                .is_none_or(|(b, _, _)| plan.shared_cells() > b.shared_cells())
+                            {
+                                best = Some((plan, id, p));
+                            }
+                            if !config.overlap_tiebreak {
+                                break; // ablation: first insertable candidate wins
+                            }
                         }
                     }
-                }
-                best
-            };
+                    best
+                };
             let mut best = pick_best(&direct, &he, &mut rng);
             if best.is_none() {
                 best = pick_best(&blind, &he, &mut rng);
@@ -464,14 +464,14 @@ mod tests {
     fn optimization_reduces_false_positives() {
         let provider = HashFamily::with_size(7);
         let pos = keys(3_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         // b = 6 bits/key: plenty of collisions to fix.
         let cfg = config(3_000 * 6, 3_000 * 2 / 4, true);
         let out = run(&pos, &neg, &provider, &cfg);
-        assert!(out.stats.initial_collision_keys > 0, "no collisions to optimize");
+        assert!(
+            out.stats.initial_collision_keys > 0,
+            "no collisions to optimize"
+        );
         assert!(
             out.stats.optimized + out.stats.resolved_lazily > 0,
             "optimizer did nothing: {:?}",
@@ -492,10 +492,7 @@ mod tests {
     fn gamma_disabled_still_sound_and_blind() {
         let provider = HashFamily::with_size(7);
         let pos = keys(3_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(3_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let m = 3_000 * 6;
         let omega = 3_000 * 2 / 4;
         let with = run(&pos, &neg, &provider, &config(m, omega, true));
@@ -532,10 +529,8 @@ mod tests {
         let provider = HashFamily::with_size(7);
         let pos = keys(4_000, "pos");
         // One extremely costly negative among uniform ones.
-        let mut neg: Vec<(Vec<u8>, f64)> = keys(4_000, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let mut neg: Vec<(Vec<u8>, f64)> =
+            keys(4_000, "neg").into_iter().map(|k| (k, 1.0)).collect();
         neg[1234].1 = 1e6;
         // Tight space: not everything can be optimized.
         let cfg = config(4_000 * 5, 4_000 / 4, true);
@@ -543,10 +538,10 @@ mod tests {
         // If the costly key was a collision key, it must have been among
         // the optimized ones (it sits at the head of the queue).
         let costly_fp = query(&out, &provider, &neg[1234].0, 3);
-        let h0_hit = out
-            .h0
-            .iter()
-            .all(|&id| out.bloom.get(provider.position(id, &neg[1234].0, out.bloom.len())));
+        let h0_hit = out.h0.iter().all(|&id| {
+            out.bloom
+                .get(provider.position(id, &neg[1234].0, out.bloom.len()))
+        });
         // Either it was never a collision key, or it is now negative
         // through round 1 (unless it was simply unfixable — accept a
         // round-2 accidental hit as the only excuse).
@@ -560,10 +555,7 @@ mod tests {
     fn stats_are_consistent() {
         let provider = HashFamily::with_size(7);
         let pos = keys(1_000, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(1_000, "neg")
-            .into_iter()
-            .map(|k| (k, 2.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(1_000, "neg").into_iter().map(|k| (k, 2.0)).collect();
         let cfg = config(1_000 * 8, 500, true);
         let out = run(&pos, &neg, &provider, &cfg);
         assert_eq!(out.stats.positives, 1_000);
@@ -579,10 +571,7 @@ mod tests {
         // from the final φ assignments and compare.
         let provider = HashFamily::with_size(7);
         let pos = keys(800, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(800, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(800, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let cfg = config(800 * 7, 400, true);
         let out = run(&pos, &neg, &provider, &cfg);
         // Every positive key queries positive — in particular every bit of
@@ -609,10 +598,7 @@ mod tests {
         // filter degrades to a plain Bloom array but must stay correct.
         let provider = HashFamily::with_size(3);
         let pos = keys(500, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(500, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(500, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let out = run(&pos, &neg, &provider, &config(500 * 8, 100, true));
         assert_eq!(out.stats.optimized, 0, "optimized without candidates");
         for k in &pos {
@@ -624,10 +610,7 @@ mod tests {
     fn k_one_minimal_configuration() {
         let provider = HashFamily::with_size(3);
         let pos = keys(300, "pos");
-        let neg: Vec<(Vec<u8>, f64)> = keys(300, "neg")
-            .into_iter()
-            .map(|k| (k, 2.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(300, "neg").into_iter().map(|k| (k, 2.0)).collect();
         let cfg = TpjoConfig {
             k: 1,
             m: 300 * 8,
@@ -677,10 +660,7 @@ mod tests {
         let mut pos = keys(500, "pos");
         pos.extend(keys(500, "pos")); // every key twice
         let provider = HashFamily::with_size(7);
-        let neg: Vec<(Vec<u8>, f64)> = keys(500, "neg")
-            .into_iter()
-            .map(|k| (k, 1.0))
-            .collect();
+        let neg: Vec<(Vec<u8>, f64)> = keys(500, "neg").into_iter().map(|k| (k, 1.0)).collect();
         let out = run(&pos, &neg, &provider, &config(500 * 10, 300, true));
         for k in &pos {
             assert!(query(&out, &provider, k, 3));

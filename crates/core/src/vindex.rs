@@ -181,7 +181,15 @@ mod tests {
         let mut v = VIndex::new(100);
         // Brute-force model of per-unit insertion counts.
         let mut counts = vec![0usize; 100];
-        let inserts = [(4usize, 1u32), (4, 2), (9, 3), (17, 3), (17, 4), (17, 5), (63, 9)];
+        let inserts = [
+            (4usize, 1u32),
+            (4, 2),
+            (9, 3),
+            (17, 3),
+            (17, 4),
+            (17, 5),
+            (63, 9),
+        ];
         for &(u, k) in &inserts {
             v.insert(u, k);
             counts[u] += 1;

@@ -85,7 +85,10 @@ impl LogisticRegression {
     /// Panics if `dim_log2` is not in `4..=24`.
     #[must_use]
     pub fn new(dim_log2: u32, epochs: usize, lr: f32, seed: u64) -> Self {
-        assert!((4..=24).contains(&dim_log2), "dim_log2 {dim_log2} out of range");
+        assert!(
+            (4..=24).contains(&dim_log2),
+            "dim_log2 {dim_log2} out of range"
+        );
         let dim = 1usize << dim_log2;
         Self {
             weights: vec![0.0; dim],
@@ -182,7 +185,10 @@ impl MlpClassifier {
     /// Panics if `dim_log2` not in `4..=20` or `hidden` not in `1..=64`.
     #[must_use]
     pub fn new(dim_log2: u32, hidden: usize, epochs: usize, lr: f32, seed: u64) -> Self {
-        assert!((4..=20).contains(&dim_log2), "dim_log2 {dim_log2} out of range");
+        assert!(
+            (4..=20).contains(&dim_log2),
+            "dim_log2 {dim_log2} out of range"
+        );
         assert!((1..=64).contains(&hidden), "hidden {hidden} out of range");
         let dim = 1usize << dim_log2;
         let mut rng = Xoshiro256::new(seed);
@@ -254,6 +260,7 @@ impl Classifier for MlpClassifier {
                 let z = self.forward(&feats, &mut h);
                 let target = if is_pos { 1.0 } else { 0.0 };
                 let delta = sigmoid(z) - target; // dL/dz
+
                 // Output layer.
                 self.b2 -= lr * delta;
                 let mut dh = vec![0.0f32; self.hidden];
@@ -313,10 +320,8 @@ mod tests {
         let (pos, neg) = corpus(2_000);
         let mut model = LogisticRegression::new(12, 3, 0.2, 1);
         model.train(&pos, &neg);
-        let pos_mean: f32 =
-            pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
-        let neg_mean: f32 =
-            neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
+        let pos_mean: f32 = pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
+        let neg_mean: f32 = neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
         assert!(
             pos_mean > neg_mean + 0.3,
             "no separation: pos {pos_mean:.3} vs neg {neg_mean:.3}"
@@ -328,10 +333,8 @@ mod tests {
         let (pos, neg) = corpus(1_000);
         let mut model = MlpClassifier::new(10, 8, 3, 0.1, 2);
         model.train(&pos, &neg);
-        let pos_mean: f32 =
-            pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
-        let neg_mean: f32 =
-            neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
+        let pos_mean: f32 = pos.iter().map(|k| model.score(k)).sum::<f32>() / pos.len() as f32;
+        let neg_mean: f32 = neg.iter().map(|k| model.score(k)).sum::<f32>() / neg.len() as f32;
         assert!(
             pos_mean > neg_mean + 0.2,
             "no separation: pos {pos_mean:.3} vs neg {neg_mean:.3}"

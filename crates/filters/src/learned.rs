@@ -53,9 +53,7 @@ fn score_at_quantile(sorted_scores: &[f32], q: f64) -> f32 {
     if sorted_scores.is_empty() {
         return 0.5;
     }
-    let idx = ((sorted_scores.len() as f64 * q).ceil() as usize)
-        .clamp(1, sorted_scores.len())
-        - 1;
+    let idx = ((sorted_scores.len() as f64 * q).ceil() as usize).clamp(1, sorted_scores.len()) - 1;
     sorted_scores[idx]
 }
 
@@ -108,10 +106,7 @@ impl LearnedBloomFilter {
         }
         let tau = best.expect("non-empty grid").1;
 
-        let fn_keys: Vec<&Vec<u8>> = positives
-            .iter()
-            .filter(|k| model.score(k) < tau)
-            .collect();
+        let fn_keys: Vec<&Vec<u8>> = positives.iter().filter(|k| model.score(k) < tau).collect();
         let backup = BloomFilter::build(&fn_keys, budget.max(64));
         Self { model, tau, backup }
     }
@@ -193,10 +188,7 @@ impl SandwichedLearnedBloomFilter {
         let back_bits = budget - init_bits;
 
         let initial = BloomFilter::build(positives, init_bits.max(64));
-        let fn_keys: Vec<&Vec<u8>> = positives
-            .iter()
-            .filter(|k| model.score(k) < tau)
-            .collect();
+        let fn_keys: Vec<&Vec<u8>> = positives.iter().filter(|k| model.score(k) < tau).collect();
         let backup = BloomFilter::build(&fn_keys, back_bits.max(64));
         Self {
             model,
@@ -257,7 +249,10 @@ impl AdaptiveLearnedBloomFilter {
         mut model: Box<dyn Classifier>,
     ) -> Self {
         assert!(groups >= 2, "Ada-BF needs at least two score groups");
-        assert!(!positives.is_empty(), "Ada-BF needs a non-empty positive set");
+        assert!(
+            !positives.is_empty(),
+            "Ada-BF needs a non-empty positive set"
+        );
         model.train(positives, negatives);
         let m = total_bits
             .checked_sub(model.size_bits())

@@ -12,7 +12,7 @@
 //! cost list increasing"). The cache here is exactly that: a flat list of
 //! `(key-hash, k)` entries scanned linearly, as the paper describes.
 
-use crate::{Filter, optimal_k};
+use crate::{optimal_k, Filter};
 use habf_hashing::xxhash;
 use habf_util::BitVec;
 
@@ -181,12 +181,7 @@ mod tests {
     fn skewed_negatives(n: usize) -> Vec<(Vec<u8>, f64)> {
         // A crude power-law: cost ~ 1/rank.
         (0..n)
-            .map(|i| {
-                (
-                    format!("neg:{i}").into_bytes(),
-                    1000.0 / (i + 1) as f64,
-                )
-            })
+            .map(|i| (format!("neg:{i}").into_bytes(), 1000.0 / (i + 1) as f64))
             .collect()
     }
 

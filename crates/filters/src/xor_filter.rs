@@ -65,7 +65,10 @@ impl XorFilter {
     pub fn build_with_fp_bits(keys: &[impl AsRef<[u8]>], fp_bits: u32) -> Self {
         let n = keys.len();
         assert!(n > 0, "xor filter needs a non-empty key set");
-        assert!((1..=32).contains(&fp_bits), "fp_bits {fp_bits} not in 1..=32");
+        assert!(
+            (1..=32).contains(&fp_bits),
+            "fp_bits {fp_bits} not in 1..=32"
+        );
         // 1.23× slack plus a constant pad, as in the reference construction.
         let seg_len = ((1.23 * n as f64).ceil() as usize / 3 + 11).max(2);
         for attempt in 0..64u64 {

@@ -1,8 +1,6 @@
 //! Property-based tests for the baseline filters.
 
-use habf_filters::{
-    BloomFilter, BloomHashStrategy, Filter, WeightedBloomFilter, XorFilter,
-};
+use habf_filters::{BloomFilter, BloomHashStrategy, Filter, WeightedBloomFilter, XorFilter};
 use proptest::prelude::*;
 
 fn keys_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {

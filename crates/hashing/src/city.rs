@@ -66,11 +66,7 @@ fn hash_len_0_to_16(s: &[u8]) -> u64 {
     if len >= 4 {
         let mul = K2.wrapping_add(len as u64 * 2);
         let a = fetch32(s, 0);
-        return hash_len16_mul(
-            (len as u64).wrapping_add(a << 3),
-            fetch32(s, len - 4),
-            mul,
-        );
+        return hash_len16_mul((len as u64).wrapping_add(a << 3), fetch32(s, len - 4), mul);
     }
     if len > 0 {
         let a = u64::from(s[0]);
@@ -113,8 +109,8 @@ fn hash_len_33_to_64(s: &[u8]) -> u64 {
     let g = fetch64(s, len - 8);
     let h = fetch64(s, len - 16).wrapping_mul(mul);
 
-    let u = rotate(a.wrapping_add(g), 43)
-        .wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
+    let u =
+        rotate(a.wrapping_add(g), 43).wrapping_add(rotate(b, 30).wrapping_add(c).wrapping_mul(9));
     let v = (a.wrapping_add(g) ^ d).wrapping_add(f).wrapping_add(1);
     let w = (u.wrapping_add(v).wrapping_mul(mul))
         .swap_bytes()
@@ -202,11 +198,7 @@ pub fn city64(key: &[u8]) -> u64 {
             37,
         )
         .wrapping_mul(K1);
-        y = rotate(
-            y.wrapping_add(v.1).wrapping_add(fetch64(key, off + 48)),
-            42,
-        )
-        .wrapping_mul(K1);
+        y = rotate(y.wrapping_add(v.1).wrapping_add(fetch64(key, off + 48)), 42).wrapping_mul(K1);
         x ^= w.1;
         y = y.wrapping_add(v.0).wrapping_add(fetch64(key, off + 40));
         z = rotate(z.wrapping_add(w.0), 33).wrapping_mul(K1);
@@ -258,7 +250,9 @@ mod tests {
         // 0..=16, 17..=32, 33..=64, >64 single block, >64 multi block.
         let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
         let mut seen = std::collections::HashSet::new();
-        for len in [0usize, 1, 3, 4, 7, 8, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 199] {
+        for len in [
+            0usize, 1, 3, 4, 7, 8, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 199,
+        ] {
             assert!(seen.insert(city64(&data[..len])), "len {len} collided");
         }
     }

@@ -302,8 +302,8 @@ mod tests {
     fn single_byte_sensitivity() {
         // Every function must distinguish at least these adjacent keys.
         let funcs: Vec<fn(&[u8]) -> u64> = vec![
-            djb2, ndjb, sdbm, bkdr, pjw, elf, jshash, rshash, aphash, dek, brp, twmx, pyhash,
-            oaat, fnv1a,
+            djb2, ndjb, sdbm, bkdr, pjw, elf, jshash, rshash, aphash, dek, brp, twmx, pyhash, oaat,
+            fnv1a,
         ];
         for f in funcs {
             assert_ne!(f(b"key-000"), f(b"key-001"));

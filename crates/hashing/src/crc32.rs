@@ -62,7 +62,10 @@ mod tests {
         assert_eq!(crc32_raw(b""), 0x0000_0000);
         assert_eq!(crc32_raw(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32_raw(b"abc"), 0x3524_41C2);
-        assert_eq!(crc32_raw(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32_raw(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

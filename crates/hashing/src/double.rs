@@ -104,7 +104,10 @@ impl HashProvider for SimulatedFamily {
     fn positions_batch(&self, key: &[u8], ids: &[HashId], m: usize, out: &mut Vec<u32>) {
         out.clear();
         let h = self.hasher(key); // one 128-bit evaluation for all ids
-        out.extend(ids.iter().map(|&id| h.position(u64::from(id) - 1, m) as u32));
+        out.extend(
+            ids.iter()
+                .map(|&id| h.position(u64::from(id) - 1, m) as u32),
+        );
     }
 }
 

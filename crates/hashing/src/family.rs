@@ -269,7 +269,9 @@ mod tests {
                     continue;
                 }
                 // Two distinct family members must differ on at least one probe.
-                let differs = keys.iter().any(|k| family.hash_id(a, k) != family.hash_id(b, k));
+                let differs = keys
+                    .iter()
+                    .any(|k| family.hash_id(a, k) != family.hash_id(b, k));
                 assert!(
                     differs,
                     "{} and {} agree on all probes",

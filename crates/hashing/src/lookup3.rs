@@ -149,8 +149,14 @@ mod tests {
     fn lookup3_published_vectors() {
         assert_eq!(hashlittle(b"", 0), 0xDEAD_BEEF);
         assert_eq!(hashlittle(b"", 0xDEAD_BEEF), 0xBD5B_7DDE);
-        assert_eq!(hashlittle(b"Four score and seven years ago", 0), 0x1777_0551);
-        assert_eq!(hashlittle(b"Four score and seven years ago", 1), 0xCD62_8161);
+        assert_eq!(
+            hashlittle(b"Four score and seven years ago", 0),
+            0x1777_0551
+        );
+        assert_eq!(
+            hashlittle(b"Four score and seven years ago", 1),
+            0xCD62_8161
+        );
     }
 
     #[test]

@@ -15,11 +15,7 @@ pub fn murmur64a(key: &[u8], seed: u64) -> u64 {
 
     let n_blocks = len / 8;
     for i in 0..n_blocks {
-        let mut k = u64::from_le_bytes(
-            key[i * 8..i * 8 + 8]
-                .try_into()
-                .expect("8-byte chunk"),
-        );
+        let mut k = u64::from_le_bytes(key[i * 8..i * 8 + 8].try_into().expect("8-byte chunk"));
         k = k.wrapping_mul(M);
         k ^= k >> R;
         k = k.wrapping_mul(M);

@@ -151,7 +151,10 @@ mod tests {
             }
         }
         // The low bits of the halves should agree about half the time.
-        assert!((64..=192).contains(&agree), "halves correlated: {agree}/256");
+        assert!(
+            (64..=192).contains(&agree),
+            "halves correlated: {agree}/256"
+        );
     }
 
     #[test]
@@ -159,6 +162,9 @@ mod tests {
         let a = xxh64(b"avalanche-probe-0", 0);
         let b = xxh64(b"avalanche-probe-1", 0);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "bad avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "bad avalanche: {flipped} bits"
+        );
     }
 }

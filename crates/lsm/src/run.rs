@@ -217,8 +217,7 @@ mod tests {
 
     #[test]
     fn empty_run_gets_no_filter() {
-        let filter =
-            Run::build_filter(&[], &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
+        let filter = Run::build_filter(&[], &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
         assert!(matches!(filter, RunFilter::None));
         assert_eq!(filter.space_bits(), 0);
     }

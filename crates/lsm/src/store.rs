@@ -78,7 +78,10 @@ impl Lsm {
     /// Creates an empty store.
     #[must_use]
     pub fn new(config: LsmConfig) -> Self {
-        assert!(config.memtable_capacity > 0, "memtable capacity must be > 0");
+        assert!(
+            config.memtable_capacity > 0,
+            "memtable capacity must be > 0"
+        );
         assert!(config.level_fanout > 0, "level fanout must be > 0");
         Self {
             config,
@@ -111,9 +114,8 @@ impl Lsm {
         if self.memtable.is_empty() {
             return;
         }
-        let entries: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut self.memtable)
-            .into_iter()
-            .collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            std::mem::take(&mut self.memtable).into_iter().collect();
         let hints = self.hints_with_siblings(entries.len());
         let filter = Run::build_filter(&entries, &self.config.filter, &hints);
         self.push_run(0, Run::new(entries, filter));
@@ -268,7 +270,11 @@ mod tests {
         }
         db.flush();
         for i in 0..1_000 {
-            assert_eq!(db.get(&key(i)), Some(format!("v{i}").into_bytes()), "key {i}");
+            assert_eq!(
+                db.get(&key(i)),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
         }
         assert!(db.depth() >= 1);
     }
@@ -318,8 +324,7 @@ mod tests {
         // the per-run budget holds the optimized chains (the paper's
         // filters are MB-scale; 1k-entry runs are the small end of
         // realistic).
-        let misses: Vec<(Vec<u8>, f64)> =
-            (50_000..52_000).map(|i| (key(i), 5.0)).collect();
+        let misses: Vec<(Vec<u8>, f64)> = (50_000..52_000).map(|i| (key(i), 5.0)).collect();
         let build = |kind: FilterKind| -> Lsm {
             let mut db = Lsm::new(LsmConfig {
                 memtable_capacity: 1024,

@@ -22,7 +22,10 @@ impl PackedCells {
     /// Panics if `width` is zero or greater than 32.
     #[must_use]
     pub fn new(len: usize, width: u32) -> Self {
-        assert!((1..=32).contains(&width), "cell width {width} not in 1..=32");
+        assert!(
+            (1..=32).contains(&width),
+            "cell width {width} not in 1..=32"
+        );
         let total_bits = len * width as usize;
         Self {
             words: vec![0u64; total_bits.div_ceil(64)],
@@ -107,8 +110,7 @@ impl PackedCells {
         if taken < self.width {
             let rest = self.width - taken;
             let lo_mask = (1u64 << rest) - 1;
-            self.words[word + 1] =
-                (self.words[word + 1] & !lo_mask) | ((value as u64) >> taken);
+            self.words[word + 1] = (self.words[word + 1] & !lo_mask) | ((value as u64) >> taken);
         }
     }
 
@@ -141,7 +143,10 @@ impl PackedCells {
     /// Panics if `width` is out of range or `words` has the wrong length.
     #[must_use]
     pub fn from_words(words: Vec<u64>, len: usize, width: u32) -> Self {
-        assert!((1..=32).contains(&width), "cell width {width} not in 1..=32");
+        assert!(
+            (1..=32).contains(&width),
+            "cell width {width} not in 1..=32"
+        );
         assert_eq!(
             words.len(),
             (len * width as usize).div_ceil(64),

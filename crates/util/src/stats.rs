@@ -72,7 +72,11 @@ pub fn time_ns<T>(f: impl FnOnce() -> T) -> (T, u64) {
 /// `(result, ns_per_item)`. `items == 0` yields `0.0`.
 pub fn time_per_item<T>(items: usize, f: impl FnOnce() -> T) -> (T, f64) {
     let (out, ns) = time_ns(f);
-    let per = if items == 0 { 0.0 } else { ns as f64 / items as f64 };
+    let per = if items == 0 {
+        0.0
+    } else {
+        ns as f64 / items as f64
+    };
     (out, per)
 }
 

@@ -51,10 +51,7 @@ pub fn fpr(mut contains: impl FnMut(&[u8]) -> bool, negatives: &[Vec<u8>]) -> f6
 
 /// Zero-FNR check: every positive key must be accepted.
 #[must_use]
-pub fn false_negatives(
-    mut contains: impl FnMut(&[u8]) -> bool,
-    positives: &[Vec<u8>],
-) -> usize {
+pub fn false_negatives(mut contains: impl FnMut(&[u8]) -> bool, positives: &[Vec<u8>]) -> usize {
     positives.iter().filter(|k| !contains(k)).count()
 }
 
@@ -103,7 +100,11 @@ mod tests {
         let negs = keys(4);
         let costs = [1.0, 2.0, 3.0, 4.0];
         // Accept exactly the last two keys.
-        let w = weighted_fpr(|k| k == b"k2".as_slice() || k == b"k3".as_slice(), &negs, &costs);
+        let w = weighted_fpr(
+            |k| k == b"k2".as_slice() || k == b"k3".as_slice(),
+            &negs,
+            &costs,
+        );
         assert!((w - 0.7).abs() < 1e-12);
     }
 

@@ -26,16 +26,18 @@ const FULL_NEGATIVES: usize = 1_435_527;
 /// Token pools. Overlap between the two worlds is intentional (see module
 /// docs): ~20% of domains cross over.
 const BAD_WORDS: &[&str] = &[
-    "warez", "crack", "casino", "xxx", "porn", "phish", "malware", "trojan", "spyware",
-    "pirate", "torrent", "keygen", "spam", "botnet", "exploit", "darkweb", "gamble",
+    "warez", "crack", "casino", "xxx", "porn", "phish", "malware", "trojan", "spyware", "pirate",
+    "torrent", "keygen", "spam", "botnet", "exploit", "darkweb", "gamble",
 ];
 const GOOD_WORDS: &[&str] = &[
-    "news", "shop", "blog", "wiki", "docs", "mail", "forum", "store", "photo", "video",
-    "music", "sport", "travel", "health", "school", "bank", "weather",
+    "news", "shop", "blog", "wiki", "docs", "mail", "forum", "store", "photo", "video", "music",
+    "sport", "travel", "health", "school", "bank", "weather",
 ];
 const BAD_TLDS: &[&str] = &["ru", "cn", "xyz", "info", "tk", "top", "cc"];
 const GOOD_TLDS: &[&str] = &["com", "org", "net", "edu", "gov", "io", "de"];
-const BAD_PATHS: &[&str] = &["download", "free", "serial", "adult", "win", "bonus", "click"];
+const BAD_PATHS: &[&str] = &[
+    "download", "free", "serial", "adult", "win", "bonus", "click",
+];
 const GOOD_PATHS: &[&str] = &["article", "item", "page", "user", "post", "view", "help"];
 
 /// Generator configuration.
@@ -88,12 +90,8 @@ impl ShallaConfig {
         let mut rng = Xoshiro256::new(self.seed);
         let n_pos = self.n_positives();
         let n_neg = self.n_negatives();
-        let positives = (0..n_pos)
-            .map(|i| self.url(&mut rng, true, i))
-            .collect();
-        let negatives = (0..n_neg)
-            .map(|i| self.url(&mut rng, false, i))
-            .collect();
+        let positives = (0..n_pos).map(|i| self.url(&mut rng, true, i)).collect();
+        let negatives = (0..n_neg).map(|i| self.url(&mut rng, false, i)).collect();
         Dataset {
             name: "Shalla".into(),
             positives,
@@ -173,14 +171,19 @@ mod tests {
         let d = ShallaConfig::with_scale(0.002).generate();
         let is_bad_tld = |k: &[u8]| {
             let s = std::str::from_utf8(k).unwrap();
-            let host = s.strip_prefix("http://").unwrap().split('/').next().unwrap();
+            let host = s
+                .strip_prefix("http://")
+                .unwrap()
+                .split('/')
+                .next()
+                .unwrap();
             let tld = host.rsplit('.').next().unwrap();
             BAD_TLDS.contains(&tld)
         };
-        let pos_rate = d.positives.iter().filter(|k| is_bad_tld(k)).count() as f64
-            / d.positives.len() as f64;
-        let neg_rate = d.negatives.iter().filter(|k| is_bad_tld(k)).count() as f64
-            / d.negatives.len() as f64;
+        let pos_rate =
+            d.positives.iter().filter(|k| is_bad_tld(k)).count() as f64 / d.positives.len() as f64;
+        let neg_rate =
+            d.negatives.iter().filter(|k| is_bad_tld(k)).count() as f64 / d.negatives.len() as f64;
         assert!(
             pos_rate > 0.6 && neg_rate < 0.4,
             "no separation: pos {pos_rate:.2} vs neg {neg_rate:.2}"

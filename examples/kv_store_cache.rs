@@ -93,9 +93,27 @@ fn main() {
     let mut results = Vec::new();
     for (name, kind, hinted) in [
         ("none", FilterKind::None, false),
-        ("Bloom", FilterKind::Bloom { bits_per_key: BITS_PER_KEY }, false),
-        ("HABF (hinted)", FilterKind::Habf { bits_per_key: BITS_PER_KEY }, true),
-        ("f-HABF (hinted)", FilterKind::FHabf { bits_per_key: BITS_PER_KEY }, true),
+        (
+            "Bloom",
+            FilterKind::Bloom {
+                bits_per_key: BITS_PER_KEY,
+            },
+            false,
+        ),
+        (
+            "HABF (hinted)",
+            FilterKind::Habf {
+                bits_per_key: BITS_PER_KEY,
+            },
+            true,
+        ),
+        (
+            "f-HABF (hinted)",
+            FilterKind::FHabf {
+                bits_per_key: BITS_PER_KEY,
+            },
+            true,
+        ),
     ] {
         let (io, hits) = run(kind, hinted.then_some(hints.as_slice()));
         println!(
@@ -109,8 +127,7 @@ fn main() {
     let bloom = results[1].1;
     let habf = results[2].1;
     let delta_pct = if bloom.wasted_reads > 0 {
-        100.0 * (bloom.wasted_reads as f64 - habf.wasted_reads as f64)
-            / bloom.wasted_reads as f64
+        100.0 * (bloom.wasted_reads as f64 - habf.wasted_reads as f64) / bloom.wasted_reads as f64
     } else {
         0.0
     };

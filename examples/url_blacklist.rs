@@ -45,7 +45,10 @@ fn main() {
         Box::new(LogisticRegression::new(10, 2, 0.15, 3)),
     );
 
-    println!("\n{:<10} {:>14} {:>18}", "filter", "weighted FPR", "false positives");
+    println!(
+        "\n{:<10} {:>14} {:>18}",
+        "filter", "weighted FPR", "false positives"
+    );
     for filter in [
         &habf as &dyn Filter,
         &bloom as &dyn Filter,

@@ -37,12 +37,7 @@ fn main() {
     let cfg = HabfConfig::with_total_bits(total_bits);
     let habf = Habf::build(&ds.positives, &negatives_with_costs, &cfg);
     let fhabf = FHabf::build(&ds.positives, &negatives_with_costs, &cfg);
-    let wbf = WeightedBloomFilter::build(
-        &ds.positives,
-        &negatives_with_costs,
-        total_bits,
-        2_048,
-    );
+    let wbf = WeightedBloomFilter::build(&ds.positives, &negatives_with_costs, total_bits, 2_048);
     let bloom = BloomFilter::build(&ds.positives, total_bits);
 
     println!(

@@ -15,17 +15,19 @@ use habf::filters::Filter;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
+         [--fast] [--seed N] [--out FILE]\n  habf query FILTER KEY [KEY…]\n  habf inspect FILTER";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
-         [--fast] [--seed N] [--out FILE]\n  habf query FILTER KEY [KEY…]\n  habf inspect FILTER"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
 fn read_lines(path: &str) -> Vec<Vec<u8>> {
-    let file = std::fs::File::open(path)
-        .unwrap_or_else(|e| { eprintln!("habf: cannot open {path}: {e}"); std::process::exit(1) });
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("habf: cannot open {path}: {e}");
+        std::process::exit(1)
+    });
     std::io::BufReader::new(file)
         .split(b'\n')
         .map(|l| l.expect("read line"))
@@ -74,31 +76,38 @@ fn cmd_build(args: &[String]) -> ExitCode {
             _ => usage(),
         }
     }
-    let (Some(pp), Some(np)) = (positives_path, negatives_path) else { usage() };
+    let (Some(pp), Some(np)) = (positives_path, negatives_path) else {
+        usage()
+    };
     let positives = read_lines(&pp);
     if positives.is_empty() {
         eprintln!("habf: {pp} holds no keys");
         return ExitCode::FAILURE;
     }
     let negatives = parse_negatives(&np);
-    let mut cfg =
-        HabfConfig::with_total_bits((positives.len() as f64 * bits_per_key) as usize);
+    let mut cfg = HabfConfig::with_total_bits((positives.len() as f64 * bits_per_key) as usize);
     cfg.seed = seed;
 
     let (image, stats_line) = if fast {
         let f = FHabf::build(&positives, &negatives, &cfg);
         let s = f.stats().clone();
-        (f.to_bytes(), format!(
-            "f-HABF: {} positives, {} negatives, {} collision keys, {} optimized",
-            s.positives, s.negatives, s.initial_collision_keys, s.optimized
-        ))
+        (
+            f.to_bytes(),
+            format!(
+                "f-HABF: {} positives, {} negatives, {} collision keys, {} optimized",
+                s.positives, s.negatives, s.initial_collision_keys, s.optimized
+            ),
+        )
     } else {
         let f = Habf::build(&positives, &negatives, &cfg);
         let s = f.stats().clone();
-        (f.to_bytes(), format!(
-            "HABF: {} positives, {} negatives, {} collision keys, {} optimized, {} failed",
-            s.positives, s.negatives, s.initial_collision_keys, s.optimized, s.failed
-        ))
+        (
+            f.to_bytes(),
+            format!(
+                "HABF: {} positives, {} negatives, {} collision keys, {} optimized, {} failed",
+                s.positives, s.negatives, s.initial_collision_keys, s.optimized, s.failed
+            ),
+        )
     };
     if let Err(e) = std::fs::write(&out, &image) {
         eprintln!("habf: cannot write {out}: {e}");
@@ -152,7 +161,11 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
     match load(path) {
         Ok(f) => {
             println!("kind        : {}", f.name());
-            println!("space       : {} bits ({} KB)", f.space_bits(), f.space_bits() / 8 / 1024);
+            println!(
+                "space       : {} bits ({} KB)",
+                f.space_bits(),
+                f.space_bits() / 8 / 1024
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -164,13 +177,21 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.split_first() {
-        Some((cmd, rest)) => match cmd.as_str() {
-            "build" => cmd_build(rest),
-            "query" => cmd_query(rest),
-            "inspect" => cmd_inspect(rest),
-            _ => usage(),
-        },
-        None => usage(),
+    // `--help` anywhere (including `habf build --help`) prints usage and
+    // succeeds. Query keys are raw bytes, but a literal "--help" key is far
+    // less likely than a user probing for help.
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") || args[0] == "help" {
+        if args.is_empty() {
+            usage();
+        }
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (cmd, rest) = args.split_first().expect("non-empty args");
+    match cmd.as_str() {
+        "build" => cmd_build(rest),
+        "query" => cmd_query(rest),
+        "inspect" => cmd_inspect(rest),
+        _ => usage(),
     }
 }

@@ -54,7 +54,11 @@ fn build_query_inspect_roundtrip() {
         .arg(&out)
         .output()
         .expect("run build");
-    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
     assert!(out.exists());
 
     // Members answer "maybe" with exit 0.
@@ -112,7 +116,11 @@ fn fast_variant_builds_and_loads() {
         .arg(&out)
         .output()
         .expect("run build");
-    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
     let inspect = Command::new(bin())
         .arg("inspect")
         .arg(&out)

@@ -26,11 +26,7 @@ fn model() -> Box<LogisticRegression> {
 fn one_sided_error_contract_holds_everywhere() {
     for ds in [shalla(), ycsb()] {
         let total_bits = ds.positives.len() * 12;
-        let unit: Vec<(&[u8], f64)> = ds
-            .negatives
-            .iter()
-            .map(|k| (k.as_slice(), 1.0))
-            .collect();
+        let unit: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
         let cfg = HabfConfig::with_total_bits(total_bits);
 
         let filters: Vec<Box<dyn Filter>> = vec![
@@ -38,7 +34,12 @@ fn one_sided_error_contract_holds_everywhere() {
             Box::new(FHabf::build(&ds.positives, &unit, &cfg)),
             Box::new(BloomFilter::build(&ds.positives, total_bits)),
             Box::new(XorFilter::build(&ds.positives, total_bits)),
-            Box::new(WeightedBloomFilter::build(&ds.positives, &unit, total_bits, 256)),
+            Box::new(WeightedBloomFilter::build(
+                &ds.positives,
+                &unit,
+                total_bits,
+                256,
+            )),
             Box::new(LearnedBloomFilter::build(
                 &ds.positives,
                 &ds.negatives,
@@ -77,12 +78,12 @@ fn one_sided_error_contract_holds_everywhere() {
 fn habf_beats_bloom_on_known_negatives() {
     for ds in [shalla(), ycsb()] {
         let total_bits = ds.positives.len() * 8;
-        let unit: Vec<(&[u8], f64)> = ds
-            .negatives
-            .iter()
-            .map(|k| (k.as_slice(), 1.0))
-            .collect();
-        let habf = Habf::build(&ds.positives, &unit, &HabfConfig::with_total_bits(total_bits));
+        let unit: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
+        let habf = Habf::build(
+            &ds.positives,
+            &unit,
+            &HabfConfig::with_total_bits(total_bits),
+        );
         let bloom = BloomFilter::build(&ds.positives, total_bits);
         let habf_fpr = metrics::fpr(|k| habf.contains(k), &ds.negatives);
         let bloom_fpr = metrics::fpr(|k| bloom.contains(k), &ds.negatives);
@@ -104,7 +105,11 @@ fn skew_widens_the_weighted_gap() {
     let costs = zipf_costs(ds.negatives.len(), 1.5, &mut rng);
     let with_costs: Vec<(&[u8], f64)> = ds.negatives_with_costs(&costs);
 
-    let habf = Habf::build(&ds.positives, &with_costs, &HabfConfig::with_total_bits(total_bits));
+    let habf = Habf::build(
+        &ds.positives,
+        &with_costs,
+        &HabfConfig::with_total_bits(total_bits),
+    );
     let bloom = BloomFilter::build(&ds.positives, total_bits);
     let habf_w = metrics::weighted_fpr(|k| habf.contains(k), &ds.negatives, &costs);
     let bloom_w = metrics::weighted_fpr(|k| bloom.contains(k), &ds.negatives, &costs);
@@ -120,11 +125,7 @@ fn skew_widens_the_weighted_gap() {
 fn fhabf_between_habf_and_bloom() {
     let ds = shalla();
     let total_bits = ds.positives.len() * 8;
-    let unit: Vec<(&[u8], f64)> = ds
-        .negatives
-        .iter()
-        .map(|k| (k.as_slice(), 1.0))
-        .collect();
+    let unit: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
     let cfg = HabfConfig::with_total_bits(total_bits);
     let habf = Habf::build(&ds.positives, &unit, &cfg);
     let fhabf = FHabf::build(&ds.positives, &unit, &cfg);
@@ -144,8 +145,7 @@ fn learned_filters_depend_on_key_structure() {
     let random = ycsb();
     for (ds, expect_signal) in [(&structured, true), (&random, false)] {
         let total_bits = ds.positives.len() * 12;
-        let lbf =
-            LearnedBloomFilter::build(&ds.positives, &ds.negatives, total_bits, model());
+        let lbf = LearnedBloomFilter::build(&ds.positives, &ds.negatives, total_bits, model());
         let bloom = BloomFilter::build(&ds.positives, total_bits);
         let lbf_fpr = metrics::fpr(|k| lbf.contains(k), &ds.negatives);
         let bloom_fpr = metrics::fpr(|k| bloom.contains(k), &ds.negatives);
@@ -174,11 +174,7 @@ fn learned_filters_depend_on_key_structure() {
 fn space_budgets_are_respected() {
     let ds = shalla();
     let total_bits = ds.positives.len() * 10;
-    let unit: Vec<(&[u8], f64)> = ds
-        .negatives
-        .iter()
-        .map(|k| (k.as_slice(), 1.0))
-        .collect();
+    let unit: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
     let cfg = HabfConfig::with_total_bits(total_bits);
     let habf = Habf::build(&ds.positives, &unit, &cfg);
     let bloom = BloomFilter::build(&ds.positives, total_bits);

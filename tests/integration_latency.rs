@@ -40,11 +40,7 @@ fn learned_filter_queries_stay_microsecond_scale() {
 #[test]
 fn fhabf_queries_faster_than_habf() {
     let ds = ShallaConfig::with_scale(0.01).generate();
-    let negatives: Vec<(&[u8], f64)> = ds
-        .negatives
-        .iter()
-        .map(|k| (k.as_slice(), 1.0))
-        .collect();
+    let negatives: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
     let cfg = HabfConfig::with_total_bits(ds.positives.len() * 10);
     let habf = Habf::build(&ds.positives, &negatives, &cfg);
     let fhabf = FHabf::build(&ds.positives, &negatives, &cfg);

@@ -53,7 +53,11 @@ fn habf_filters_reduce_weighted_miss_cost() {
         .map(|(i, &f)| (ghost(i), f64::from(f)))
         .collect();
 
-    let mut bloom_db = populate(FilterKind::Bloom { bits_per_key: 10.0 }, 24_000, hints.clone());
+    let mut bloom_db = populate(
+        FilterKind::Bloom { bits_per_key: 10.0 },
+        24_000,
+        hints.clone(),
+    );
     let mut habf_db = populate(FilterKind::Habf { bits_per_key: 10.0 }, 24_000, hints);
 
     // Replay a fresh window of the same traffic (misses only).

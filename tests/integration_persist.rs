@@ -40,11 +40,7 @@ fn random_garbage_never_panics() {
     }
     // Valid header prefix + random tail.
     let ds = ShallaConfig::with_scale(0.0005).generate();
-    let neg: Vec<(&[u8], f64)> = ds
-        .negatives
-        .iter()
-        .map(|k| (k.as_slice(), 1.0))
-        .collect();
+    let neg: Vec<(&[u8], f64)> = ds.negatives.iter().map(|k| (k.as_slice(), 1.0)).collect();
     let image = Habf::build(
         &ds.positives,
         &neg,

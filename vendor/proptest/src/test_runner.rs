@@ -1,0 +1,145 @@
+//! The case-generation loop, its deterministic RNG, and the error plumbing
+//! behind `prop_assert!` / `prop_assume!`.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig::with_cases(cases)
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert!` failure: the property does not hold for this input.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is outside the property's domain.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic generator RNG (SplitMix64), seeded from the test name so
+/// every run of a test sees the same input sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with an explicit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`. `hi` must exceed `lo`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `[lo, hi)` for usize bounds.
+    pub fn gen_index(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one `proptest!` function: generates inputs from `strategy` until
+/// `config.cases` successful runs of `test`, panicking on the first failing
+/// input (printed verbatim; this shim does not shrink).
+pub fn run_proptest<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x4841_4246_2021_0000u64)
+        ^ fnv1a(name);
+    let max_rejects = config.cases.saturating_mul(64).max(1024);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base ^ case.wrapping_mul(0xA076_1D64_78BD_642F));
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        let mut shown = format!("{value:?}");
+        if shown.len() > 1024 {
+            shown.truncate(1024);
+            shown.push_str("… (truncated)");
+        }
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{name}: too many inputs rejected by prop_assume! ({why})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing case(s)\n{msg}\ninput: {shown}"
+                )
+            }
+        }
+    }
+}
