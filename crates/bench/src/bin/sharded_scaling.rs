@@ -1,0 +1,11 @@
+//! Sharded HABF scaling run: build time and batched query cost at
+//! 1/2/4/8 shards (see `habf_bench::sharded`).
+fn main() {
+    let opts = habf_bench::RunOpts::parse();
+    let ds = habf_workloads::ShallaConfig::with_scale(opts.scale_shalla).generate();
+    let mut rng = habf_util::Xoshiro256::new(opts.seed);
+    let costs = habf_workloads::zipf_costs(ds.negatives.len(), 1.0, &mut rng);
+    let total_bits = ds.positives.len() * 10;
+    let rows = habf_bench::sharded::run_scaling(&ds, &costs, total_bits, opts.seed);
+    habf_bench::sharded::table(&rows).print();
+}

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod figures;
 pub mod report;
+pub mod sharded;
 pub mod suite;
 
 pub use args::RunOpts;

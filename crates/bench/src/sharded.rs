@@ -1,0 +1,126 @@
+//! Sharded serving scaling: build time and batched query throughput at
+//! 1/2/4/8 shards over the same dataset and total space budget.
+//!
+//! This is the suite entry behind the `sharded_scaling` binary. It answers
+//! the two questions the serving layer exists for: how much wall-clock the
+//! `std::thread::scope` build fan-out recovers, and what shard-grouped
+//! batched queries cost relative to one big filter — while asserting that
+//! accuracy (zero FNR, weighted FPR) stays in family across shard counts.
+
+use crate::report::{ns, pct, Table};
+use habf_core::{Habf, HabfConfig, ShardedConfig, ShardedHabf};
+use habf_filters::Filter;
+use habf_workloads::{metrics, Dataset};
+use std::time::Instant;
+
+/// Shard counts every scaling run compares.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the scaling comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardScaling {
+    /// Shard count.
+    pub shards: usize,
+    /// Parallel build wall-clock in milliseconds.
+    pub build_ms: f64,
+    /// Batched (shard-grouped) query cost, ns per key.
+    pub batch_ns_per_key: f64,
+    /// Scalar query cost via `Filter::contains`, ns per key.
+    pub scalar_ns_per_key: f64,
+    /// Weighted FPR over the dataset's negatives (must stay in family
+    /// across shard counts — sharding repartitions, it does not degrade).
+    pub weighted_fpr: f64,
+}
+
+/// Builds `ShardedHabf<Habf>` at each of [`SHARD_COUNTS`] over `ds` with
+/// the same `total_bits` budget and measures build + query costs.
+///
+/// # Panics
+/// Panics if any shard count drops a positive key (zero-FNR violation).
+#[must_use]
+pub fn run_scaling(ds: &Dataset, costs: &[f64], total_bits: usize, seed: u64) -> Vec<ShardScaling> {
+    let negatives = ds.negatives_with_costs(costs);
+    let mut probe: Vec<&[u8]> = Vec::with_capacity(ds.positives.len() + ds.negatives.len());
+    probe.extend(ds.positives.iter().map(Vec::as_slice));
+    probe.extend(ds.negatives.iter().map(Vec::as_slice));
+
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let mut base = HabfConfig::with_total_bits(total_bits);
+            base.seed = seed;
+            let cfg = ShardedConfig::new(shards, base);
+
+            let t = Instant::now();
+            let filter = ShardedHabf::<Habf>::build_par(&ds.positives, &negatives, &cfg);
+            let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            let fns = metrics::false_negatives(|k| filter.contains(k), &ds.positives);
+            assert_eq!(fns, 0, "{shards}-shard filter dropped {fns} members");
+
+            let t = Instant::now();
+            let answers = filter.contains_batch(&probe);
+            let batch_ns_per_key = t.elapsed().as_nanos() as f64 / probe.len() as f64;
+            assert_eq!(answers.len(), probe.len());
+
+            let scalar_ns_per_key =
+                metrics::query_latency_ns(|k| filter.contains(k), &ds.positives);
+            let weighted_fpr = metrics::weighted_fpr(|k| filter.contains(k), &ds.negatives, costs);
+
+            ShardScaling {
+                shards,
+                build_ms,
+                batch_ns_per_key,
+                scalar_ns_per_key,
+                weighted_fpr,
+            }
+        })
+        .collect()
+}
+
+/// Renders a scaling run as the standard report table.
+#[must_use]
+pub fn table(rows: &[ShardScaling]) -> Table {
+    let mut t = Table::new(
+        "Sharded HABF scaling (equal total bits, parallel build)",
+        &[
+            "shards",
+            "build ms",
+            "batch ns/key",
+            "scalar ns/key",
+            "weighted FPR",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.shards.to_string(),
+            format!("{:.1}", r.build_ms),
+            ns(r.batch_ns_per_key),
+            ns(r.scalar_ns_per_key),
+            pct(r.weighted_fpr),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use habf_workloads::ShallaConfig;
+
+    #[test]
+    fn scaling_rows_cover_all_shard_counts_with_zero_fnr() {
+        let ds = ShallaConfig::with_scale(0.002).generate();
+        let costs = vec![1.0; ds.negatives.len()];
+        let rows = run_scaling(&ds, &costs, ds.positives.len() * 10, 7);
+        assert_eq!(rows.len(), SHARD_COUNTS.len());
+        for (row, &shards) in rows.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(row.shards, shards);
+            assert!(row.build_ms > 0.0);
+            assert!(row.batch_ns_per_key > 0.0);
+            assert!((0.0..=1.0).contains(&row.weighted_fpr));
+        }
+        let rendered = table(&rows).render();
+        assert!(rendered.contains("shards"), "{rendered}");
+    }
+}

@@ -26,6 +26,56 @@ pub struct HabfConfig {
     pub requeue_cap: u8,
 }
 
+/// Why a [`HabfConfig`] (or [`crate::sharded::ShardedConfig`]) was
+/// rejected by validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `total_bits` is zero — there is no space to build anything.
+    ZeroBudget,
+    /// `delta` is not a finite positive ratio. `delta = 0` starves the
+    /// HashExpressor, and `delta ≤ -1` flips the sign of the ∆1 share in
+    /// [`HabfConfig::split`], corrupting the budget split.
+    NonPositiveDelta,
+    /// `cell_bits` outside `2..=16`. `cell_bits = 1` leaves zero
+    /// addressable hash ids (`usable_hashes() == 0`), and `0` shifts out
+    /// of range entirely.
+    BadCellBits,
+    /// `k` is zero, above [`crate::MAX_K`], or larger than the number of
+    /// family functions addressable with `cell_bits`.
+    BadK,
+    /// A sharded build was asked for zero shards.
+    ZeroShards,
+    /// The shard count exceeds what the persist container can frame
+    /// (`crate::sharded::MAX_SHARDS`); building it would produce a filter
+    /// that serializes but can never be loaded back.
+    TooManyShards,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroBudget => write!(f, "total_bits must be > 0"),
+            ConfigError::NonPositiveDelta => {
+                write!(f, "delta must be a finite ratio > 0")
+            }
+            ConfigError::BadCellBits => write!(f, "cell_bits must be in 2..=16"),
+            ConfigError::BadK => write!(
+                f,
+                "k must be in 1..={} and addressable with cell_bits",
+                crate::MAX_K
+            ),
+            ConfigError::ZeroShards => write!(f, "shard count must be > 0"),
+            ConfigError::TooManyShards => write!(
+                f,
+                "shard count exceeds the persistable maximum of {}",
+                crate::sharded::MAX_SHARDS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl HabfConfig {
     /// The paper's default configuration for a given total budget.
     #[must_use]
@@ -38,6 +88,44 @@ impl HabfConfig {
             seed: 0x4841_4246, // "HABF"
             requeue_cap: 3,
         }
+    }
+
+    /// Checked constructor: the paper's defaults with `total_bits`,
+    /// rejected if degenerate (zero budget).
+    ///
+    /// # Errors
+    /// Returns the first failing [`ConfigError`].
+    pub fn try_with_total_bits(total_bits: usize) -> Result<Self, ConfigError> {
+        let cfg = Self::with_total_bits(total_bits);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates the configuration, rejecting the degenerate corners that
+    /// would otherwise corrupt construction: a zero budget, `delta ≤ 0`
+    /// (or non-finite) which breaks [`HabfConfig::split`], `cell_bits`
+    /// outside `2..=16` (`cell_bits = 1` makes [`HabfConfig::usable_hashes`]
+    /// return 0), and a `k` that no cell can express.
+    ///
+    /// [`Habf::build`] and [`FHabf::build`] call this and panic with the
+    /// error message on a rejected configuration.
+    ///
+    /// # Errors
+    /// Returns the first failing [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.total_bits == 0 {
+            return Err(ConfigError::ZeroBudget);
+        }
+        if !self.delta.is_finite() || self.delta <= 0.0 {
+            return Err(ConfigError::NonPositiveDelta);
+        }
+        if !(2..=16).contains(&self.cell_bits) {
+            return Err(ConfigError::BadCellBits);
+        }
+        if self.k == 0 || self.k > crate::MAX_K || self.k > self.usable_hashes() {
+            return Err(ConfigError::BadK);
+        }
+        Ok(())
     }
 
     /// Splits the budget into `(m, omega)` = (Bloom bits, HashExpressor
@@ -74,6 +162,7 @@ impl HabfConfig {
 }
 
 /// The Hash Adaptive Bloom Filter.
+#[derive(Clone)]
 pub struct Habf {
     bloom: BitVec,
     he: HashExpressor,
@@ -87,13 +176,17 @@ impl Habf {
     /// negative set, running the full TPJO optimization.
     ///
     /// # Panics
-    /// Panics on an infeasible configuration (see [`tpjo::run`]).
+    /// Panics on a degenerate configuration (see [`HabfConfig::validate`])
+    /// or an infeasible one (see [`tpjo::run`]).
     #[must_use]
     pub fn build(
         positives: &[impl AsRef<[u8]>],
         negatives: &[(impl AsRef<[u8]>, f64)],
         config: &HabfConfig,
     ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid HabfConfig: {e}");
+        }
         let family = HashFamily::with_size(config.usable_hashes());
         let out = tpjo::run(positives, negatives, &family, &config.tpjo(true));
         Self {
@@ -258,6 +351,7 @@ impl Filter for Habf {
 /// The fast variant (paper §III-G): the whole family is simulated by
 /// double hashing from one 128-bit base hash, and Γ is disabled during
 /// construction.
+#[derive(Clone)]
 pub struct FHabf {
     bloom: BitVec,
     he: HashExpressor,
@@ -270,13 +364,17 @@ impl FHabf {
     /// Builds an f-HABF (double hashing, Γ disabled).
     ///
     /// # Panics
-    /// Panics on an infeasible configuration (see [`tpjo::run`]).
+    /// Panics on a degenerate configuration (see [`HabfConfig::validate`])
+    /// or an infeasible one (see [`tpjo::run`]).
     #[must_use]
     pub fn build(
         positives: &[impl AsRef<[u8]>],
         negatives: &[(impl AsRef<[u8]>, f64)],
         config: &HabfConfig,
     ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid HabfConfig: {e}");
+        }
         let size = (1usize << (config.cell_bits - 1)) - 1;
         let family = habf_hashing::double::SimulatedFamily::new(size, config.seed ^ 0xFA57);
         let out = tpjo::run(positives, negatives, &family, &config.tpjo(false));
@@ -509,6 +607,93 @@ mod tests {
             let verbose = f.query_verbose(k) != QueryOutcome::Negative;
             assert_eq!(verbose, f.contains(k));
         }
+    }
+
+    #[test]
+    fn empty_positive_set_builds_an_always_negative_filter() {
+        // Regression: a sharded build can hand a shard zero keys; that
+        // shard must build (not panic) and reject everything.
+        let pos: Vec<Vec<u8>> = vec![];
+        let neg: Vec<(Vec<u8>, f64)> = keys(100, "neg").into_iter().map(|k| (k, 1.0)).collect();
+        let f = Habf::build(&pos, &neg, &config(1_000));
+        assert_eq!(f.fill_ratio(), 0.0);
+        for (k, _) in &neg {
+            assert!(!f.contains(k), "empty filter accepted a key");
+        }
+        let restored = Habf::from_bytes(&f.to_bytes()).expect("empty filter persists");
+        assert!(!restored.contains(b"anything"));
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_paper_ranges() {
+        assert_eq!(config(1_000).validate(), Ok(()));
+        let mut cfg = config(1_000);
+        cfg.cell_bits = 5;
+        cfg.k = 8;
+        assert_eq!(cfg.validate(), Ok(()));
+        assert!(HabfConfig::try_with_total_bits(64).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        // cell_bits = 1 leaves zero addressable ids (usable_hashes() == 0)
+        // and used to fall through to a confusing family-size panic.
+        let mut cfg = config(1_000);
+        cfg.cell_bits = 1;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadCellBits));
+        cfg.cell_bits = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadCellBits));
+        cfg.cell_bits = 17;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadCellBits));
+
+        // delta ≤ 0 (or non-finite) corrupts split(): delta = -1 divides
+        // by zero and negative ratios flip the ∆1 share's sign.
+        let mut cfg = config(1_000);
+        cfg.delta = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDelta));
+        cfg.delta = -1.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDelta));
+        cfg.delta = f64::NAN;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDelta));
+        cfg.delta = f64::INFINITY;
+        assert_eq!(cfg.validate(), Err(ConfigError::NonPositiveDelta));
+
+        let mut cfg = config(1_000);
+        cfg.k = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadK));
+        cfg.k = crate::MAX_K + 1;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadK));
+        // k = 8 is legal in general but not addressable by 4-bit cells.
+        cfg.k = 8;
+        assert_eq!(cfg.validate(), Err(ConfigError::BadK));
+
+        let mut cfg = config(1_000);
+        cfg.total_bits = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroBudget));
+        assert!(matches!(
+            HabfConfig::try_with_total_bits(0),
+            Err(ConfigError::ZeroBudget)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_bits must be in 2..=16")]
+    fn build_panics_cleanly_on_one_bit_cells() {
+        let pos = keys(10, "p");
+        let neg: Vec<(Vec<u8>, f64)> = vec![];
+        let mut cfg = config(1_000);
+        cfg.cell_bits = 1;
+        let _ = Habf::build(&pos, &neg, &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be a finite ratio > 0")]
+    fn fhabf_build_panics_cleanly_on_negative_delta() {
+        let pos = keys(10, "p");
+        let neg: Vec<(Vec<u8>, f64)> = vec![];
+        let mut cfg = config(1_000);
+        cfg.delta = -0.5;
+        let _ = FHabf::build(&pos, &neg, &cfg);
     }
 
     #[test]

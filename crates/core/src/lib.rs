@@ -43,6 +43,7 @@
 //! | §III-C/E two-round zero-FNR query | [`habf`] |
 //! | §III-G f-HABF (double hashing, Γ off) | [`habf::FHabf`] |
 //! | §IV theoretical analysis (Eqs 3, 11, 12, 19) | [`theory`] |
+//! | — sharded concurrent serving (post-paper) | [`sharded`] |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -51,13 +52,15 @@ pub mod gamma;
 pub mod habf;
 pub mod hash_expressor;
 pub mod persist;
+pub mod sharded;
 pub mod theory;
 pub mod tpjo;
 pub mod vindex;
 
-pub use habf::{FHabf, Habf, HabfConfig, QueryOutcome};
+pub use habf::{ConfigError, FHabf, Habf, HabfConfig, QueryOutcome};
 pub use hash_expressor::HashExpressor;
 pub use persist::PersistError;
+pub use sharded::{InsertOutcome, InsertableShard, ShardFilter, ShardedConfig, ShardedHabf};
 pub use tpjo::{BuildStats, TpjoConfig};
 
 /// Upper bound on the supported chain length `k` (the paper evaluates

@@ -27,6 +27,14 @@ use habf_util::{BitVec, PackedCells};
 const MAGIC: &[u8; 4] = b"HABF";
 const VERSION: u8 = 1;
 
+/// Magic for the sharded container format framing per-shard blobs.
+const SHARDED_MAGIC: &[u8; 4] = b"HABS";
+const SHARDED_VERSION: u8 = 1;
+
+/// Upper bound on the persisted shard count; rejects corrupt headers
+/// before any per-shard allocation happens.
+pub(crate) const MAX_SHARDS: usize = 65_536;
+
 /// Errors loading a persisted filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistError {
@@ -203,6 +211,83 @@ pub(crate) fn decode(buf: &[u8], expect_kind: u8) -> Result<Decoded, PersistErro
         sim_seed,
         bloom,
         he: HashExpressor::from_parts(cells, k, inserted),
+    })
+}
+
+/// Encodes the sharded container image: a header naming the splitter,
+/// followed by length-framed per-shard blobs (each a complete [`encode`]
+/// image).
+///
+/// ```text
+/// magic "HABS" | version u8 | kind u8 (0 = HABF, 1 = f-HABF)
+/// shards u32 | splitter_seed u64 | built_keys u64 | inserted u64
+/// per shard: blob_len u64 | blob bytes…
+/// ```
+pub(crate) fn encode_sharded(
+    kind: u8,
+    splitter_seed: u64,
+    built_keys: u64,
+    inserted: u64,
+    blobs: &[Vec<u8>],
+) -> Vec<u8> {
+    let payload: usize = blobs.iter().map(|b| 8 + b.len()).sum();
+    let mut out = Vec::with_capacity(34 + payload);
+    out.extend_from_slice(SHARDED_MAGIC);
+    out.push(SHARDED_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(blobs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&splitter_seed.to_le_bytes());
+    out.extend_from_slice(&built_keys.to_le_bytes());
+    out.extend_from_slice(&inserted.to_le_bytes());
+    for blob in blobs {
+        out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(blob);
+    }
+    out
+}
+
+pub(crate) struct ShardedDecoded<'a> {
+    pub splitter_seed: u64,
+    pub built_keys: u64,
+    pub inserted: u64,
+    pub blobs: Vec<&'a [u8]>,
+}
+
+pub(crate) fn decode_sharded(
+    buf: &[u8],
+    expect_kind: u8,
+) -> Result<ShardedDecoded<'_>, PersistError> {
+    let mut r = Reader::new(buf);
+    if r.bytes(4)? != SHARDED_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != SHARDED_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    if kind != expect_kind {
+        return Err(PersistError::WrongKind);
+    }
+    let shards = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")) as usize;
+    if shards == 0 || shards > MAX_SHARDS {
+        return Err(PersistError::Corrupt("shard count out of range"));
+    }
+    let splitter_seed = r.u64()?;
+    let built_keys = r.u64()?;
+    let inserted = r.u64()?;
+    let mut blobs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let len = r.u64()?;
+        let len = usize::try_from(len).map_err(|_| PersistError::Truncated)?;
+        blobs.push(r.bytes(len)?);
+    }
+    r.finish()?;
+    Ok(ShardedDecoded {
+        splitter_seed,
+        built_keys,
+        inserted,
+        blobs,
     })
 }
 

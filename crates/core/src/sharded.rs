@@ -1,0 +1,735 @@
+//! Sharded, concurrent HABF serving: partition the key space across `N`
+//! independent filters, build them in parallel, and query them lock-free.
+//!
+//! The paper's construction is offline over a known positive set and a
+//! costed negative set, which makes it embarrassingly partitionable: a
+//! dedicated *splitter hash* (seeded xxHash-64, independent of every
+//! family function used inside the filters) assigns each key to one of
+//! `N` shards, and each shard is an ordinary [`Habf`] / [`FHabf`] built
+//! over only its partition with a proportional slice of the total space
+//! budget. Because shard membership depends only on the key bytes and the
+//! splitter seed, a query touches exactly one shard — false-positive
+//! behaviour is that shard's, and the zero-false-negative contract is
+//! preserved shard-locally, hence globally.
+//!
+//! Concurrency model:
+//!
+//! * **Build** fans the per-shard TPJO runs out over `std::thread::scope`
+//!   workers ([`ShardedHabf::build_par`]). Shard builds are deterministic,
+//!   so the result is byte-for-byte identical regardless of thread count.
+//! * **Read** is lock-free. Shards are held in [`Arc`]s and never mutated
+//!   in place; [`ShardedHabf::shard_handle`] clones out a cheap per-shard
+//!   handle a server thread can query without touching the others.
+//! * **Write** ([`ShardedHabf::insert_batch`]) is copy-on-write via
+//!   [`Arc::make_mut`]: concurrent readers holding handles keep the
+//!   pre-insert snapshot; the writer pays a shard clone only when a reader
+//!   actually holds one.
+//!
+//! ```
+//! use habf_core::{Habf, HabfConfig, ShardedConfig, ShardedHabf};
+//! use habf_filters::Filter;
+//!
+//! let members: Vec<Vec<u8>> = (0..400).map(|i| format!("user:{i}").into_bytes()).collect();
+//! let blocked: Vec<(Vec<u8>, f64)> = (0..400)
+//!     .map(|i| (format!("bot:{i}").into_bytes(), 1.0))
+//!     .collect();
+//!
+//! let cfg = ShardedConfig::new(4, HabfConfig::with_total_bits(400 * 10));
+//! let filter = ShardedHabf::<Habf>::build_par(&members, &blocked, &cfg);
+//!
+//! assert_eq!(filter.shard_count(), 4);
+//! assert!(members.iter().all(|k| filter.contains(k))); // zero FNR
+//! let answers = filter.contains_batch(&members);
+//! assert!(answers.iter().all(|&maybe| maybe));
+//!
+//! // Ships and loads like the unsharded filters.
+//! let restored = ShardedHabf::<Habf>::from_bytes(&filter.to_bytes()).unwrap();
+//! assert!(members.iter().all(|k| restored.contains(k)));
+//! ```
+
+use crate::habf::{ConfigError, FHabf, Habf, HabfConfig};
+use crate::persist::{self, PersistError};
+use habf_filters::Filter;
+use std::sync::Arc;
+
+/// Seed tag mixed into the splitter hash so shard routing can never
+/// coincide with the seeded hashes used *inside* a shard.
+const SPLITTER_TAG: u64 = 0x5348_4152_4445_4421; // "SHARDED!"
+
+/// Largest shard count the persist container can frame; builds above it
+/// are rejected by [`ShardedConfig::validate`] so a filter can never be
+/// constructed that serializes but fails to load.
+pub const MAX_SHARDS: usize = persist::MAX_SHARDS;
+
+/// Per-shard seed spacing (the 64-bit golden ratio, as in SplitMix64):
+/// shard `i` builds with `base_seed + i·φ` (wrapping), so shard 0 of a
+/// 1-shard build is seeded identically to the unsharded filter.
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A filter type that can serve as one shard of a [`ShardedHabf`]:
+/// buildable from a key partition, persistable, and queryable from many
+/// threads at once.
+pub trait ShardFilter: Filter + Sized + Send + Sync {
+    /// Persist-format kind byte (`0` = HABF, `1` = f-HABF), shared with
+    /// the unsharded image format.
+    const KIND: u8;
+
+    /// Builds one shard over its partition of positives and negatives.
+    fn build_shard(positives: &[&[u8]], negatives: &[(&[u8], f64)], config: &HabfConfig) -> Self;
+
+    /// Serializes the shard to the unsharded single-filter image.
+    fn shard_to_bytes(&self) -> Vec<u8>;
+
+    /// Loads a shard persisted by [`ShardFilter::shard_to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a [`PersistError`] on malformed input.
+    fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError>;
+}
+
+impl ShardFilter for Habf {
+    const KIND: u8 = 0;
+
+    fn build_shard(positives: &[&[u8]], negatives: &[(&[u8], f64)], config: &HabfConfig) -> Self {
+        Habf::build(positives, negatives, config)
+    }
+
+    fn shard_to_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
+        Habf::from_bytes(buf)
+    }
+}
+
+impl ShardFilter for FHabf {
+    const KIND: u8 = 1;
+
+    fn build_shard(positives: &[&[u8]], negatives: &[(&[u8], f64)], config: &HabfConfig) -> Self {
+        FHabf::build(positives, negatives, config)
+    }
+
+    fn shard_to_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
+        FHabf::from_bytes(buf)
+    }
+}
+
+/// A shard that additionally supports post-build single-key inserts
+/// (only [`Habf`] — the f-HABF query path cannot absorb new keys without
+/// a rebuild, which is what [`ShardedHabf::insert_batch`]'s rebuild
+/// signal is for).
+pub trait InsertableShard: ShardFilter + Clone {
+    /// Inserts a positive key into the built shard (see [`Habf::insert`]).
+    fn insert_key(&mut self, key: &[u8]);
+}
+
+impl InsertableShard for Habf {
+    fn insert_key(&mut self, key: &[u8]) {
+        self.insert(key);
+    }
+}
+
+/// Configuration of a sharded build: shard count, build parallelism, and
+/// the *total* budget shared by all shards.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of shards (≥ 1). Shard routing is stable for a given
+    /// `(splitter_seed, shards)` pair, so the count is persisted with the
+    /// filter.
+    pub shards: usize,
+    /// Worker threads for [`ShardedHabf::build_par`] and
+    /// [`ShardedHabf::contains_batch_par`]; `0` uses
+    /// `min(shards, available_parallelism)`.
+    pub threads: usize,
+    /// Seed of the dedicated splitter hash routing keys to shards.
+    pub splitter_seed: u64,
+    /// Per-filter parameters. `base.total_bits` is the budget for the
+    /// **whole** sharded filter; each shard receives a slice proportional
+    /// to its share of the positive keys, and `base.seed` is strided per
+    /// shard (shard 0 keeps it verbatim).
+    pub base: HabfConfig,
+}
+
+impl ShardedConfig {
+    /// A sharded configuration with the paper's defaults: `base.seed` also
+    /// seeds the splitter, and build parallelism is automatic.
+    #[must_use]
+    pub fn new(shards: usize, base: HabfConfig) -> Self {
+        Self {
+            shards,
+            threads: 0,
+            splitter_seed: base.seed,
+            base,
+        }
+    }
+
+    /// Validates shard count and the base configuration.
+    ///
+    /// # Errors
+    /// Returns the first failing [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(ConfigError::TooManyShards);
+        }
+        self.base.validate()
+    }
+
+    fn worker_threads(&self) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let t = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        t.clamp(1, self.shards.max(1))
+    }
+
+    /// The configuration shard `i` builds with: a budget slice proportional
+    /// to `part_positives / total_positives` (never below a 64-bit floor so
+    /// empty shards stay constructible) and a seed strided per shard.
+    ///
+    /// Public so tests and tools can reproduce any shard as a plain
+    /// unsharded build: `Habf::build(part_pos, part_neg,
+    /// &cfg.shard_config(i, part_pos.len(), total))` is byte-identical to
+    /// shard `i` of [`ShardedHabf::build_par`].
+    #[must_use]
+    pub fn shard_config(
+        &self,
+        i: usize,
+        part_positives: usize,
+        total_positives: usize,
+    ) -> HabfConfig {
+        let mut cfg = self.base.clone();
+        let total = total_positives.max(1) as u128;
+        let slice = (self.base.total_bits as u128 * part_positives as u128 / total) as usize;
+        cfg.total_bits = slice.max(64);
+        cfg.seed = self
+            .base
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE));
+        cfg
+    }
+}
+
+/// Outcome of [`ShardedHabf::insert_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Keys routed and inserted.
+    pub inserted: usize,
+    /// `true` once post-build inserts exceed 25% of the built key count:
+    /// incremental inserts go in with `H0` only (no TPJO), so the FPR
+    /// optimization decays and a rebuild will recover it.
+    pub rebuild_recommended: bool,
+}
+
+/// A filter sharded across `N` independent [`ShardFilter`]s with a
+/// dedicated splitter hash (see the [module docs](self)).
+pub struct ShardedHabf<F: ShardFilter> {
+    shards: Vec<Arc<F>>,
+    splitter_seed: u64,
+    built_keys: usize,
+    inserted_since_build: usize,
+}
+
+impl<F: ShardFilter> ShardedHabf<F> {
+    /// Builds all shards in parallel with `std::thread::scope`.
+    ///
+    /// Keys are partitioned by the splitter hash; each shard runs the full
+    /// TPJO construction over its partition with a proportional slice of
+    /// `config.base.total_bits`. The result is deterministic for a given
+    /// configuration, independent of `config.threads`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`ShardedConfig::validate`])
+    /// or if a build worker panics.
+    #[must_use]
+    pub fn build_par(
+        positives: &[impl AsRef<[u8]>],
+        negatives: &[(impl AsRef<[u8]>, f64)],
+        config: &ShardedConfig,
+    ) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid ShardedConfig: {e}");
+        }
+        let n = config.shards;
+        let mut pos_parts: Vec<Vec<&[u8]>> = vec![Vec::new(); n];
+        for key in positives {
+            let key = key.as_ref();
+            pos_parts[shard_of(key, config.splitter_seed, n)].push(key);
+        }
+        let mut neg_parts: Vec<Vec<(&[u8], f64)>> = vec![Vec::new(); n];
+        for (key, cost) in negatives {
+            let key = key.as_ref();
+            neg_parts[shard_of(key, config.splitter_seed, n)].push((key, *cost));
+        }
+
+        let total_positives = positives.len();
+        let configs: Vec<HabfConfig> = (0..n)
+            .map(|i| config.shard_config(i, pos_parts[i].len(), total_positives))
+            .collect();
+
+        let threads = config.worker_threads();
+        let mut slots: Vec<Option<F>> = (0..n).map(|_| None).collect();
+        if threads <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(F::build_shard(&pos_parts[i], &neg_parts[i], &configs[i]));
+            }
+        } else {
+            let built: Vec<Vec<(usize, F)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let pos_parts = &pos_parts;
+                        let neg_parts = &neg_parts;
+                        let configs = &configs;
+                        s.spawn(move || {
+                            (w..n)
+                                .step_by(threads)
+                                .map(|i| {
+                                    (i, F::build_shard(&pos_parts[i], &neg_parts[i], &configs[i]))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard build worker panicked"))
+                    .collect()
+            });
+            for (i, shard) in built.into_iter().flatten() {
+                slots[i] = Some(shard);
+            }
+        }
+        Self {
+            shards: slots
+                .into_iter()
+                .map(|s| Arc::new(s.expect("every shard built")))
+                .collect(),
+            splitter_seed: config.splitter_seed,
+            built_keys: total_positives,
+            inserted_since_build: 0,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The splitter-hash seed routing keys to shards.
+    #[must_use]
+    pub fn splitter_seed(&self) -> u64 {
+        self.splitter_seed
+    }
+
+    /// The shard index `key` routes to.
+    #[must_use]
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        shard_of(key, self.splitter_seed, self.shards.len())
+    }
+
+    /// Borrows shard `i` (diagnostics, tests).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn shard(&self, i: usize) -> &F {
+        &self.shards[i]
+    }
+
+    /// Clones out a lock-free handle to shard `i` — the unit a serving
+    /// thread holds while answering queries for that shard.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn shard_handle(&self, i: usize) -> Arc<F> {
+        Arc::clone(&self.shards[i])
+    }
+
+    /// Queries a batch in input order, grouped by shard so each shard's
+    /// Bloom array and HashExpressor stay cache-resident while their keys
+    /// drain.
+    #[must_use]
+    pub fn contains_batch(&self, keys: &[impl AsRef<[u8]>]) -> Vec<bool> {
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (idx, key) in keys.iter().enumerate() {
+            by_shard[shard_of(key.as_ref(), self.splitter_seed, n)].push(idx);
+        }
+        let mut out = vec![false; keys.len()];
+        for (shard, indices) in self.shards.iter().zip(&by_shard) {
+            for &idx in indices {
+                out[idx] = shard.contains(keys[idx].as_ref());
+            }
+        }
+        out
+    }
+
+    /// [`ShardedHabf::contains_batch`] fanned out over `threads` scoped
+    /// worker threads (`0` = automatic). Reads share the immutable shards
+    /// through `&self`; no locks are taken.
+    #[must_use]
+    pub fn contains_batch_par(
+        &self,
+        keys: &[impl AsRef<[u8]> + Sync],
+        threads: usize,
+    ) -> Vec<bool> {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let threads = if threads == 0 { auto } else { threads }.max(1);
+        if threads == 1 || keys.len() < 2 {
+            return self.contains_batch(keys);
+        }
+        let chunk = keys.len().div_ceil(threads);
+        let mut out = vec![false; keys.len()];
+        std::thread::scope(|s| {
+            let chunks = keys.chunks(chunk).zip(out.chunks_mut(chunk));
+            let handles: Vec<_> = chunks
+                .map(|(keys, out)| {
+                    // Each worker runs the shard-grouped batch over its
+                    // chunk, keeping the cache-locality win per thread.
+                    s.spawn(move || out.copy_from_slice(&self.contains_batch(keys)))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("batch query worker panicked");
+            }
+        });
+        out
+    }
+
+    /// Keys inserted since the last full build.
+    #[must_use]
+    pub fn inserted_since_build(&self) -> usize {
+        self.inserted_since_build
+    }
+
+    /// Serializes the filter: a container header (shard count, splitter
+    /// seed, insert counters) framing each shard's unsharded image.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let blobs: Vec<Vec<u8>> = self.shards.iter().map(|s| s.shard_to_bytes()).collect();
+        persist::encode_sharded(
+            F::KIND,
+            self.splitter_seed,
+            self.built_keys as u64,
+            self.inserted_since_build as u64,
+            &blobs,
+        )
+    }
+
+    /// Loads a filter persisted by [`ShardedHabf::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a [`PersistError`] on any malformed input; never panics on
+    /// untrusted bytes.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
+        let d = persist::decode_sharded(buf, F::KIND)?;
+        let shards = d
+            .blobs
+            .iter()
+            .map(|blob| F::shard_from_bytes(blob).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            splitter_seed: d.splitter_seed,
+            built_keys: usize::try_from(d.built_keys).map_err(|_| PersistError::Truncated)?,
+            inserted_since_build: usize::try_from(d.inserted)
+                .map_err(|_| PersistError::Truncated)?,
+        })
+    }
+}
+
+impl<F: InsertableShard> ShardedHabf<F> {
+    /// Inserts a batch of positive keys after construction, routing each to
+    /// its shard. Copy-on-write: a shard is cloned only if a reader still
+    /// holds a [`ShardedHabf::shard_handle`] to it, and those readers keep
+    /// the pre-insert snapshot.
+    ///
+    /// The returned [`InsertOutcome`] is rebuild-aware: incremental inserts
+    /// bypass TPJO (they set `H0` bits only, see [`Habf::insert`]), so once
+    /// they exceed 25% of the built key count the outcome recommends a
+    /// fresh [`ShardedHabf::build_par`].
+    pub fn insert_batch(&mut self, keys: &[impl AsRef<[u8]>]) -> InsertOutcome {
+        let n = self.shards.len();
+        for key in keys {
+            let key = key.as_ref();
+            let i = shard_of(key, self.splitter_seed, n);
+            Arc::make_mut(&mut self.shards[i]).insert_key(key);
+        }
+        self.inserted_since_build += keys.len();
+        InsertOutcome {
+            inserted: keys.len(),
+            rebuild_recommended: self.rebuild_recommended(),
+        }
+    }
+
+    /// `true` once post-build inserts exceed 25% of the built key count.
+    #[must_use]
+    pub fn rebuild_recommended(&self) -> bool {
+        self.inserted_since_build * 4 > self.built_keys.max(1)
+    }
+}
+
+impl<F: ShardFilter> Filter for ShardedHabf<F> {
+    /// Routes to exactly one shard and runs its two-round query.
+    fn contains(&self, key: &[u8]) -> bool {
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    fn space_bits(&self) -> usize {
+        self.shards.iter().map(|s| s.space_bits()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        match F::KIND {
+            0 => "Sharded-HABF",
+            _ => "Sharded-f-HABF",
+        }
+    }
+}
+
+/// The dedicated splitter: seeded xxHash-64 over the key bytes, reduced
+/// modulo the shard count. Stable across versions (the seed and count are
+/// persisted), independent of every in-filter hash.
+#[must_use]
+fn shard_of(key: &[u8], splitter_seed: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (habf_hashing::xxhash::xxh64(key, splitter_seed ^ SPLITTER_TAG) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
+
+    fn keys(n: usize, tag: &str) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("{tag}:{i}").into_bytes()).collect()
+    }
+
+    fn workload(n: usize) -> Workload {
+        let pos = keys(n, "pos");
+        let neg = keys(n, "neg")
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, 1.0 + (i % 7) as f64))
+            .collect();
+        (pos, neg)
+    }
+
+    fn config(shards: usize, total_bits: usize) -> ShardedConfig {
+        ShardedConfig::new(shards, HabfConfig::with_total_bits(total_bits))
+    }
+
+    #[test]
+    fn zero_false_negatives_across_shard_counts() {
+        let (pos, neg) = workload(4_000);
+        for shards in [1, 2, 4, 8] {
+            let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(shards, 4_000 * 10));
+            assert_eq!(f.shard_count(), shards);
+            for k in &pos {
+                assert!(f.contains(k), "{shards}-shard filter dropped a member");
+            }
+        }
+    }
+
+    #[test]
+    fn fhabf_shards_keep_zero_fnr() {
+        let (pos, neg) = workload(2_000);
+        let f = ShardedHabf::<FHabf>::build_par(&pos, &neg, &config(4, 2_000 * 10));
+        for k in &pos {
+            assert!(f.contains(k), "sharded f-HABF dropped a member");
+        }
+        assert_eq!(f.name(), "Sharded-f-HABF");
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_build_bytes() {
+        let (pos, neg) = workload(1_500);
+        let cfg = config(1, 1_500 * 10);
+        let sharded = ShardedHabf::<Habf>::build_par(&pos, &neg, &cfg);
+        let plain = Habf::build(&pos, &neg, &cfg.base);
+        assert_eq!(
+            sharded.shard(0).shard_to_bytes(),
+            plain.to_bytes(),
+            "1-shard build must be byte-identical to the unsharded filter"
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_across_thread_counts() {
+        let (pos, neg) = workload(2_000);
+        let mut cfg = config(4, 2_000 * 10);
+        cfg.threads = 1;
+        let serial = ShardedHabf::<Habf>::build_par(&pos, &neg, &cfg);
+        cfg.threads = 4;
+        let parallel = ShardedHabf::<Habf>::build_par(&pos, &neg, &cfg);
+        assert_eq!(serial.to_bytes(), parallel.to_bytes());
+    }
+
+    #[test]
+    fn batch_query_agrees_with_scalar() {
+        let (pos, neg) = workload(2_000);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(4, 2_000 * 10));
+        let mut probe = pos.clone();
+        probe.extend(keys(2_000, "fresh"));
+        let batch = f.contains_batch(&probe);
+        let par = f.contains_batch_par(&probe, 4);
+        for (i, key) in probe.iter().enumerate() {
+            assert_eq!(batch[i], f.contains(key), "batch diverged at {i}");
+            assert_eq!(par[i], batch[i], "parallel batch diverged at {i}");
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_answers_and_bytes() {
+        let (pos, neg) = workload(2_000);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(4, 2_000 * 10));
+        let bytes = f.to_bytes();
+        let restored = ShardedHabf::<Habf>::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(restored.shard_count(), 4);
+        assert_eq!(restored.splitter_seed(), f.splitter_seed());
+        for k in &pos {
+            assert!(restored.contains(k));
+        }
+        assert_eq!(restored.to_bytes(), bytes, "re-encode must be stable");
+    }
+
+    #[test]
+    fn corrupt_sharded_images_error_not_panic() {
+        let (pos, neg) = workload(500);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(2, 500 * 10));
+        let bytes = f.to_bytes();
+        assert!(matches!(
+            ShardedHabf::<FHabf>::from_bytes(&bytes),
+            Err(PersistError::WrongKind)
+        ));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ShardedHabf::<Habf>::from_bytes(&bad),
+            Err(PersistError::BadMagic)
+        ));
+        for cut in [0usize, 5, 9, 33, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ShardedHabf::<Habf>::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(ShardedHabf::<Habf>::from_bytes(&bad).is_err());
+        // An unsharded image is not a container.
+        let plain = Habf::build(&pos, &neg, &HabfConfig::with_total_bits(500 * 10));
+        assert!(matches!(
+            ShardedHabf::<Habf>::from_bytes(&plain.to_bytes()),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn insert_batch_routes_and_recommends_rebuild() {
+        let (pos, neg) = workload(1_000);
+        let mut f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(4, 2_000 * 10));
+        // A reader holds one shard: inserts must not disturb its snapshot.
+        let reader_view = f.shard_handle(0);
+        let reader_bytes = reader_view.shard_to_bytes();
+
+        let late = keys(200, "late");
+        let outcome = f.insert_batch(&late);
+        assert_eq!(outcome.inserted, 200);
+        assert!(!outcome.rebuild_recommended, "200/1000 is under threshold");
+        for k in pos.iter().chain(late.iter()) {
+            assert!(f.contains(k), "post-insert member dropped");
+        }
+        assert_eq!(
+            reader_view.shard_to_bytes(),
+            reader_bytes,
+            "copy-on-write must leave the reader's snapshot untouched"
+        );
+
+        let more = keys(200, "more");
+        let outcome = f.insert_batch(&more);
+        assert!(
+            outcome.rebuild_recommended,
+            "400/1000 post-build inserts must trip the rebuild signal"
+        );
+        assert_eq!(f.inserted_since_build(), 400);
+    }
+
+    #[test]
+    fn splitter_routing_is_stable_and_in_range() {
+        let (pos, neg) = workload(500);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(8, 500 * 10));
+        for k in &pos {
+            let s = f.shard_of(k);
+            assert!(s < 8);
+            assert_eq!(s, f.shard_of(k), "routing must be deterministic");
+        }
+        // All shards should receive some traffic from 500 uniform keys.
+        let mut seen = [false; 8];
+        for k in &pos {
+            seen[f.shard_of(k)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "splitter starved a shard");
+    }
+
+    #[test]
+    fn concurrent_reads_through_handles() {
+        let (pos, neg) = workload(2_000);
+        let f = Arc::new(ShardedHabf::<Habf>::build_par(
+            &pos,
+            &neg,
+            &config(4, 2_000 * 10),
+        ));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let f = Arc::clone(&f);
+                let pos = &pos;
+                s.spawn(move || {
+                    for k in pos.iter().skip(w).step_by(4) {
+                        assert!(f.contains(k));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be > 0")]
+    fn zero_shards_rejected() {
+        let (pos, neg) = workload(10);
+        let _ = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(0, 1_000));
+    }
+
+    #[test]
+    fn shard_count_above_persist_cap_rejected() {
+        // Regression: a build above the container's framing cap would
+        // serialize but never load back; reject it at build time.
+        use crate::habf::ConfigError;
+        let cfg = config(MAX_SHARDS + 1, 1_000);
+        assert_eq!(cfg.validate(), Err(ConfigError::TooManyShards));
+        assert_eq!(config(MAX_SHARDS, 1_000).validate(), Ok(()));
+    }
+
+    #[test]
+    fn space_is_within_budget() {
+        let (pos, neg) = workload(4_000);
+        let total = 4_000 * 12;
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(8, total));
+        // Per-shard cell rounding may shave bits; nothing may exceed budget
+        // by more than the 64-bit-per-shard floor slack.
+        assert!(f.space_bits() <= total + 8 * 64);
+        assert!(f.space_bits() > total * 8 / 10);
+    }
+}

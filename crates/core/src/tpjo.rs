@@ -113,9 +113,13 @@ struct NegState {
 /// most the HashExpressor's addressable range
 /// (`2^(cell_bits−1) − 1`).
 ///
+/// An empty positive set is allowed and degenerates to an all-zeros
+/// filter that answers every query negatively (zero FNR vacuously) — the
+/// case a sharded build hits when the splitter assigns a shard no keys.
+///
 /// # Panics
 /// Panics on an infeasible configuration (`k` larger than the provider,
-/// ids not addressable, `m == 0`, empty positive set).
+/// ids not addressable, `m == 0`).
 pub fn run<P: HashProvider>(
     positives: &[impl AsRef<[u8]>],
     negatives: &[(impl AsRef<[u8]>, f64)],
@@ -125,7 +129,6 @@ pub fn run<P: HashProvider>(
     let k = config.k;
     let m = config.m;
     let n_hash = provider.len();
-    assert!(!positives.is_empty(), "TPJO needs a non-empty positive set");
     assert!(m > 0, "Bloom array needs at least one bit");
     assert!((1..=MAX_K).contains(&k), "k {k} not in 1..={MAX_K}");
     assert!(k <= n_hash, "k {k} exceeds provider size {n_hash}");

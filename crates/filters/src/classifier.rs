@@ -24,7 +24,11 @@ use habf_hashing::xxhash;
 use habf_util::Xoshiro256;
 
 /// A trainable score oracle `s(key) ∈ [0, 1]`.
-pub trait Classifier {
+///
+/// `Send + Sync` mirrors the [`crate::Filter`] bound: learned filters hold
+/// their model behind `Box<dyn Classifier>` and must stay shareable across
+/// serving threads.
+pub trait Classifier: Send + Sync {
     /// Trains on labelled keys (positives = label 1, negatives = label 0).
     fn train(&mut self, positives: &[Vec<u8>], negatives: &[Vec<u8>]);
 

@@ -39,7 +39,11 @@ pub use xor_filter::XorFilter;
 /// Implementations guarantee **zero false negatives** for the key set they
 /// were built from; `contains` may return `true` for keys outside the set
 /// (false positives).
-pub trait Filter {
+///
+/// The `Send + Sync` supertraits make every filter — including trait
+/// objects like `Box<dyn Filter>` — shareable across serving threads:
+/// queries are read-only, and implementations hold no interior mutability.
+pub trait Filter: Send + Sync {
     /// Tests whether `key` may be in the set.
     fn contains(&self, key: &[u8]) -> bool;
 

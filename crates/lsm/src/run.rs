@@ -1,6 +1,6 @@
 //! A sorted immutable run (SSTable stand-in) with an optional filter.
 
-use habf_core::{FHabf, Habf, HabfConfig};
+use habf_core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
 use habf_filters::{BloomFilter, Filter};
 
 /// The filter attached to one run.
@@ -13,6 +13,8 @@ pub enum RunFilter {
     Habf(Habf),
     /// The fast HABF variant.
     FHabf(FHabf),
+    /// HABF sharded across the run's key space, built in parallel.
+    Sharded(ShardedHabf<Habf>),
 }
 
 impl RunFilter {
@@ -24,6 +26,7 @@ impl RunFilter {
             RunFilter::Bloom(f) => f.contains(key),
             RunFilter::Habf(f) => f.contains(key),
             RunFilter::FHabf(f) => f.contains(key),
+            RunFilter::Sharded(f) => f.contains(key),
         }
     }
 
@@ -35,6 +38,7 @@ impl RunFilter {
             RunFilter::Bloom(f) => f.space_bits(),
             RunFilter::Habf(f) => f.space_bits(),
             RunFilter::FHabf(f) => f.space_bits(),
+            RunFilter::Sharded(f) => f.space_bits(),
         }
     }
 }
@@ -119,24 +123,18 @@ impl Run {
                 let m = ((keys.len() as f64) * bits_per_key) as usize;
                 RunFilter::Bloom(BloomFilter::build(&keys, m.max(64)))
             }
+            FilterKind::ShardedHabf {
+                bits_per_key,
+                shards,
+            } => {
+                let total = (((keys.len() as f64) * bits_per_key) as usize).max(256);
+                let negatives = costed_negatives(entries, hints);
+                let cfg = ShardedConfig::new((*shards).max(1), HabfConfig::with_total_bits(total));
+                RunFilter::Sharded(ShardedHabf::build_par(&keys, &negatives, &cfg))
+            }
             FilterKind::Habf { bits_per_key } | FilterKind::FHabf { bits_per_key } => {
                 let total = (((keys.len() as f64) * bits_per_key) as usize).max(256);
-                // Cap the hint list relative to the run size: the
-                // HashExpressor stores one chain per optimized key, and its
-                // accidental-chain FPR grows with occupancy (paper §III-F,
-                // F_h ≤ t/ω), so feeding a small run an oversized hint list
-                // degrades instead of helping. Hints arrive cost-sorted, so
-                // the cap keeps the costliest.
-                let negatives: Vec<(&[u8], f64)> = hints
-                    .iter()
-                    .filter(|(k, _)| {
-                        entries
-                            .binary_search_by(|(ek, _)| ek.as_slice().cmp(k.as_slice()))
-                            .is_err()
-                    })
-                    .take(2 * entries.len())
-                    .map(|(k, c)| (k.as_slice(), *c))
-                    .collect();
+                let negatives = costed_negatives(entries, hints);
                 let cfg = HabfConfig::with_total_bits(total);
                 if matches!(kind, FilterKind::Habf { .. }) {
                     RunFilter::Habf(Habf::build(&keys, &negatives, &cfg))
@@ -146,6 +144,29 @@ impl Run {
             }
         }
     }
+}
+
+/// Hints that are not members of the run, as HABF's costed negative set.
+///
+/// Caps the list relative to the run size: the HashExpressor stores one
+/// chain per optimized key, and its accidental-chain FPR grows with
+/// occupancy (paper §III-F, F_h ≤ t/ω), so feeding a small run an
+/// oversized hint list degrades instead of helping. Hints arrive
+/// cost-sorted, so the cap keeps the costliest.
+fn costed_negatives<'a>(
+    entries: &[(Vec<u8>, Vec<u8>)],
+    hints: &'a [(Vec<u8>, f64)],
+) -> Vec<(&'a [u8], f64)> {
+    hints
+        .iter()
+        .filter(|(k, _)| {
+            entries
+                .binary_search_by(|(ek, _)| ek.as_slice().cmp(k.as_slice()))
+                .is_err()
+        })
+        .take(2 * entries.len())
+        .map(|(k, c)| (k.as_slice(), *c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -213,6 +234,34 @@ mod tests {
             Run::build_filter(&es, &crate::FilterKind::Habf { bits_per_key: 12.0 }, &hints);
         let run = Run::new(es, filter);
         assert!(run.filter().may_contain(b"key000050"));
+    }
+
+    #[test]
+    fn sharded_filter_run_never_drops_members_and_prunes_hints() {
+        let es = entries(600);
+        let hints: Vec<(Vec<u8>, f64)> = (0..600)
+            .map(|i| (format!("miss{i:06}").into_bytes(), 10.0))
+            .collect();
+        let filter = Run::build_filter(
+            &es,
+            &crate::FilterKind::ShardedHabf {
+                bits_per_key: 10.0,
+                shards: 4,
+            },
+            &hints,
+        );
+        assert!(matches!(filter, RunFilter::Sharded(_)));
+        let run = Run::new(es, filter);
+        for i in 0..600 {
+            let key = format!("key{i:06}").into_bytes();
+            assert!(run.filter().may_contain(&key), "member pruned");
+        }
+        let pruned = hints
+            .iter()
+            .filter(|(k, _)| !run.filter().may_contain(k))
+            .count();
+        assert!(pruned > 450, "only {pruned}/600 hinted misses pruned");
+        assert!(run.filter().space_bits() > 0);
     }
 
     #[test]

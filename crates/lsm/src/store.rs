@@ -23,6 +23,15 @@ pub enum FilterKind {
         /// Filter bits per stored key.
         bits_per_key: f64,
     },
+    /// Sharded HABF: the run's keys are split across `shards` independent
+    /// HABFs built in parallel (large runs amortize the thread fan-out;
+    /// see `habf_core::sharded`).
+    ShardedHabf {
+        /// Filter bits per stored key (total across all shards).
+        bits_per_key: f64,
+        /// Shard count per run filter.
+        shards: usize,
+    },
 }
 
 /// Store configuration.
@@ -352,6 +361,34 @@ mod tests {
             habf_wasted <= bloom_wasted,
             "HABF wasted {habf_wasted} > Bloom wasted {bloom_wasted}"
         );
+    }
+
+    #[test]
+    fn sharded_habf_runs_serve_and_prune_like_unsharded() {
+        let misses: Vec<(Vec<u8>, f64)> = (50_000..52_000).map(|i| (key(i), 5.0)).collect();
+        let mut db = Lsm::new(LsmConfig {
+            memtable_capacity: 1024,
+            level_fanout: 3,
+            filter: FilterKind::ShardedHabf {
+                bits_per_key: 12.0,
+                shards: 4,
+            },
+        });
+        db.set_negative_hints(misses.clone());
+        for i in 0..3_000 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        db.reset_io_stats();
+        for i in 0..3_000 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+        for (k, _) in &misses {
+            assert_eq!(db.get(k), None);
+        }
+        let io = db.io_stats();
+        assert!(io.pruned_probes > 0, "sharded filters never pruned");
+        assert!(db.filter_bits() > 0);
     }
 
     #[test]

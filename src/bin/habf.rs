@@ -3,20 +3,26 @@
 //!
 //! ```text
 //! habf build --positives pos.txt --negatives neg.txt --bits-per-key 10 --out filter.bin
+//! habf build --positives pos.txt --negatives neg.txt --shards 4 --threads 2 --out filter.bin
 //! habf query filter.bin <key> [<key>…]        # exit 0 if all maybe-present
 //! habf inspect filter.bin
 //! ```
 //!
+//! `--shards N` (with N > 1) builds a sharded filter: keys are partitioned
+//! by a splitter hash and the shards are built in parallel over
+//! `--threads` workers (0 = auto). Query and inspect load either format.
+//!
 //! `--negatives` lines are either `key` (cost 1) or `key<TAB>cost`. Keys
 //! are one per line, newline-delimited, matched as raw bytes.
 
-use habf::core::{FHabf, Habf, HabfConfig};
+use habf::core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
 use habf::filters::Filter;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
-         [--fast] [--seed N] [--out FILE]\n  habf query FILTER KEY [KEY…]\n  habf inspect FILTER";
+         [--fast] [--seed N] [--shards N] [--threads N] [--out FILE]\n  habf query FILTER KEY \
+[KEY…]\n  habf inspect FILTER";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -62,6 +68,8 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let mut bits_per_key = 10.0f64;
     let mut fast = false;
     let mut seed = 0x4841_4246u64;
+    let mut shards = 1usize;
+    let mut threads = 0usize;
     let mut out = "filter.bin".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -71,10 +79,16 @@ fn cmd_build(args: &[String]) -> ExitCode {
             "--negatives" => negatives_path = Some(val()),
             "--bits-per-key" => bits_per_key = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
             "--out" => out = val(),
             "--fast" => fast = true,
             _ => usage(),
         }
+    }
+    if shards == 0 {
+        eprintln!("habf: --shards must be at least 1");
+        return ExitCode::FAILURE;
     }
     let (Some(pp), Some(np)) = (positives_path, negatives_path) else {
         usage()
@@ -88,7 +102,31 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let mut cfg = HabfConfig::with_total_bits((positives.len() as f64 * bits_per_key) as usize);
     cfg.seed = seed;
 
-    let (image, stats_line) = if fast {
+    let (image, stats_line) = if shards > 1 {
+        let mut scfg = ShardedConfig::new(shards, cfg);
+        scfg.threads = threads;
+        if fast {
+            let f = ShardedHabf::<FHabf>::build_par(&positives, &negatives, &scfg);
+            (
+                f.to_bytes(),
+                format!(
+                    "Sharded-f-HABF: {} positives across {} shards",
+                    positives.len(),
+                    f.shard_count()
+                ),
+            )
+        } else {
+            let f = ShardedHabf::<Habf>::build_par(&positives, &negatives, &scfg);
+            (
+                f.to_bytes(),
+                format!(
+                    "Sharded-HABF: {} positives across {} shards",
+                    positives.len(),
+                    f.shard_count()
+                ),
+            )
+        }
+    } else if fast {
         let f = FHabf::build(&positives, &negatives, &cfg);
         let s = f.stats().clone();
         (
@@ -118,13 +156,20 @@ fn cmd_build(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Loads either filter kind from an image.
+/// Loads any persisted filter kind — unsharded or sharded, HABF or f-HABF
+/// — from an image (the magics and kind bytes disambiguate).
 fn load(path: &str) -> Result<Box<dyn Filter>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if let Ok(f) = Habf::from_bytes(&bytes) {
         return Ok(Box::new(f));
     }
-    FHabf::from_bytes(&bytes)
+    if let Ok(f) = FHabf::from_bytes(&bytes) {
+        return Ok(Box::new(f));
+    }
+    if let Ok(f) = ShardedHabf::<Habf>::from_bytes(&bytes) {
+        return Ok(Box::new(f));
+    }
+    ShardedHabf::<FHabf>::from_bytes(&bytes)
         .map(|f| Box::new(f) as Box<dyn Filter>)
         .map_err(|e| format!("{path}: {e}"))
 }

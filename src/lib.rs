@@ -53,6 +53,6 @@ pub use habf_workloads as workloads;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
-    pub use habf_core::{FHabf, Habf, HabfConfig};
+    pub use habf_core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
     pub use habf_filters::Filter;
 }

@@ -130,6 +130,74 @@ fn fast_variant_builds_and_loads() {
 }
 
 #[test]
+fn sharded_build_query_inspect_roundtrip() {
+    let dir = TempDir::new("sharded");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..2000).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let neg = write_file(
+        &dir.0,
+        "neg.txt",
+        &(0..2000).map(|i| format!("bot:{i}")).collect::<Vec<_>>(),
+    );
+    let out = dir.0.join("sharded.bin");
+    let build = Command::new(bin())
+        .args(["build", "--shards", "4", "--threads", "2", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&neg)
+        .args(["--bits-per-key", "10", "--out"])
+        .arg(&out)
+        .output()
+        .expect("run build");
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    assert!(String::from_utf8_lossy(&build.stdout).contains("4 shards"));
+
+    // Members answer "maybe" with exit 0 through the sharded loader.
+    let hit = Command::new(bin())
+        .arg("query")
+        .arg(&out)
+        .args(["user:0", "user:999", "user:1999"])
+        .output()
+        .expect("run query");
+    assert!(
+        hit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&hit.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&hit.stdout)
+            .matches("maybe\t")
+            .count(),
+        3
+    );
+
+    let inspect = Command::new(bin())
+        .arg("inspect")
+        .arg(&out)
+        .output()
+        .expect("inspect");
+    assert!(String::from_utf8_lossy(&inspect.stdout).contains("Sharded-HABF"));
+
+    // --shards 0 is rejected up front.
+    let zero = Command::new(bin())
+        .args(["build", "--shards", "0", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&neg)
+        .output()
+        .expect("run build");
+    assert!(!zero.status.success());
+    assert!(String::from_utf8_lossy(&zero.stderr).contains("--shards"));
+}
+
+#[test]
 fn corrupt_filter_file_fails_cleanly() {
     let dir = TempDir::new("corrupt");
     let bad = write_file(&dir.0, "bad.bin", &["this is not a filter".into()]);

@@ -1,0 +1,134 @@
+//! Golden serialization tests: the persist formats (unsharded `HABF`
+//! image and sharded `HABS` container) are pinned by checked-in fixture
+//! blobs under `tests/golden/`, so any byte-level drift — field order, a
+//! header change, hash-function renumbering — fails loudly instead of
+//! silently orphaning every shipped filter image.
+//!
+//! To regenerate after a *deliberate, versioned* format change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_persist
+//! ```
+
+use habf::prelude::{FHabf, Filter, Habf, HabfConfig, ShardedConfig, ShardedHabf};
+use std::path::PathBuf;
+
+type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
+
+/// The canonical fixture workload: small enough to keep blobs a few KB,
+/// rich enough to exercise the HashExpressor (costed collisions exist).
+fn workload() -> Workload {
+    let positives: Vec<Vec<u8>> = (0..64)
+        .map(|i| format!("golden:pos:{i}").into_bytes())
+        .collect();
+    let negatives: Vec<(Vec<u8>, f64)> = (0..64)
+        .map(|i| (format!("golden:neg:{i}").into_bytes(), 1.0 + (i % 5) as f64))
+        .collect();
+    (positives, negatives)
+}
+
+fn fixture_config() -> HabfConfig {
+    // The paper's defaults at 12 bits/key; the seed is the library default
+    // so fixtures also pin default-seed stability.
+    HabfConfig::with_total_bits(64 * 12)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `image` against the named fixture — or rewrites the fixture
+/// when `GOLDEN_REGEN=1`.
+fn assert_matches_fixture(name: &str, image: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, image).expect("write fixture");
+        return;
+    }
+    let fixture = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fixture, image,
+        "{name}: serialized bytes drifted from the checked-in fixture; if the \
+         format change is deliberate, bump the persist VERSION and regenerate \
+         with GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn habf_image_is_byte_stable() {
+    let (pos, neg) = workload();
+    let filter = Habf::build(&pos, &neg, &fixture_config());
+    let image = filter.to_bytes();
+    assert_matches_fixture("habf_v1.bin", &image);
+
+    // from_bytes(to_bytes(x)) is the identity on bytes and answers.
+    let restored = Habf::from_bytes(&image).expect("fixture image loads");
+    assert_eq!(restored.to_bytes(), image);
+    for k in &pos {
+        assert!(restored.contains(k));
+    }
+    for (k, _) in &neg {
+        assert_eq!(restored.contains(k), filter.contains(k));
+    }
+}
+
+#[test]
+fn fhabf_image_is_byte_stable() {
+    let (pos, neg) = workload();
+    let filter = FHabf::build(&pos, &neg, &fixture_config());
+    let image = filter.to_bytes();
+    assert_matches_fixture("fhabf_v1.bin", &image);
+
+    let restored = FHabf::from_bytes(&image).expect("fixture image loads");
+    assert_eq!(restored.to_bytes(), image);
+    for k in &pos {
+        assert!(restored.contains(k));
+    }
+    for (k, _) in &neg {
+        assert_eq!(restored.contains(k), filter.contains(k));
+    }
+}
+
+#[test]
+fn sharded_container_is_byte_stable() {
+    let (pos, neg) = workload();
+    let cfg = ShardedConfig::new(2, fixture_config());
+    let filter = ShardedHabf::<Habf>::build_par(&pos, &neg, &cfg);
+    let image = filter.to_bytes();
+    assert_matches_fixture("sharded_habf_v1.bin", &image);
+
+    let restored = ShardedHabf::<Habf>::from_bytes(&image).expect("fixture image loads");
+    assert_eq!(restored.to_bytes(), image);
+    assert_eq!(restored.shard_count(), 2);
+    for k in &pos {
+        assert!(restored.contains(k));
+    }
+    for (k, _) in &neg {
+        assert_eq!(restored.contains(k), filter.contains(k));
+    }
+}
+
+#[test]
+fn fixtures_load_across_filter_kinds_only_where_legal() {
+    // The fixtures must stay mutually exclusive: kind and magic bytes
+    // prevent loading one format as another.
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return; // fixtures may not exist yet during regeneration
+    }
+    let habf = std::fs::read(golden_path("habf_v1.bin")).expect("fixture");
+    let fhabf = std::fs::read(golden_path("fhabf_v1.bin")).expect("fixture");
+    let sharded = std::fs::read(golden_path("sharded_habf_v1.bin")).expect("fixture");
+    assert!(FHabf::from_bytes(&habf).is_err());
+    assert!(Habf::from_bytes(&fhabf).is_err());
+    assert!(Habf::from_bytes(&sharded).is_err());
+    assert!(ShardedHabf::<Habf>::from_bytes(&habf).is_err());
+    assert!(ShardedHabf::<FHabf>::from_bytes(&sharded).is_err());
+}

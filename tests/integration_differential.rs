@@ -1,0 +1,72 @@
+//! Differential test across filter implementations on one Zipf-costed
+//! workload: `Bloom`, `WeightedBloom`, `Habf`, and the sharded serving
+//! layer must all uphold zero false negatives, answer consistently with
+//! themselves across query paths, and HABF's weighted FPR cost must not
+//! exceed the plain Bloom baseline at equal space — the paper's central
+//! claim (§V, Fig 11).
+
+use habf::core::{Habf, HabfConfig, ShardedConfig, ShardedHabf};
+use habf::filters::{BloomFilter, Filter, WeightedBloomFilter};
+use habf::util::Xoshiro256;
+use habf::workloads::{metrics, zipf_costs, ShallaConfig};
+
+#[test]
+fn filters_agree_on_zero_fnr_and_habf_cost_beats_bloom() {
+    // One Zipf(1.0) workload from habf-workloads: Shalla-like keys with
+    // rank-shuffled costs, as in the paper's skewed-cost experiments.
+    let ds = ShallaConfig::with_scale(0.005).generate();
+    let mut rng = Xoshiro256::new(0x21FF);
+    let costs = zipf_costs(ds.negatives.len(), 1.0, &mut rng);
+    let negatives = ds.negatives_with_costs(&costs);
+    let total_bits = ds.positives.len() * 10; // equal budget for every filter
+
+    let bloom = BloomFilter::build(&ds.positives, total_bits);
+    let cache = (ds.negatives.len() / 100).clamp(64, 4096);
+    let wbf = WeightedBloomFilter::build(&ds.positives, &negatives, total_bits, cache);
+    let habf = Habf::build(
+        &ds.positives,
+        &negatives,
+        &HabfConfig::with_total_bits(total_bits),
+    );
+    let sharded = ShardedHabf::<Habf>::build_par(
+        &ds.positives,
+        &negatives,
+        &ShardedConfig::new(4, HabfConfig::with_total_bits(total_bits)),
+    );
+
+    // Zero false negatives, every implementation.
+    let filters: [&dyn Filter; 4] = [&bloom, &wbf, &habf, &sharded];
+    for f in filters {
+        let fns = metrics::false_negatives(|k| f.contains(k), &ds.positives);
+        assert_eq!(fns, 0, "{} produced {fns} false negatives", f.name());
+    }
+
+    // Weighted FPR (Eq 20): HABF's misidentification cost at equal bits
+    // must not exceed the cost-blind Bloom baseline.
+    let w_bloom = metrics::weighted_fpr(|k| bloom.contains(k), &ds.negatives, &costs);
+    let w_habf = metrics::weighted_fpr(|k| habf.contains(k), &ds.negatives, &costs);
+    assert!(
+        w_habf <= w_bloom,
+        "HABF weighted FPR {w_habf:.6} exceeds Bloom baseline {w_bloom:.6} at equal bits"
+    );
+
+    // The sharded layer is a repartitioning, not a different algorithm:
+    // its weighted cost must stay in family with Bloom too.
+    let w_sharded = metrics::weighted_fpr(|k| sharded.contains(k), &ds.negatives, &costs);
+    assert!(
+        w_sharded <= w_bloom,
+        "Sharded HABF weighted FPR {w_sharded:.6} exceeds Bloom baseline {w_bloom:.6}"
+    );
+
+    // Differential consistency: scalar, batched, and parallel-batched
+    // sharded query paths agree on every key of the workload.
+    let mut probe: Vec<Vec<u8>> = ds.positives.clone();
+    probe.extend(ds.negatives.iter().cloned());
+    let batch = sharded.contains_batch(&probe);
+    let batch_par = sharded.contains_batch_par(&probe, 4);
+    for (i, key) in probe.iter().enumerate() {
+        let scalar = sharded.contains(key);
+        assert_eq!(scalar, batch[i], "batch diverges at key {i}");
+        assert_eq!(scalar, batch_par[i], "parallel batch diverges at key {i}");
+    }
+}
