@@ -1,0 +1,48 @@
+//! Adaptation suite: static hints vs the FP-feedback loop on the
+//! drifting-hot-negatives workload, at equal total filter bits.
+//!
+//! Prints the comparison table and writes a machine-readable summary
+//! (default `BENCH_adapt.json`; `--out PATH` overrides) that CI uploads
+//! as the perf-trajectory artifact.
+//!
+//! Flags: `--out PATH`, `--members N`, `--queries N` (per phase),
+//! `--seed N`.
+
+use habf_workloads::DriftConfig;
+
+fn main() {
+    let mut out = "BENCH_adapt.json".to_string();
+    let mut members = 10_000usize;
+    let mut drift = DriftConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = value("--out"),
+            "--members" => {
+                members = value("--members").parse().expect("--members: integer");
+            }
+            "--queries" => {
+                drift.queries_per_phase = value("--queries").parse().expect("--queries: integer");
+            }
+            "--seed" => drift.seed = value("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!("flags: --out PATH | --members N | --queries N | --seed N");
+                return;
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let cmp = habf_bench::adaptation::run_adaptation(members, 12.0, &drift);
+    cmp.table().print();
+    println!(
+        "\npost-drift wasted-weighted-cost ratio (adaptive/static): {:.4}",
+        cmp.post_drift_ratio()
+    );
+    std::fs::write(&out, cmp.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adaptation;
 pub mod args;
 pub mod figures;
 pub mod report;

@@ -210,6 +210,49 @@ impl Habf {
         &self.stats
     }
 
+    /// Re-runs the full TPJO construction against fresh positive and
+    /// costed negative sets **at this filter's exact geometry** — Bloom
+    /// size `m`, HashExpressor `ω`/`α`, chain length `k`, and hash family
+    /// are all preserved, only the bit contents and customized subsets
+    /// change.
+    ///
+    /// This is the adaptation loop's rebuild: geometry preservation is
+    /// what makes mined false positives valid evidence against the new
+    /// filter. The space budget cannot drift (rebuilding at
+    /// [`Filter::space_bits`] through a fresh [`HabfConfig`] can lose
+    /// bits to cell rounding, silently re-randomizing every hash position
+    /// and replacing the observed false positives with a fresh random
+    /// crop). Works on deserialized filters — no original config needed.
+    ///
+    /// Two build knobs are not recoverable from a built filter and fall
+    /// back to defaults: `requeue_cap` (not serialized; rebuilds use the
+    /// default of 3) and the seed — pass the build seed to keep `H0`
+    /// selection stable so only keys the optimizer must adjust change
+    /// their answers.
+    pub fn rebuild(
+        &mut self,
+        positives: &[impl AsRef<[u8]>],
+        negatives: &[(impl AsRef<[u8]>, f64)],
+        seed: u64,
+    ) {
+        let cfg = TpjoConfig {
+            k: self.h0.len(),
+            m: self.bloom.len(),
+            omega: self.he.omega(),
+            cell_bits: self.he.cell_bits(),
+            use_gamma: true,
+            requeue_cap: 3,
+            seed,
+            enable_class_c: true,
+            overlap_tiebreak: true,
+        };
+        let out = tpjo::run(positives, negatives, &self.family, &cfg);
+        self.bloom = out.bloom;
+        self.he = out.he;
+        self.h0 = out.h0;
+        self.stats = out.stats;
+    }
+
     /// The HashExpressor occupancy `t` (chains stored).
     #[must_use]
     pub fn expressor_entries(&self) -> usize {
@@ -397,6 +440,32 @@ impl FHabf {
     #[must_use]
     pub fn h0(&self) -> &[HashId] {
         &self.h0
+    }
+
+    /// Re-runs the Γ-disabled fast construction at this filter's exact
+    /// geometry (see [`Habf::rebuild`]).
+    pub fn rebuild(
+        &mut self,
+        positives: &[impl AsRef<[u8]>],
+        negatives: &[(impl AsRef<[u8]>, f64)],
+        seed: u64,
+    ) {
+        let cfg = TpjoConfig {
+            k: self.h0.len(),
+            m: self.bloom.len(),
+            omega: self.he.omega(),
+            cell_bits: self.he.cell_bits(),
+            use_gamma: false,
+            requeue_cap: 3,
+            seed,
+            enable_class_c: true,
+            overlap_tiebreak: true,
+        };
+        let out = tpjo::run(positives, negatives, &self.family, &cfg);
+        self.bloom = out.bloom;
+        self.he = out.he;
+        self.h0 = out.h0;
+        self.stats = out.stats;
     }
 
     /// Serializes the filter (see [`Habf::to_bytes`]).

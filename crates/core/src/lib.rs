@@ -44,10 +44,12 @@
 //! | §III-G f-HABF (double hashing, Γ off) | [`habf::FHabf`] |
 //! | §IV theoretical analysis (Eqs 3, 11, 12, 19) | [`theory`] |
 //! | — sharded concurrent serving (post-paper) | [`sharded`] |
+//! | — FP-feedback adaptation loop (post-paper) | [`adapt`] |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adapt;
 pub mod gamma;
 pub mod habf;
 pub mod hash_expressor;
@@ -57,6 +59,7 @@ pub mod theory;
 pub mod tpjo;
 pub mod vindex;
 
+pub use adapt::{AdaptPolicy, FpLog};
 pub use habf::{ConfigError, FHabf, Habf, HabfConfig, QueryOutcome};
 pub use hash_expressor::HashExpressor;
 pub use persist::PersistError;

@@ -77,6 +77,10 @@ pub trait ShardFilter: Filter + Sized + Send + Sync {
     /// Builds one shard over its partition of positives and negatives.
     fn build_shard(positives: &[&[u8]], negatives: &[(&[u8], f64)], config: &HabfConfig) -> Self;
 
+    /// Re-runs the construction over fresh partition sets at this shard's
+    /// exact geometry (see [`Habf::rebuild`]).
+    fn rebuild_shard(&mut self, positives: &[&[u8]], negatives: &[(&[u8], f64)], seed: u64);
+
     /// Serializes the shard to the unsharded single-filter image.
     fn shard_to_bytes(&self) -> Vec<u8>;
 
@@ -94,6 +98,10 @@ impl ShardFilter for Habf {
         Habf::build(positives, negatives, config)
     }
 
+    fn rebuild_shard(&mut self, positives: &[&[u8]], negatives: &[(&[u8], f64)], seed: u64) {
+        self.rebuild(positives, negatives, seed);
+    }
+
     fn shard_to_bytes(&self) -> Vec<u8> {
         self.to_bytes()
     }
@@ -108,6 +116,10 @@ impl ShardFilter for FHabf {
 
     fn build_shard(positives: &[&[u8]], negatives: &[(&[u8], f64)], config: &HabfConfig) -> Self {
         FHabf::build(positives, negatives, config)
+    }
+
+    fn rebuild_shard(&mut self, positives: &[&[u8]], negatives: &[(&[u8], f64)], seed: u64) {
+        self.rebuild(positives, negatives, seed);
     }
 
     fn shard_to_bytes(&self) -> Vec<u8> {
@@ -449,6 +461,92 @@ impl<F: ShardFilter> ShardedHabf<F> {
     }
 }
 
+impl<F: ShardFilter + Clone> ShardedHabf<F> {
+    /// Re-runs the full TPJO construction over fresh positive/negative
+    /// sets and installs the result shard-by-shard through the existing
+    /// copy-on-write path: each slot is replaced via [`Arc::make_mut`], so
+    /// readers still holding a [`ShardedHabf::shard_handle`] keep serving
+    /// their pre-rebuild snapshot while new queries see the rebuilt shard.
+    ///
+    /// This is the adaptation loop's rebuild step: the negative set is
+    /// typically mined from an [`crate::adapt::FpLog`] of observed false
+    /// positives. `config` must route identically to the filter being
+    /// rebuilt (same shard count and splitter seed), otherwise existing
+    /// keys would migrate between shards and the zero-FN contract of
+    /// in-flight handles would silently change meaning.
+    ///
+    /// Resets [`ShardedHabf::inserted_since_build`].
+    ///
+    /// # Panics
+    /// Panics if `config.shards` or `config.splitter_seed` disagree with
+    /// the built filter, on an invalid configuration, or if a build
+    /// worker panics.
+    pub fn rebuild_par(
+        &mut self,
+        positives: &[impl AsRef<[u8]>],
+        negatives: &[(impl AsRef<[u8]>, f64)],
+        config: &ShardedConfig,
+    ) {
+        assert_eq!(
+            config.shards,
+            self.shards.len(),
+            "rebuild must keep the shard count"
+        );
+        assert_eq!(
+            config.splitter_seed, self.splitter_seed,
+            "rebuild must keep the splitter seed"
+        );
+        let fresh = Self::build_par(positives, negatives, config);
+        for (slot, built) in self.shards.iter_mut().zip(fresh.shards) {
+            // Freshly built arcs are unique, so this moves, not clones.
+            let shard = Arc::try_unwrap(built).unwrap_or_else(|arc| (*arc).clone());
+            *Arc::make_mut(slot) = shard;
+        }
+        self.built_keys = fresh.built_keys;
+        self.inserted_since_build = 0;
+    }
+
+    /// [`ShardedHabf::rebuild_par`] without a configuration: every shard
+    /// re-runs TPJO over its partition **at its existing geometry** (see
+    /// [`Habf::rebuild`]), so the rebuild needs nothing beyond the loaded
+    /// filter — no original build config, and no risk of the per-shard
+    /// budget slices drifting through rounding. Shard `i` is re-seeded
+    /// `base_seed + i·φ64`, matching the build-time stride; replacement
+    /// goes through the same [`Arc::make_mut`] copy-on-write path.
+    ///
+    /// Pass the build's base seed to keep `H0` selection stable — then
+    /// only keys the optimizer must adjust change their answers, so
+    /// false positives observed before the rebuild stay representative.
+    /// A different seed re-randomizes every hash choice (occasionally
+    /// useful to escape a pathological collision pattern).
+    ///
+    /// Resets [`ShardedHabf::inserted_since_build`].
+    pub fn rebuild_in_place(
+        &mut self,
+        positives: &[impl AsRef<[u8]>],
+        negatives: &[(impl AsRef<[u8]>, f64)],
+        base_seed: u64,
+    ) {
+        let n = self.shards.len();
+        let mut pos_parts: Vec<Vec<&[u8]>> = vec![Vec::new(); n];
+        for key in positives {
+            let key = key.as_ref();
+            pos_parts[shard_of(key, self.splitter_seed, n)].push(key);
+        }
+        let mut neg_parts: Vec<Vec<(&[u8], f64)>> = vec![Vec::new(); n];
+        for (key, cost) in negatives {
+            let key = key.as_ref();
+            neg_parts[shard_of(key, self.splitter_seed, n)].push((key, *cost));
+        }
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            let seed = base_seed.wrapping_add((i as u64).wrapping_mul(SHARD_SEED_STRIDE));
+            Arc::make_mut(slot).rebuild_shard(&pos_parts[i], &neg_parts[i], seed);
+        }
+        self.built_keys = positives.len();
+        self.inserted_since_build = 0;
+    }
+}
+
 impl<F: InsertableShard> ShardedHabf<F> {
     /// Inserts a batch of positive keys after construction, routing each to
     /// its shard. Copy-on-write: a shard is cloned only if a reader still
@@ -665,6 +763,95 @@ mod tests {
             "400/1000 post-build inserts must trip the rebuild signal"
         );
         assert_eq!(f.inserted_since_build(), 400);
+    }
+
+    #[test]
+    fn rebuild_par_swaps_shards_but_readers_keep_snapshots() {
+        let (pos, neg) = workload(1_000);
+        let cfg = config(4, 1_000 * 10);
+        let mut f = ShardedHabf::<Habf>::build_par(&pos, &neg, &cfg);
+        let _ = f.insert_batch(&keys(300, "late"));
+        assert_eq!(f.inserted_since_build(), 300);
+
+        // A reader holds shard 0 across the rebuild.
+        let reader_view = f.shard_handle(0);
+        let reader_bytes = reader_view.shard_to_bytes();
+
+        // Adapt: the observed costly misses become the new negative set.
+        let mined: Vec<(Vec<u8>, f64)> =
+            keys(500, "mined").into_iter().map(|k| (k, 10.0)).collect();
+        f.rebuild_par(&pos, &mined, &cfg);
+
+        assert_eq!(f.inserted_since_build(), 0, "rebuild resets the counter");
+        for k in &pos {
+            assert!(f.contains(k), "rebuild dropped a member");
+        }
+        let pruned = mined.iter().filter(|(k, _)| !f.contains(k)).count();
+        assert!(pruned > 400, "only {pruned}/500 mined misses pruned");
+        assert_eq!(
+            reader_view.shard_to_bytes(),
+            reader_bytes,
+            "copy-on-write rebuild must leave the reader's snapshot intact"
+        );
+        // The rebuilt filter is byte-identical to a from-scratch build
+        // over the same sets — rebuild is a real TPJO rerun, not a patch.
+        let scratch = ShardedHabf::<Habf>::build_par(&pos, &mined, &cfg);
+        assert_eq!(f.to_bytes(), scratch.to_bytes());
+    }
+
+    /// Regression: rebuilding a *loaded* filter at a budget re-derived
+    /// from `space_bits()` loses bits to per-shard rounding, shifting the
+    /// Bloom geometry and re-randomizing every answer. `rebuild_in_place`
+    /// preserves each shard's exact geometry, so the observed FPs get
+    /// optimized away without a fresh random crop appearing.
+    #[test]
+    fn rebuild_in_place_preserves_geometry_of_loaded_filters() {
+        let (pos, neg) = workload(4_000);
+        let build_cfg = config(4, 4_000 * 10);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &build_cfg);
+        let probes = keys(4_000, "probe");
+        let observed_fps: Vec<Vec<u8>> = probes.iter().filter(|k| f.contains(k)).cloned().collect();
+        assert!(!observed_fps.is_empty(), "no FPs to mine at 10 b/key");
+
+        // Load from bytes (the CLI situation: no build config survives),
+        // then rebuild against the mined FPs only.
+        let mut loaded = ShardedHabf::<Habf>::from_bytes(&f.to_bytes()).expect("roundtrip");
+        let mined: Vec<(Vec<u8>, f64)> = observed_fps.iter().map(|k| (k.clone(), 1.0)).collect();
+        // Same base seed as the build: H0 selection stays put, so only
+        // keys TPJO must adjust change their answers.
+        loaded.rebuild_in_place(&pos, &mined, build_cfg.base.seed);
+
+        assert_eq!(loaded.space_bits(), f.space_bits(), "geometry drifted");
+        for k in &pos {
+            assert!(loaded.contains(k), "rebuild dropped a member");
+        }
+        // The whole probe set must FP *less* than before: the mined keys
+        // are optimized away and geometry preservation means no fresh
+        // random crop replaces them.
+        let after = probes.iter().filter(|k| loaded.contains(k)).count();
+        assert!(
+            after * 4 <= observed_fps.len(),
+            "{after} FPs remain of {} observed",
+            observed_fps.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild must keep the shard count")]
+    fn rebuild_par_rejects_shard_count_change() {
+        let (pos, neg) = workload(200);
+        let mut f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(4, 2_000));
+        f.rebuild_par(&pos, &neg, &config(2, 2_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild must keep the splitter seed")]
+    fn rebuild_par_rejects_splitter_seed_change() {
+        let (pos, neg) = workload(200);
+        let mut f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(2, 2_000));
+        let mut other = config(2, 2_000);
+        other.splitter_seed ^= 1;
+        f.rebuild_par(&pos, &neg, &other);
     }
 
     #[test]

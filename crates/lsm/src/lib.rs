@@ -20,7 +20,13 @@
 //! * **simulated I/O accounting** ([`IoStats`]): every run probe that the
 //!   filter fails to prune costs one block read, weighted by the
 //!   level-dependent cost `level + 1` (deeper levels are colder and more
-//!   expensive, as in ElasticBF's model).
+//!   expensive, as in ElasticBF's model);
+//! * **FP-feedback adaptation** ([`Lsm::enable_adaptation`]): every wasted
+//!   read is logged in a cost-decayed [`habf_core::FpLog`]; when the
+//!   [`habf_core::AdaptPolicy`] fires, the store mines the log into
+//!   negative hints and re-runs TPJO over every run filter
+//!   ([`IoStats::rebuilds`] counts the passes), so the filters chase the
+//!   *observed* costly-miss distribution instead of a static hint list.
 //!
 //! The `kv_store_cache` example and the LSM integration benches drive this
 //! store with Zipf-skewed miss traffic to reproduce the paper's headline
@@ -34,4 +40,8 @@ mod run;
 mod store;
 
 pub use run::{Run, RunFilter};
-pub use store::{FilterKind, IoStats, Lsm, LsmConfig};
+pub use store::{AdaptConfig, FilterKind, HintError, IoStats, Lsm, LsmConfig};
+
+// Re-exported so store users can configure the adaptation loop without
+// depending on `habf-core` directly.
+pub use habf_core::{AdaptPolicy, FpLog};

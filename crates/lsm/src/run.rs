@@ -127,9 +127,8 @@ impl Run {
                 bits_per_key,
                 shards,
             } => {
-                let total = (((keys.len() as f64) * bits_per_key) as usize).max(256);
                 let negatives = costed_negatives(entries, hints);
-                let cfg = ShardedConfig::new((*shards).max(1), HabfConfig::with_total_bits(total));
+                let cfg = sharded_config(keys.len(), *bits_per_key, *shards);
                 RunFilter::Sharded(ShardedHabf::build_par(&keys, &negatives, &cfg))
             }
             FilterKind::Habf { bits_per_key } | FilterKind::FHabf { bits_per_key } => {
@@ -144,6 +143,43 @@ impl Run {
             }
         }
     }
+
+    /// Rebuilds this run's filter in place with fresh hints — the
+    /// adaptation loop's per-run step. For sharded filters the rebuild
+    /// goes shard-by-shard through [`ShardedHabf::rebuild_par`]'s
+    /// copy-on-write path (readers holding shard handles keep their
+    /// snapshots); every other kind is rebuilt from scratch.
+    pub fn rebuild_filter(&mut self, kind: &crate::FilterKind, hints: &[(Vec<u8>, f64)]) {
+        if let (
+            crate::FilterKind::ShardedHabf {
+                bits_per_key,
+                shards,
+            },
+            RunFilter::Sharded(filter),
+        ) = (kind, &mut self.filter)
+        {
+            if !self.entries.is_empty() {
+                let keys: Vec<&[u8]> = self.entries.iter().map(|(k, _)| k.as_slice()).collect();
+                let negatives = costed_negatives(&self.entries, hints);
+                let cfg = sharded_config(keys.len(), *bits_per_key, *shards);
+                if cfg.shards == filter.shard_count() && cfg.splitter_seed == filter.splitter_seed()
+                {
+                    filter.rebuild_par(&keys, &negatives, &cfg);
+                    return;
+                }
+            }
+        }
+        self.filter = Run::build_filter(&self.entries, kind, hints);
+    }
+}
+
+/// The sharded build configuration for a run of `n_keys` keys — shared by
+/// [`Run::build_filter`] and [`Run::rebuild_filter`] so an in-place
+/// rebuild reproduces the original routing (shard count and splitter
+/// seed) exactly.
+fn sharded_config(n_keys: usize, bits_per_key: f64, shards: usize) -> ShardedConfig {
+    let total = (((n_keys as f64) * bits_per_key) as usize).max(256);
+    ShardedConfig::new(shards.max(1), HabfConfig::with_total_bits(total))
 }
 
 /// Hints that are not members of the run, as HABF's costed negative set.
@@ -262,6 +298,52 @@ mod tests {
             .count();
         assert!(pruned > 450, "only {pruned}/600 hinted misses pruned");
         assert!(run.filter().space_bits() > 0);
+    }
+
+    #[test]
+    fn rebuild_filter_adopts_new_hints() {
+        let es = entries(400);
+        let kind = crate::FilterKind::Habf { bits_per_key: 12.0 };
+        let filter = Run::build_filter(&es, &kind, &[]);
+        let mut run = Run::new(es, filter);
+        let mined: Vec<(Vec<u8>, f64)> = (0..400)
+            .map(|i| (format!("mined{i:06}").into_bytes(), 5.0))
+            .collect();
+        run.rebuild_filter(&kind, &mined);
+        for i in 0..400 {
+            let key = format!("key{i:06}").into_bytes();
+            assert!(run.filter().may_contain(&key), "member pruned by rebuild");
+        }
+        let pruned = mined
+            .iter()
+            .filter(|(k, _)| !run.filter().may_contain(k))
+            .count();
+        assert!(pruned > 300, "only {pruned}/400 mined misses pruned");
+    }
+
+    #[test]
+    fn sharded_rebuild_stays_in_place_and_matches_scratch_build() {
+        let es = entries(600);
+        let kind = crate::FilterKind::ShardedHabf {
+            bits_per_key: 12.0,
+            shards: 4,
+        };
+        let filter = Run::build_filter(&es, &kind, &[]);
+        let mut run = Run::new(es.clone(), filter);
+        let mined: Vec<(Vec<u8>, f64)> = (0..600)
+            .map(|i| (format!("mined{i:06}").into_bytes(), 5.0))
+            .collect();
+        run.rebuild_filter(&kind, &mined);
+        assert!(matches!(run.filter(), RunFilter::Sharded(_)));
+        for (k, _) in &es {
+            assert!(run.filter().may_contain(k), "member pruned by rebuild");
+        }
+        // The in-place rebuild must answer exactly like a scratch build
+        // over the same hints (same routing, same budget, same seeds).
+        let scratch = Run::build_filter(&es, &kind, &mined);
+        for (k, _) in &mined {
+            assert_eq!(run.filter().may_contain(k), scratch.may_contain(k));
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The leveled store: memtable, flush, compaction, and I/O accounting.
+//! The leveled store: memtable, flush, compaction, I/O accounting, and the
+//! FP-feedback adaptation loop.
 
-use crate::run::Run;
-use std::collections::BTreeMap;
+use crate::run::{Run, RunFilter};
+use habf_core::{AdaptPolicy, FpLog};
+use std::collections::{BTreeMap, HashSet};
 
 /// Which filter each run carries.
 #[derive(Clone, Debug)]
@@ -55,8 +57,64 @@ impl Default for LsmConfig {
     }
 }
 
+/// Configuration of the FP-feedback adaptation loop
+/// ([`Lsm::enable_adaptation`]).
+#[derive(Clone, Debug)]
+pub struct AdaptConfig {
+    /// When the observed waste justifies rebuilding the run filters.
+    pub policy: AdaptPolicy,
+    /// Ring capacity of the false-positive log.
+    pub log_capacity: usize,
+    /// Geometric per-event cost decay in `(0, 1]` (1 = no decay).
+    pub decay: f64,
+    /// Most hints mined from the log per filter build.
+    pub max_hints: usize,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            // Trigger once ~256 level-weighted cost units were wasted on
+            // recent false positives — a few hundred L0 misreads, fewer
+            // when the waste sits in deeper (costlier) levels.
+            policy: AdaptPolicy::cost_threshold(256.0),
+            log_capacity: 8_192,
+            decay: 0.999,
+            max_hints: 4_096,
+        }
+    }
+}
+
+/// Why [`Lsm::set_negative_hints`] rejected a hint batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HintError {
+    /// A hint carried a NaN, infinite, or non-positive cost (at the
+    /// reported index in the supplied batch). Hints are operator input; a
+    /// bad cost must be reported, not panicked on — and a cost ≤ 0 would
+    /// invert TPJO's preference for the key.
+    BadCost {
+        /// Index of the offending entry in the supplied batch.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for HintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HintError::BadCost { index } => {
+                write!(
+                    f,
+                    "negative hint at index {index} has a non-finite or non-positive cost"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HintError {}
+
 /// Simulated I/O counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Run probes that the filter did not prune (each costs a block read).
     pub block_reads: u64,
@@ -69,6 +127,15 @@ pub struct IoStats {
     pub weighted_cost: u64,
     /// Level-weighted wasted cost (the quantity HABF minimizes).
     pub wasted_weighted_cost: u64,
+    /// Filter-rebuild passes triggered by the adaptation policy (each
+    /// pass re-runs TPJO over every run with freshly mined hints).
+    pub rebuilds: u64,
+}
+
+/// The adaptation loop's runtime state.
+struct AdaptState {
+    config: AdaptConfig,
+    log: FpLog,
 }
 
 /// The LSM store.
@@ -78,8 +145,11 @@ pub struct Lsm {
     /// `levels[0]` is the youngest level; within a level, runs are ordered
     /// oldest → newest and probed newest-first.
     levels: Vec<Vec<Run>>,
-    /// Cost-annotated keys known to be frequently looked up but absent.
+    /// Cost-annotated keys known to be frequently looked up but absent:
+    /// key-unique, finite costs, descending by cost.
     negative_hints: Vec<(Vec<u8>, f64)>,
+    /// FP-feedback state; `None` until [`Lsm::enable_adaptation`].
+    adapt: Option<AdaptState>,
     io: IoStats,
 }
 
@@ -97,17 +167,78 @@ impl Lsm {
             memtable: BTreeMap::new(),
             levels: Vec::new(),
             negative_hints: Vec::new(),
+            adapt: None,
             io: IoStats::default(),
         }
     }
 
+    /// Switches on the FP-feedback adaptation loop: every wasted read is
+    /// recorded in a cost-decayed [`FpLog`]; once `config.policy` fires,
+    /// the store mines the log into negative hints and re-runs TPJO over
+    /// every run filter ([`Lsm::rebuild_filters`]), counted in
+    /// [`IoStats::rebuilds`]. Flushes and compactions also fold the mined
+    /// hints into the filters they build.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration (zero log capacity or a decay
+    /// outside `(0, 1]`).
+    pub fn enable_adaptation(&mut self, config: AdaptConfig) {
+        let log = FpLog::new(config.log_capacity, config.decay);
+        self.adapt = Some(AdaptState { config, log });
+    }
+
+    /// `true` once [`Lsm::enable_adaptation`] was called.
+    #[must_use]
+    pub fn adaptation_enabled(&self) -> bool {
+        self.adapt.is_some()
+    }
+
     /// Registers the cost-annotated negative lookup hints used when
     /// building HABF run filters (e.g. mined from a query log of misses).
-    /// Hints are sorted by descending cost and deduplicated.
-    pub fn set_negative_hints(&mut self, mut hints: Vec<(Vec<u8>, f64)>) {
-        hints.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN cost"));
-        hints.dedup_by(|a, b| a.0 == b.0);
+    /// The batch is deduplicated by key — keeping the max-cost entry per
+    /// key, wherever duplicates sit in the input — and stored sorted by
+    /// descending cost (ties broken by key).
+    ///
+    /// # Errors
+    /// Returns [`HintError::BadCost`] (and leaves the stored hints
+    /// unchanged) if any cost is NaN, infinite, or not strictly positive —
+    /// the whole hint pipeline's costs-are-positive contract starts here.
+    pub fn set_negative_hints(&mut self, mut hints: Vec<(Vec<u8>, f64)>) -> Result<(), HintError> {
+        if let Some(index) = hints.iter().position(|(_, c)| !(c.is_finite() && *c > 0.0)) {
+            return Err(HintError::BadCost { index });
+        }
+        dedup_keep_max_cost(&mut hints);
         self.negative_hints = hints;
+        Ok(())
+    }
+
+    /// The stored operator hints: key-unique, finite, descending by cost.
+    #[must_use]
+    pub fn negative_hints(&self) -> &[(Vec<u8>, f64)] {
+        &self.negative_hints
+    }
+
+    /// Hints currently minable from the FP log (empty when adaptation is
+    /// off): key-unique, finite, descending by decayed cost.
+    #[must_use]
+    pub fn mined_hints(&self) -> Vec<(Vec<u8>, f64)> {
+        self.adapt
+            .as_ref()
+            .map(|s| s.log.mine_hints(s.config.max_hints))
+            .unwrap_or_default()
+    }
+
+    /// Reports an application-observed costly miss into the FP log (the
+    /// same channel [`Lsm::get`] feeds automatically on wasted reads) and
+    /// rebuilds the run filters if that tips the policy. No-op while
+    /// adaptation is disabled; non-finite or non-positive costs are
+    /// dropped by the log, never stored.
+    pub fn report_miss(&mut self, key: &[u8], cost: f64) {
+        let Some(state) = self.adapt.as_mut() else {
+            return;
+        };
+        state.log.record(key, cost);
+        self.maybe_rebuild();
     }
 
     /// Inserts or overwrites a key.
@@ -125,32 +256,88 @@ impl Lsm {
         }
         let entries: Vec<(Vec<u8>, Vec<u8>)> =
             std::mem::take(&mut self.memtable).into_iter().collect();
-        let hints = self.hints_with_siblings(entries.len());
+        let hints = self.hints_for_run(&entries);
         let filter = Run::build_filter(&entries, &self.config.filter, &hints);
         self.push_run(0, Run::new(entries, filter));
     }
 
-    /// Assembles the negative hints for a new run: the operator-provided
-    /// cost-annotated misses first (sorted by descending cost), then the
-    /// keys resident in sibling runs with unit cost — a point lookup for a
-    /// key stored in another run is the most frequent "negative" a run's
+    /// Assembles the negative hints for a run holding `entries` (sorted,
+    /// duplicate-free): the operator hints merged with hints mined from
+    /// the FP log (max cost wins on key overlap), topped up with the keys
+    /// resident in sibling runs at unit cost — a point lookup for a key
+    /// stored in another run is the most frequent "negative" a run's
     /// filter sees, and the store knows those keys exactly at build time.
-    fn hints_with_siblings(&self, run_len: usize) -> Vec<(Vec<u8>, f64)> {
-        let cap = 2 * run_len;
+    ///
+    /// The result never contains a key present in `entries`: during
+    /// compaction, stale versions of the run's own keys live in deeper
+    /// levels (and operators may hint keys that have since been written),
+    /// and handing TPJO a member key as a negative would waste the hint
+    /// budget on keys the filter must accept anyway. Output is key-unique,
+    /// finite-cost, descending, and capped at `2 · entries.len()` — the
+    /// same cap the run builder applies, so every slot holds a genuine
+    /// negative.
+    ///
+    /// Public for diagnostics and the hint-pipeline property tests.
+    #[must_use]
+    pub fn hints_for_run(&self, entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<(Vec<u8>, f64)> {
+        self.hints_for_run_with_pool(&self.merged_hint_pool(), entries)
+    }
+
+    /// The operator hints merged with hints freshly mined from the FP
+    /// log: key-unique (max cost wins on overlap), descending. Computed
+    /// once per rebuild pass and shared across every run's assembly.
+    fn merged_hint_pool(&self) -> Vec<(Vec<u8>, f64)> {
+        let mut merged: Vec<(Vec<u8>, f64)> = self.negative_hints.clone();
+        if let Some(state) = &self.adapt {
+            merged.extend(state.log.mine_hints(state.config.max_hints));
+        }
+        dedup_keep_max_cost(&mut merged);
+        merged
+    }
+
+    /// [`Lsm::hints_for_run`] over an already-merged hint pool.
+    fn hints_for_run_with_pool(
+        &self,
+        merged: &[(Vec<u8>, f64)],
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> Vec<(Vec<u8>, f64)> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "hints_for_run needs sorted, duplicate-free entries"
+        );
+        let cap = 2 * entries.len();
+        let is_member = |k: &[u8]| {
+            entries
+                .binary_search_by(|(ek, _)| ek.as_slice().cmp(k))
+                .is_ok()
+        };
         let mut hints: Vec<(Vec<u8>, f64)> = Vec::with_capacity(cap.min(16_384));
-        hints.extend(self.negative_hints.iter().take(cap).cloned());
+        let mut seen: HashSet<&[u8]> = HashSet::with_capacity(cap.min(16_384));
+        for (k, c) in merged {
+            if hints.len() >= cap {
+                break;
+            }
+            if !is_member(k) && seen.insert(k.as_slice()) {
+                hints.push((k.clone(), *c));
+            }
+        }
         if hints.len() < cap {
-            for runs in &self.levels {
+            'fill: for runs in &self.levels {
                 for run in runs {
                     for (k, _) in run.entries() {
                         if hints.len() >= cap {
-                            return hints;
+                            break 'fill;
                         }
-                        hints.push((k.clone(), 1.0));
+                        if !is_member(k) && !seen.contains(k.as_slice()) {
+                            hints.push((k.clone(), 1.0));
+                        }
                     }
                 }
             }
         }
+        // Sibling keys enter at unit cost, which may outrank low mined
+        // costs — restore the descending contract once at the end.
+        hints.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         hints
     }
 
@@ -176,17 +363,28 @@ impl Lsm {
             }
         }
         let entries: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
-        let hints = self.hints_with_siblings(entries.len());
+        let hints = self.hints_for_run(&entries);
         let filter = Run::build_filter(&entries, &self.config.filter, &hints);
         self.push_run(level + 1, Run::new(entries, filter));
     }
 
     /// Point lookup. Probes the memtable, then every run from the youngest
     /// level down, newest run first; filters prune run probes, and every
-    /// unpruned probe is charged as a (level-weighted) block read.
+    /// unpruned probe is charged as a (level-weighted) block read. With
+    /// adaptation enabled, wasted reads feed the FP log and may trigger a
+    /// filter rebuild.
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let result = self.probe(key);
+        self.maybe_rebuild();
+        result
+    }
+
+    fn probe(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         if let Some(v) = self.memtable.get(key) {
             return Some(v.clone());
+        }
+        if let Some(state) = self.adapt.as_mut() {
+            state.log.note_lookup();
         }
         for (level, runs) in self.levels.iter().enumerate() {
             let level_cost = level as u64 + 1;
@@ -202,11 +400,62 @@ impl Lsm {
                     None => {
                         self.io.wasted_reads += 1;
                         self.io.wasted_weighted_cost += level_cost;
+                        if let Some(state) = self.adapt.as_mut() {
+                            state.log.record(key, level_cost as f64);
+                        }
                     }
                 }
             }
         }
         None
+    }
+
+    /// Rebuilds the filters if the adaptation policy says the observed
+    /// waste justifies it.
+    fn maybe_rebuild(&mut self) {
+        let triggered = self
+            .adapt
+            .as_ref()
+            .is_some_and(|s| s.config.policy.should_rebuild(&s.log));
+        if triggered {
+            self.rebuild_filters();
+        }
+    }
+
+    /// Rebuilds every run's filter with the current hints — operator hints
+    /// merged with hints freshly mined from the FP log — re-running TPJO
+    /// per run (per shard, copy-on-write, for sharded filters: concurrent
+    /// readers of shard handles keep their snapshots). Increments
+    /// [`IoStats::rebuilds`] and resets the FP-log window so the same
+    /// events cannot immediately re-trigger. Returns the number of runs
+    /// whose filter was rebuilt.
+    ///
+    /// Called automatically when the [`AdaptPolicy`] fires; public so
+    /// operators (and the CLI) can force an adaptation pass.
+    pub fn rebuild_filters(&mut self) -> usize {
+        // The operator + mined pool is identical for every run in the
+        // pass (the log only resets at the end); mine and merge it once.
+        let pool = self.merged_hint_pool();
+        let mut rebuilt = 0;
+        for li in 0..self.levels.len() {
+            for ri in 0..self.levels[li].len() {
+                // Take the run out so hint assembly sees only its siblings
+                // (and so we can borrow the store immutably meanwhile).
+                let mut run = std::mem::replace(
+                    &mut self.levels[li][ri],
+                    Run::new(Vec::new(), RunFilter::None),
+                );
+                let hints = self.hints_for_run_with_pool(&pool, run.entries());
+                run.rebuild_filter(&self.config.filter, &hints);
+                self.levels[li][ri] = run;
+                rebuilt += 1;
+            }
+        }
+        self.io.rebuilds += 1;
+        if let Some(state) = self.adapt.as_mut() {
+            state.log.reset_window();
+        }
+        rebuilt
     }
 
     /// Simulated I/O counters accumulated so far.
@@ -253,6 +502,18 @@ impl Lsm {
             .enumerate()
             .flat_map(|(l, runs)| runs.iter().map(move |r| (l, r)))
     }
+}
+
+/// Max-cost-per-key dedup, leaving the list sorted by descending cost
+/// (ties broken by key for determinism): group keys together with the
+/// costliest entry first, keep the first of each group, then re-sort.
+/// (`dedup_by` only removes *adjacent* duplicates, so deduping a
+/// cost-sorted list by key would let non-adjacent duplicate keys survive
+/// — the pre-fix bug in `set_negative_hints`.)
+fn dedup_keep_max_cost(hints: &mut Vec<(Vec<u8>, f64)>) {
+    hints.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.total_cmp(&a.1)));
+    hints.dedup_by(|a, b| a.0 == b.0);
+    hints.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 }
 
 #[cfg(test)]
@@ -340,7 +601,8 @@ mod tests {
                 level_fanout: 3,
                 filter: kind,
             });
-            db.set_negative_hints(misses.clone());
+            db.set_negative_hints(misses.clone())
+                .expect("finite hint costs");
             for i in 0..3_000 {
                 db.put(key(i), b"v".to_vec());
             }
@@ -374,7 +636,8 @@ mod tests {
                 shards: 4,
             },
         });
-        db.set_negative_hints(misses.clone());
+        db.set_negative_hints(misses.clone())
+            .expect("finite hint costs");
         for i in 0..3_000 {
             db.put(key(i), b"v".to_vec());
         }
@@ -422,5 +685,219 @@ mod tests {
         db.flush();
         assert_eq!(db.depth(), 0);
         assert_eq!(db.get(b"nothing"), None);
+    }
+
+    /// Regression (pre-fix: hints were sorted by descending cost and then
+    /// deduped by key, but `dedup_by` only removes *adjacent* duplicates,
+    /// so duplicate keys with non-adjacent costs survived).
+    #[test]
+    fn set_negative_hints_dedups_nonadjacent_duplicates_keeping_max_cost() {
+        let mut db = store(FilterKind::None);
+        // Shuffled duplicate-key input: key "a" appears at costs 5, 1, 3 —
+        // sorted by cost the "a" entries are NOT adjacent.
+        db.set_negative_hints(vec![
+            (b"a".to_vec(), 1.0),
+            (b"b".to_vec(), 4.0),
+            (b"a".to_vec(), 5.0),
+            (b"c".to_vec(), 2.0),
+            (b"a".to_vec(), 3.0),
+            (b"b".to_vec(), 0.5),
+        ])
+        .expect("finite costs");
+        let hints = db.negative_hints().to_vec();
+        assert_eq!(
+            hints,
+            vec![
+                (b"a".to_vec(), 5.0),
+                (b"b".to_vec(), 4.0),
+                (b"c".to_vec(), 2.0),
+            ],
+            "each key must survive exactly once with its max cost"
+        );
+    }
+
+    /// Regression (pre-fix: `.expect(\"NaN cost\")` panicked on user input).
+    #[test]
+    fn set_negative_hints_rejects_non_finite_costs_without_panicking() {
+        let mut db = store(FilterKind::None);
+        db.set_negative_hints(vec![(b"keep".to_vec(), 2.0)])
+            .expect("finite costs");
+        let err = db
+            .set_negative_hints(vec![
+                (b"x".to_vec(), 1.0),
+                (b"nan".to_vec(), f64::NAN),
+                (b"y".to_vec(), 3.0),
+            ])
+            .expect_err("NaN cost must be rejected");
+        assert_eq!(err, HintError::BadCost { index: 1 });
+        assert!(err.to_string().contains("index 1"));
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -4.0] {
+            let err = db
+                .set_negative_hints(vec![(b"bad".to_vec(), bad)])
+                .expect_err("non-positive/non-finite cost must be rejected");
+            assert_eq!(err, HintError::BadCost { index: 0 }, "cost {bad}");
+        }
+        // A rejected batch leaves the previously stored hints untouched.
+        assert_eq!(db.negative_hints(), &[(b"keep".to_vec(), 2.0)]);
+    }
+
+    /// Regression (pre-fix: `hints_with_siblings` handed TPJO keys that
+    /// are members of the very run being built — stale versions resident
+    /// in deeper levels during compaction, and operator hints for keys
+    /// that have since been written).
+    #[test]
+    fn hints_for_run_excludes_the_runs_own_members() {
+        let mut db = store(FilterKind::Habf { bits_per_key: 12.0 });
+        // Operator-hints a key that will become a member.
+        db.set_negative_hints(vec![(key(3), 9.0), (key(90_000), 4.0)])
+            .expect("finite costs");
+        // Deep level holds stale versions of keys 0..600.
+        for i in 0..600 {
+            db.put(key(i), b"stale".to_vec());
+        }
+        db.flush();
+        assert!(db.depth() >= 1);
+        // The new run being built re-writes keys 0..300 (fresh versions).
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..300).map(|i| (key(i), b"fresh".to_vec())).collect();
+        let hints = db.hints_for_run(&entries);
+        assert!(!hints.is_empty());
+        for (k, _) in &hints {
+            assert!(
+                entries.binary_search_by(|(ek, _)| ek.cmp(k)).is_err(),
+                "hint {:?} is a member of the run being built",
+                String::from_utf8_lossy(k)
+            );
+        }
+        // The operator hint for the still-absent key must survive, with
+        // the sibling fill drawn from the stale run's non-member keys.
+        assert!(hints.iter().any(|(k, _)| k == &key(90_000)));
+        assert!(hints.iter().any(|(k, _)| k == &key(450)));
+        // And the assembled list obeys the full hint contract.
+        assert!(hints.len() <= 2 * entries.len());
+        assert!(hints.windows(2).all(|w| w[0].1 >= w[1].1), "not descending");
+        let mut keys: Vec<&[u8]> = hints.iter().map(|(k, _)| k.as_slice()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), hints.len(), "duplicate key in hints");
+    }
+
+    /// The whole loop: hot absent keys trip false positives, the log
+    /// accrues their cost, the policy fires, the rebuilt filters prune
+    /// the very keys that were burning reads.
+    #[test]
+    fn adaptation_loop_mines_fps_and_rebuild_prunes_them() {
+        let mut db = Lsm::new(LsmConfig {
+            memtable_capacity: 1024,
+            level_fanout: 3,
+            filter: FilterKind::Habf { bits_per_key: 12.0 },
+        });
+        for i in 0..3_000 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        db.enable_adaptation(AdaptConfig {
+            policy: AdaptPolicy::cost_threshold(20.0),
+            ..AdaptConfig::default()
+        });
+
+        // Find absent keys that the built filters fail to prune.
+        db.reset_io_stats();
+        let mut hot_fps: Vec<Vec<u8>> = Vec::new();
+        for i in 100_000..140_000 {
+            let before = db.io_stats().wasted_reads;
+            assert_eq!(db.get(&key(i)), None);
+            if db.io_stats().wasted_reads > before {
+                hot_fps.push(key(i));
+                if hot_fps.len() >= 3 {
+                    break;
+                }
+            }
+            if db.io_stats().rebuilds > 0 {
+                break; // background FPs alone tripped the policy — fine
+            }
+        }
+        // Hammer the hot false positives until the policy fires.
+        if db.io_stats().rebuilds == 0 {
+            assert!(!hot_fps.is_empty(), "no false positive found to hammer");
+            'hammer: for _ in 0..64 {
+                for k in &hot_fps {
+                    let _ = db.get(k);
+                    if db.io_stats().rebuilds > 0 {
+                        break 'hammer;
+                    }
+                }
+            }
+        }
+        assert!(db.io_stats().rebuilds >= 1, "policy never fired");
+
+        // The rebuilt filters must now prune the hammered keys.
+        db.reset_io_stats();
+        for k in &hot_fps {
+            assert_eq!(db.get(k), None);
+        }
+        assert_eq!(
+            db.io_stats().wasted_reads,
+            0,
+            "rebuild failed to prune the mined hot misses"
+        );
+        // And members survive the rebuild (zero FN).
+        for i in 0..3_000 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+    }
+
+    #[test]
+    fn report_miss_feeds_the_log_and_can_trigger_rebuilds() {
+        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        for i in 0..400 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        db.report_miss(b"ignored", 5.0); // adaptation off: no-op
+        assert!(db.mined_hints().is_empty());
+
+        db.enable_adaptation(AdaptConfig {
+            policy: AdaptPolicy::cost_threshold(50.0),
+            decay: 1.0, // exact sums make the threshold arithmetic crisp
+            ..AdaptConfig::default()
+        });
+        for _ in 0..9 {
+            db.report_miss(b"app-observed", 5.0);
+        }
+        // 45 < 50: not yet.
+        assert_eq!(db.io_stats().rebuilds, 0);
+        assert_eq!(db.mined_hints().len(), 1);
+        db.report_miss(b"app-observed", 5.0);
+        assert_eq!(db.io_stats().rebuilds, 1, "threshold crossing must fire");
+        // The window reset after the rebuild.
+        assert!(db.mined_hints().is_empty());
+    }
+
+    #[test]
+    fn sharded_runs_rebuild_in_place() {
+        let mut db = Lsm::new(LsmConfig {
+            memtable_capacity: 2048,
+            level_fanout: 3,
+            filter: FilterKind::ShardedHabf {
+                bits_per_key: 12.0,
+                shards: 4,
+            },
+        });
+        for i in 0..2_000 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        db.enable_adaptation(AdaptConfig::default());
+        for _ in 0..20 {
+            db.report_miss(&key(77_777), 3.0);
+        }
+        let rebuilt = db.rebuild_filters();
+        assert!(rebuilt >= 1);
+        assert!(db.io_stats().rebuilds >= 1);
+        for i in 0..2_000 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+        assert_eq!(db.get(&key(77_777)), None);
     }
 }

@@ -1,0 +1,292 @@
+//! Drifting hot negatives: a miss workload whose costly key set shifts
+//! mid-run (post-paper; motivates the FP-feedback adaptation loop).
+//!
+//! The paper's evaluation assigns static Zipf costs to a fixed negative
+//! set — the builder knows the costly misses up front. Production traffic
+//! is not that polite: the hot misses *drift* (a new bot wave, a changed
+//! upstream cache, a trending 404). [`DriftConfig`] generates exactly that
+//! adversary: the negative universe is fixed, queries within a phase are
+//! Zipf-skewed over that phase's **hot set**, and each phase's hot set is
+//! a disjoint window of the universe — so hints mined (or provided) before
+//! the drift point say nothing about the traffic after it.
+//!
+//! A filter built once from phase-0 knowledge keeps paying for phase-1's
+//! hot misses; an adaptive build that mines its own false-positive log
+//! should not. `habf-bench`'s `adaptation` suite runs that comparison.
+
+use habf_util::Xoshiro256;
+
+/// Parameters of a drifting-hot-negatives stream.
+#[derive(Clone, Debug)]
+pub struct DriftConfig {
+    /// Distinct negative keys in the universe (must hold `phases` disjoint
+    /// hot windows: `universe ≥ phases · hot`).
+    pub universe: usize,
+    /// Hot keys per phase (the drifting costly-miss set).
+    pub hot: usize,
+    /// Number of phases; the hot set shifts at every phase boundary.
+    pub phases: usize,
+    /// Queries generated per phase.
+    pub queries_per_phase: usize,
+    /// Fraction of queries drawn from the phase's hot set (the rest are
+    /// uniform background over the whole universe).
+    pub hot_fraction: f64,
+    /// Zipf skewness of ranks within a hot set (0 = uniform hot set).
+    pub skewness: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            universe: 20_000,
+            hot: 500,
+            phases: 2,
+            queries_per_phase: 30_000,
+            hot_fraction: 0.9,
+            skewness: 1.0,
+            seed: 0xD21F7,
+        }
+    }
+}
+
+/// A generated drifting workload: the miss stream, its phase boundaries,
+/// and the underlying universe.
+#[derive(Clone, Debug)]
+pub struct DriftWorkload {
+    /// The negative-key universe (`drift-miss:…`, disjoint from any
+    /// `row:`/`user:`-style member key by prefix).
+    pub universe: Vec<Vec<u8>>,
+    /// The query stream: `phases · queries_per_phase` universe indices in
+    /// issue order.
+    pub queries: Vec<usize>,
+    /// Start offset of each phase in `queries`.
+    pub phase_starts: Vec<usize>,
+    /// Universe indices of each phase's hot set (disjoint windows).
+    pub hot_sets: Vec<Vec<usize>>,
+}
+
+impl DriftConfig {
+    /// Generates the workload deterministically from the seed.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration: zero sizes, a universe too
+    /// small for `phases` disjoint hot sets, `hot_fraction` outside
+    /// `[0, 1]`, or negative/non-finite skewness.
+    #[must_use]
+    pub fn generate(&self) -> DriftWorkload {
+        assert!(
+            self.universe > 0 && self.hot > 0 && self.phases > 0 && self.queries_per_phase > 0,
+            "sizes must be positive"
+        );
+        assert!(
+            self.universe >= self.phases * self.hot,
+            "universe {} too small for {} disjoint hot sets of {}",
+            self.universe,
+            self.phases,
+            self.hot
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.hot_fraction),
+            "hot_fraction out of [0, 1]"
+        );
+        assert!(
+            self.skewness >= 0.0 && self.skewness.is_finite(),
+            "skewness {} invalid",
+            self.skewness
+        );
+
+        let universe: Vec<Vec<u8>> = (0..self.universe)
+            .map(|i| format!("drift-miss:{i:08}").into_bytes())
+            .collect();
+        // Disjoint windows walked front-to-back: the drift is total — no
+        // phase shares a hot key with any other.
+        let hot_sets: Vec<Vec<usize>> = (0..self.phases)
+            .map(|p| (p * self.hot..(p + 1) * self.hot).collect())
+            .collect();
+
+        let sampler = crate::zipf::ZipfSampler::new(self.hot, self.skewness);
+        let mut rng = Xoshiro256::new(self.seed);
+        let mut queries = Vec::with_capacity(self.phases * self.queries_per_phase);
+        let mut phase_starts = Vec::with_capacity(self.phases);
+        for hot in &hot_sets {
+            phase_starts.push(queries.len());
+            for _ in 0..self.queries_per_phase {
+                if rng.next_f64() < self.hot_fraction {
+                    queries.push(hot[sampler.sample(&mut rng)]);
+                } else {
+                    queries.push(rng.next_index(self.universe));
+                }
+            }
+        }
+        DriftWorkload {
+            universe,
+            queries,
+            phase_starts,
+            hot_sets,
+        }
+    }
+}
+
+impl DriftWorkload {
+    /// The key of query `q`.
+    #[must_use]
+    pub fn key(&self, q: usize) -> &[u8] {
+        &self.universe[self.queries[q]]
+    }
+
+    /// The query-index range of `phase`.
+    ///
+    /// # Panics
+    /// Panics if `phase` is out of range.
+    #[must_use]
+    pub fn phase_range(&self, phase: usize) -> std::ops::Range<usize> {
+        let start = self.phase_starts[phase];
+        let end = self
+            .phase_starts
+            .get(phase + 1)
+            .copied()
+            .unwrap_or(self.queries.len());
+        start..end
+    }
+
+    /// Iterates the keys of `phase` in issue order.
+    pub fn phase_keys(&self, phase: usize) -> impl Iterator<Item = &[u8]> + '_ {
+        self.phase_range(phase)
+            .map(move |q| self.universe[self.queries[q]].as_slice())
+    }
+
+    /// Cost-annotated hints observed *within* `phase`: each queried key
+    /// with its query count as the cost, descending — what an operator
+    /// replaying that phase's miss log would hand
+    /// `habf_lsm::Lsm::set_negative_hints`.
+    #[must_use]
+    pub fn observed_costs(&self, phase: usize) -> Vec<(Vec<u8>, f64)> {
+        let mut counts: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for q in self.phase_range(phase) {
+            *counts.entry(self.queries[q]).or_insert(0) += 1;
+        }
+        let mut hints: Vec<(Vec<u8>, f64)> = counts
+            .into_iter()
+            .map(|(idx, n)| (self.universe[idx].clone(), n as f64))
+            .collect();
+        hints.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        hints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DriftConfig {
+        DriftConfig {
+            universe: 2_000,
+            hot: 100,
+            phases: 3,
+            queries_per_phase: 5_000,
+            hot_fraction: 0.9,
+            skewness: 1.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_sized() {
+        let a = tiny().generate();
+        let b = tiny().generate();
+        assert_eq!(a.queries, b.queries, "generation must be deterministic");
+        assert_eq!(a.queries.len(), 15_000);
+        assert_eq!(a.phase_starts, vec![0, 5_000, 10_000]);
+        assert_eq!(a.universe.len(), 2_000);
+        assert!(a.queries.iter().all(|&q| q < 2_000));
+        assert_eq!(a.phase_range(2), 10_000..15_000);
+    }
+
+    #[test]
+    fn hot_sets_are_disjoint_and_dominate_their_phase() {
+        let w = tiny().generate();
+        let mut all: Vec<usize> = w.hot_sets.iter().flatten().copied().collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "hot sets overlap");
+
+        for phase in 0..3 {
+            let hot: std::collections::HashSet<usize> = w.hot_sets[phase].iter().copied().collect();
+            let range = w.phase_range(phase);
+            let n = range.len();
+            let in_hot = range.filter(|&q| hot.contains(&w.queries[q])).count();
+            // 90% targeted + background that happens to land in-window.
+            assert!(
+                in_hot as f64 > 0.85 * n as f64,
+                "phase {phase}: only {in_hot}/{n} queries hit its hot set"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_point_actually_shifts_the_traffic() {
+        let w = tiny().generate();
+        let hot0: std::collections::HashSet<usize> = w.hot_sets[0].iter().copied().collect();
+        // After the drift, phase-0 hot keys only appear as uniform
+        // background: ~ (1 - hot_fraction) · hot/universe ≈ 0.5%.
+        let post = w.phase_range(1);
+        let n = post.len();
+        let stale = post.filter(|&q| hot0.contains(&w.queries[q])).count();
+        assert!(
+            (stale as f64) < 0.05 * n as f64,
+            "{stale}/{n} post-drift queries still hit the old hot set"
+        );
+    }
+
+    #[test]
+    fn observed_costs_rank_the_hot_keys_first() {
+        let w = tiny().generate();
+        let hints = w.observed_costs(0);
+        // Contract: key-unique, finite, descending.
+        assert!(hints.windows(2).all(|p| p[0].1 >= p[1].1));
+        assert!(hints.iter().all(|(_, c)| c.is_finite() && *c >= 1.0));
+        let mut keys: Vec<&[u8]> = hints.iter().map(|(k, _)| k.as_slice()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), hints.len());
+        // The costliest observed key is a phase-0 hot key, and the counts
+        // total the phase's query count.
+        let hot0: std::collections::HashSet<&[u8]> = w.hot_sets[0]
+            .iter()
+            .map(|&i| w.universe[i].as_slice())
+            .collect();
+        assert!(hot0.contains(hints[0].0.as_slice()));
+        let total: f64 = hints.iter().map(|(_, c)| c).sum();
+        assert_eq!(total as usize, w.phase_range(0).len());
+    }
+
+    #[test]
+    fn zero_hot_fraction_is_pure_background() {
+        let w = DriftConfig {
+            hot_fraction: 0.0,
+            ..tiny()
+        }
+        .generate();
+        let hot0: std::collections::HashSet<usize> = w.hot_sets[0].iter().copied().collect();
+        let range = w.phase_range(0);
+        let n = range.len();
+        let in_hot = range.filter(|&q| hot0.contains(&w.queries[q])).count();
+        // 100 hot / 2000 universe → ~5% by chance.
+        assert!(in_hot < n / 10, "background traffic is not uniform");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_universe_rejected() {
+        let _ = DriftConfig {
+            universe: 100,
+            hot: 60,
+            phases: 2,
+            ..tiny()
+        }
+        .generate();
+    }
+}

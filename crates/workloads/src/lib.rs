@@ -16,12 +16,18 @@
 //!
 //! [`metrics`] implements the weighted-FPR measure of Eq (20) and the
 //! latency helpers used by every figure binary.
+//!
+//! Beyond the paper, [`drift`] generates the **drifting hot negatives**
+//! workload — the costly miss set shifts at phase boundaries — used by the
+//! `adaptation` bench suite to compare static-hint builds against the
+//! FP-feedback adaptation loop.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod cost;
 pub mod dataset;
+pub mod drift;
 pub mod metrics;
 pub mod shalla;
 pub mod ycsb;
@@ -29,6 +35,7 @@ pub mod zipf;
 
 pub use cost::CostAssignment;
 pub use dataset::Dataset;
+pub use drift::{DriftConfig, DriftWorkload};
 pub use shalla::ShallaConfig;
 pub use ycsb::YcsbConfig;
 pub use zipf::{zipf_costs, ZipfSampler};

@@ -41,7 +41,8 @@ fn run(filter: FilterKind, hints: Option<&[(Vec<u8>, f64)]>) -> (IoStats, usize)
         filter,
     });
     if let Some(h) = hints {
-        db.set_negative_hints(h.to_vec());
+        db.set_negative_hints(h.to_vec())
+            .expect("finite hint costs");
     }
     for i in 0..STORED_KEYS {
         db.put(key(i), format!("value-{i}").into_bytes());

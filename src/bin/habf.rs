@@ -1,28 +1,42 @@
-//! `habf` — command-line front end for building, querying, and inspecting
-//! HABF filter images.
+//! `habf` — command-line front end for building, querying, inspecting,
+//! and adapting HABF filter images.
 //!
 //! ```text
 //! habf build --positives pos.txt --negatives neg.txt --bits-per-key 10 --out filter.bin
 //! habf build --positives pos.txt --negatives neg.txt --shards 4 --threads 2 --out filter.bin
 //! habf query filter.bin <key> [<key>…]        # exit 0 if all maybe-present
+//! habf query filter.bin --replay queries.txt  # replay keys from a file
+//! habf adapt filter.bin --positives pos.txt --queries queries.txt --out adapted.bin
 //! habf inspect filter.bin
 //! ```
 //!
 //! `--shards N` (with N > 1) builds a sharded filter: keys are partitioned
 //! by a splitter hash and the shards are built in parallel over
-//! `--threads` workers (0 = auto). Query and inspect load either format.
+//! `--threads` workers (0 = auto). Query, adapt, and inspect load either
+//! format.
 //!
-//! `--negatives` lines are either `key` (cost 1) or `key<TAB>cost`. Keys
-//! are one per line, newline-delimited, matched as raw bytes.
+//! `adapt` closes the FP-feedback loop offline: it replays a query log
+//! against the filter, records every false positive (a query key that is
+//! not in `--positives` yet passes the filter) into a cost-decayed
+//! [`FpLog`], and — if the waste crosses `--threshold` — mines the log
+//! into negative hints and rebuilds the filter at its current space
+//! budget. The same loop runs as `query --replay FILE --adapt`, mirroring
+//! how a server would adapt in place.
+//!
+//! `--negatives` and `--queries` lines are either `key` (cost 1) or
+//! `key<TAB>cost`. Keys are one per line, newline-delimited, matched as
+//! raw bytes.
 
-use habf::core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
+use habf::core::{AdaptPolicy, FHabf, FpLog, Habf, HabfConfig, ShardedConfig, ShardedHabf};
 use habf::filters::Filter;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
-         [--fast] [--seed N] [--shards N] [--threads N] [--out FILE]\n  habf query FILTER KEY \
-[KEY…]\n  habf inspect FILTER";
+         [--fast] [--seed N] [--shards N] [--threads N] [--out FILE]\n  habf query FILTER \
+[KEY…] [--replay FILE] [--adapt --positives FILE [--out FILE]]\n  habf adapt FILTER \
+--positives FILE --queries FILE [--out FILE] [--threshold F] [--max-hints N] [--seed N]\n  \
+habf inspect FILTER";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -156,30 +170,192 @@ fn cmd_build(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Loads any persisted filter kind — unsharded or sharded, HABF or f-HABF
-/// — from an image (the magics and kind bytes disambiguate).
-fn load(path: &str) -> Result<Box<dyn Filter>, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if let Ok(f) = Habf::from_bytes(&bytes) {
-        return Ok(Box::new(f));
+/// A loaded filter image of any persisted kind, kept concretely typed so
+/// `adapt` can rebuild it at the same geometry.
+enum AnyFilter {
+    Habf(Habf),
+    FHabf(FHabf),
+    Sharded(ShardedHabf<Habf>),
+    ShardedFast(ShardedHabf<FHabf>),
+}
+
+impl AnyFilter {
+    /// Loads any persisted filter kind — unsharded or sharded, HABF or
+    /// f-HABF (the magics and kind bytes disambiguate).
+    fn load(path: &str) -> Result<Self, String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if let Ok(f) = Habf::from_bytes(&bytes) {
+            return Ok(AnyFilter::Habf(f));
+        }
+        if let Ok(f) = FHabf::from_bytes(&bytes) {
+            return Ok(AnyFilter::FHabf(f));
+        }
+        if let Ok(f) = ShardedHabf::<Habf>::from_bytes(&bytes) {
+            return Ok(AnyFilter::Sharded(f));
+        }
+        ShardedHabf::<FHabf>::from_bytes(&bytes)
+            .map(AnyFilter::ShardedFast)
+            .map_err(|e| format!("{path}: {e}"))
     }
-    if let Ok(f) = FHabf::from_bytes(&bytes) {
-        return Ok(Box::new(f));
+
+    fn as_filter(&self) -> &dyn Filter {
+        match self {
+            AnyFilter::Habf(f) => f,
+            AnyFilter::FHabf(f) => f,
+            AnyFilter::Sharded(f) => f,
+            AnyFilter::ShardedFast(f) => f,
+        }
     }
-    if let Ok(f) = ShardedHabf::<Habf>::from_bytes(&bytes) {
-        return Ok(Box::new(f));
+
+    /// Re-runs TPJO over `positives` with `negatives` as the costed hint
+    /// set, at the loaded filter's exact geometry (space, `k`, cell width,
+    /// shard routing) — geometry preservation keeps the replayed false
+    /// positives valid evidence against the rebuilt filter.
+    fn rebuild(&mut self, positives: &[Vec<u8>], negatives: &[(Vec<u8>, f64)], seed: u64) {
+        match self {
+            AnyFilter::Habf(f) => f.rebuild(positives, negatives, seed),
+            AnyFilter::FHabf(f) => f.rebuild(positives, negatives, seed),
+            AnyFilter::Sharded(f) => f.rebuild_in_place(positives, negatives, seed),
+            AnyFilter::ShardedFast(f) => f.rebuild_in_place(positives, negatives, seed),
+        }
     }
-    ShardedHabf::<FHabf>::from_bytes(&bytes)
-        .map(|f| Box::new(f) as Box<dyn Filter>)
-        .map_err(|e| format!("{path}: {e}"))
+
+    fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            AnyFilter::Habf(f) => f.to_bytes(),
+            AnyFilter::FHabf(f) => f.to_bytes(),
+            AnyFilter::Sharded(f) => f.to_bytes(),
+            AnyFilter::ShardedFast(f) => f.to_bytes(),
+        }
+    }
+}
+
+/// Replays the costed `queries` against `filter`, logging every false
+/// positive (passes the filter, absent from `positives`); if the decayed
+/// waste reaches `threshold`, mines the log and rebuilds the filter.
+/// Returns `(fps_before, fps_after, rebuilt)`.
+fn adapt_filter(
+    filter: &mut AnyFilter,
+    positives: &[Vec<u8>],
+    queries: &[(Vec<u8>, f64)],
+    threshold: f64,
+    max_hints: usize,
+    seed: u64,
+) -> (u64, u64, bool) {
+    let members: std::collections::HashSet<&[u8]> = positives.iter().map(Vec::as_slice).collect();
+    let mut log = FpLog::new(queries.len().max(1), 1.0);
+    let mut policy = AdaptPolicy::cost_threshold(threshold);
+    policy.min_fp_events = 1;
+    for (key, cost) in queries {
+        log.note_lookup();
+        if !members.contains(key.as_slice()) && filter.as_filter().contains(key) {
+            log.record(key, *cost);
+        }
+    }
+    let fps_before = log.window_fp_events();
+    if !policy.should_rebuild(&log) {
+        return (fps_before, fps_before, false);
+    }
+    let mined = log.mine_hints(max_hints);
+    filter.rebuild(positives, &mined, seed);
+    let fps_after = queries
+        .iter()
+        .filter(|(key, _)| !members.contains(key.as_slice()) && filter.as_filter().contains(key))
+        .count() as u64;
+    (fps_before, fps_after, true)
+}
+
+fn cmd_adapt(args: &[String]) -> ExitCode {
+    let [path, flags @ ..] = args else { usage() };
+    let mut positives_path = None;
+    let mut queries_path = None;
+    let mut out = format!("{path}.adapted");
+    let mut threshold = 1.0f64;
+    let mut max_hints = 65_536usize;
+    let mut seed = 0x4841_4246u64;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--positives" => positives_path = Some(val()),
+            "--queries" => queries_path = Some(val()),
+            "--out" => out = val(),
+            "--threshold" => threshold = val().parse().unwrap_or_else(|_| usage()),
+            "--max-hints" => max_hints = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(pp), Some(qp)) = (positives_path, queries_path) else {
+        usage()
+    };
+    let mut filter = match AnyFilter::load(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("habf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let positives = read_lines(&pp);
+    if positives.is_empty() {
+        eprintln!("habf: {pp} holds no keys");
+        return ExitCode::FAILURE;
+    }
+    let queries = parse_negatives(&qp);
+    let (before, after, rebuilt) = adapt_filter(
+        &mut filter,
+        &positives,
+        &queries,
+        threshold,
+        max_hints,
+        seed,
+    );
+    println!(
+        "replayed {} queries: {before} false positives",
+        queries.len()
+    );
+    if !rebuilt {
+        println!("below threshold {threshold}: no adaptation needed");
+        return ExitCode::SUCCESS;
+    }
+    let image = filter.to_bytes();
+    if let Err(e) = std::fs::write(&out, &image) {
+        eprintln!("habf: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("rebuilt with mined hints: {after} false positives remain");
+    println!("wrote {} bytes to {out}", image.len());
+    ExitCode::SUCCESS
 }
 
 fn cmd_query(args: &[String]) -> ExitCode {
-    let [path, keys @ ..] = args else { usage() };
+    let [path, rest @ ..] = args else { usage() };
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    let mut replay = None;
+    let mut adapt = false;
+    let mut positives_path = None;
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--replay" => replay = Some(val()),
+            "--adapt" => adapt = true,
+            "--positives" => positives_path = Some(val()),
+            "--out" => out = Some(val()),
+            // A mistyped flag must not be silently queried as a key
+            // (keys that genuinely start with "--" go through --replay).
+            s if s.starts_with("--") => usage(),
+            _ => keys.push(arg.clone().into_bytes()),
+        }
+    }
+    if let Some(replay) = &replay {
+        keys.extend(read_lines(replay));
+    }
     if keys.is_empty() {
         usage();
     }
-    let filter = match load(path) {
+    let filter = match AnyFilter::load(path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("habf: {e}");
@@ -189,10 +365,39 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     let mut all_present = true;
-    for key in keys {
-        let hit = filter.contains(key.as_bytes());
+    for key in &keys {
+        let hit = filter.as_filter().contains(key);
         all_present &= hit;
-        let _ = writeln!(lock, "{}\t{}", if hit { "maybe" } else { "no" }, key);
+        let _ = writeln!(
+            lock,
+            "{}\t{}",
+            if hit { "maybe" } else { "no" },
+            String::from_utf8_lossy(key)
+        );
+    }
+    drop(lock);
+    if adapt {
+        // `query --replay FILE --adapt` is `habf adapt` with the replayed
+        // keys as the query log (unit cost each).
+        let Some(pp) = positives_path else {
+            eprintln!("habf: --adapt needs --positives");
+            return ExitCode::FAILURE;
+        };
+        let out = out.unwrap_or_else(|| format!("{path}.adapted"));
+        let Some(replay) = replay else {
+            eprintln!("habf: --adapt needs --replay");
+            return ExitCode::FAILURE;
+        };
+        let adapt_args = vec![
+            path.clone(),
+            "--positives".into(),
+            pp,
+            "--queries".into(),
+            replay,
+            "--out".into(),
+            out,
+        ];
+        return cmd_adapt(&adapt_args);
     }
     if all_present {
         ExitCode::SUCCESS
@@ -203,8 +408,9 @@ fn cmd_query(args: &[String]) -> ExitCode {
 
 fn cmd_inspect(args: &[String]) -> ExitCode {
     let [path] = args else { usage() };
-    match load(path) {
-        Ok(f) => {
+    match AnyFilter::load(path) {
+        Ok(any) => {
+            let f = any.as_filter();
             println!("kind        : {}", f.name());
             println!(
                 "space       : {} bits ({} KB)",
@@ -236,6 +442,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "build" => cmd_build(rest),
         "query" => cmd_query(rest),
+        "adapt" => cmd_adapt(rest),
         "inspect" => cmd_inspect(rest),
         _ => usage(),
     }

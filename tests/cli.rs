@@ -197,6 +197,175 @@ fn sharded_build_query_inspect_roundtrip() {
     assert!(String::from_utf8_lossy(&zero.stderr).contains("--shards"));
 }
 
+/// Builds a filter with NO negative knowledge, replays a hot-miss query
+/// log through `habf adapt`, and checks the rebuilt image prunes the
+/// replayed misses while keeping every member.
+#[test]
+fn adapt_replay_mines_fps_and_rebuilds() {
+    let dir = TempDir::new("adapt");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..3000).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    // Build without hints so the query log has something to teach.
+    let empty = write_file(&dir.0, "none.txt", &["placeholder:0".into()]);
+    let filter = dir.0.join("filter.bin");
+    let build = Command::new(bin())
+        .args(["build", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&empty)
+        .args(["--bits-per-key", "8", "--out"])
+        .arg(&filter)
+        .output()
+        .expect("run build");
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    // A miss log heavy on a few costly keys (tab-separated costs).
+    let mut lines: Vec<String> = (0..2000).map(|i| format!("miss:{i}")).collect();
+    for i in 0..50 {
+        lines.push(format!("hot-miss:{i}\t100"));
+    }
+    let queries = write_file(&dir.0, "queries.txt", &lines);
+    let adapted = dir.0.join("adapted.bin");
+    let adapt = Command::new(bin())
+        .arg("adapt")
+        .arg(&filter)
+        .arg("--positives")
+        .arg(&pos)
+        .arg("--queries")
+        .arg(&queries)
+        .arg("--out")
+        .arg(&adapted)
+        .output()
+        .expect("run adapt");
+    assert!(
+        adapt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&adapt.stderr)
+    );
+    let text = String::from_utf8_lossy(&adapt.stdout);
+    assert!(text.contains("false positives"), "{text}");
+    assert!(text.contains("rebuilt with mined hints"), "{text}");
+    assert!(adapted.exists(), "adapted image not written");
+
+    // Zero FN must survive the rebuild; replayed FPs must be (mostly)
+    // gone — "0 false positives remain" in practice, but the contract is
+    // strictly-fewer.
+    // Both counts are printed as "… N false positives …".
+    let count_before_word = |line: &str| -> Option<u64> {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let i = words.iter().position(|w| *w == "false")?;
+        words[i.checked_sub(1)?].parse().ok()
+    };
+    let before = text
+        .lines()
+        .find(|l| l.contains("replayed"))
+        .and_then(count_before_word)
+        .expect("before count");
+    let after = text
+        .lines()
+        .find(|l| l.contains("remain"))
+        .and_then(count_before_word)
+        .expect("after count");
+    assert!(after < before, "{text}");
+
+    let hit = Command::new(bin())
+        .arg("query")
+        .arg(&adapted)
+        .args(["user:0", "user:2999"])
+        .output()
+        .expect("query adapted");
+    assert!(
+        hit.status.success(),
+        "member dropped by adapted filter: {}",
+        String::from_utf8_lossy(&hit.stdout)
+    );
+}
+
+/// `query --replay FILE` reads keys from a file; with `--adapt` it runs
+/// the same loop as `habf adapt`.
+#[test]
+fn query_replay_and_adapt_flag() {
+    let dir = TempDir::new("replay");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..1500).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let neg = write_file(
+        &dir.0,
+        "neg.txt",
+        &(0..1500).map(|i| format!("bot:{i}")).collect::<Vec<_>>(),
+    );
+    let filter = dir.0.join("filter.bin");
+    let build = Command::new(bin())
+        .args(["build", "--positives"])
+        .arg(&pos)
+        .arg("--negatives")
+        .arg(&neg)
+        .args(["--bits-per-key", "8", "--out"])
+        .arg(&filter)
+        .output()
+        .expect("run build");
+    assert!(build.status.success());
+
+    let replay = write_file(
+        &dir.0,
+        "replay.txt",
+        &(0..500).map(|i| format!("ghost:{i}")).collect::<Vec<_>>(),
+    );
+    let run = Command::new(bin())
+        .arg("query")
+        .arg(&filter)
+        .arg("--replay")
+        .arg(&replay)
+        .output()
+        .expect("run query --replay");
+    // Replayed misses answer "no" (exit 1) line by line.
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert_eq!(stdout.lines().count(), 500, "{stdout}");
+    assert!(stdout.lines().all(|l| l.contains("ghost:")), "{stdout}");
+
+    let adapted = dir.0.join("replay.adapted");
+    let adapt = Command::new(bin())
+        .arg("query")
+        .arg(&filter)
+        .arg("--replay")
+        .arg(&replay)
+        .arg("--adapt")
+        .arg("--positives")
+        .arg(&pos)
+        .arg("--out")
+        .arg(&adapted)
+        .output()
+        .expect("run query --replay --adapt");
+    assert!(
+        adapt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&adapt.stderr)
+    );
+    let text = String::from_utf8_lossy(&adapt.stdout);
+    assert!(text.contains("replayed 500 queries"), "{text}");
+
+    // --adapt without --positives fails cleanly.
+    let bad = Command::new(bin())
+        .arg("query")
+        .arg(&filter)
+        .arg("--replay")
+        .arg(&replay)
+        .arg("--adapt")
+        .output()
+        .expect("run query --adapt without positives");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--positives"));
+}
+
 #[test]
 fn corrupt_filter_file_fails_cleanly() {
     let dir = TempDir::new("corrupt");
