@@ -15,7 +15,7 @@
 //! `BENCH_adapt.json` summary for CI's perf-trajectory artifact.
 
 use crate::report::Table;
-use habf_lsm::{AdaptConfig, FilterKind, Lsm, LsmConfig};
+use habf_lsm::{AdaptConfig, FilterSpec, Lsm, LsmConfig};
 use habf_workloads::{DriftConfig, DriftWorkload};
 
 /// Outcome of replaying the drifting workload against one store.
@@ -57,7 +57,7 @@ fn build_store(members: usize, bits_per_key: f64, hints: Vec<(Vec<u8>, f64)>) ->
     let mut db = Lsm::new(LsmConfig {
         memtable_capacity: 2_048,
         level_fanout: 4,
-        filter: FilterKind::Habf { bits_per_key },
+        filter: Some(FilterSpec::habf().bits_per_key(bits_per_key)),
     });
     db.set_negative_hints(hints).expect("finite drift costs");
     for i in 0..members {

@@ -1,9 +1,14 @@
 //! Building and measuring the full filter suite of Section V.
+//!
+//! Registry-backed filters (HABF family and the persistable baselines)
+//! build through [`habf_core::FilterSpec`]; only the paper-figure
+//! constructions the registry does not serve — the learned filters and
+//! the Fig 14 hash-strategy variants — are built directly.
 
-use habf_core::{FHabf, Habf, HabfConfig};
+use habf_core::{BuildInput, FilterSpec};
 use habf_filters::{
     AdaptiveLearnedBloomFilter, BloomFilter, BloomHashStrategy, Filter, LearnedBloomFilter,
-    LogisticRegression, SandwichedLearnedBloomFilter, WeightedBloomFilter, XorFilter,
+    LogisticRegression, SandwichedLearnedBloomFilter,
 };
 use habf_workloads::{metrics, Dataset};
 
@@ -55,6 +60,21 @@ impl Spec {
         }
     }
 
+    /// The registry id this spec builds through, when the filter is
+    /// registry-backed (the learned filters and the Fig 14 hash-strategy
+    /// variants are paper-figure constructions outside the registry).
+    #[must_use]
+    pub fn registry_id(self) -> Option<&'static str> {
+        match self {
+            Spec::Habf => Some("habf"),
+            Spec::FHabf => Some("fhabf"),
+            Spec::Bf => Some("bloom"),
+            Spec::Xor => Some("xor"),
+            Spec::Wbf => Some("weighted-bloom"),
+            _ => None,
+        }
+    }
+
     /// The non-learned comparison set of Fig 10(a)/(c).
     pub const NON_LEARNED: [Spec; 4] = [Spec::Habf, Spec::FHabf, Spec::Xor, Spec::Bf];
     /// The learned comparison set of Fig 10(b)/(d).
@@ -97,30 +117,29 @@ pub fn model_for_budget(total_bits: usize, seed: u64) -> LogisticRegression {
 #[must_use]
 pub fn build(spec: Spec, ds: &Dataset, costs: &[f64], total_bits: usize, seed: u64) -> Built {
     let n_keys = ds.positives.len().max(1);
+    // Registry-backed filters all build through the one FilterSpec entry
+    // point — no per-type arms; the registry dispatches by id.
+    if let Some(id) = spec.registry_id() {
+        let negatives = ds.negatives_with_costs(costs);
+        let input = BuildInput::from_members(&ds.positives).with_costed_negatives(&negatives);
+        let fspec = FilterSpec::by_id(id)
+            .expect("bench names only registered ids")
+            .total_bits(total_bits)
+            .seed(seed)
+            .cache_entries((ds.negatives.len() / 100).clamp(64, 4096));
+        let (f, per) = metrics::construction_ns_per_key(n_keys, || {
+            fspec
+                .build(&input)
+                .unwrap_or_else(|e| panic!("{id}: bench build failed: {e}"))
+        });
+        return Built {
+            filter: f,
+            build_ns_per_key: per,
+        };
+    }
     let (filter, per): (Box<dyn Filter>, f64) = match spec {
-        Spec::Habf => {
-            let negatives = ds.negatives_with_costs(costs);
-            let mut cfg = HabfConfig::with_total_bits(total_bits);
-            cfg.seed = seed;
-            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                Habf::build(&ds.positives, &negatives, &cfg)
-            });
-            (Box::new(f), per)
-        }
-        Spec::FHabf => {
-            let negatives = ds.negatives_with_costs(costs);
-            let mut cfg = HabfConfig::with_total_bits(total_bits);
-            cfg.seed = seed;
-            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                FHabf::build(&ds.positives, &negatives, &cfg)
-            });
-            (Box::new(f), per)
-        }
-        Spec::Bf => {
-            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                BloomFilter::build(&ds.positives, total_bits)
-            });
-            (Box::new(f), per)
+        Spec::Habf | Spec::FHabf | Spec::Bf | Spec::Xor | Spec::Wbf => {
+            unreachable!("registry-backed specs returned above")
         }
         Spec::BfTable2 => {
             let b = total_bits as f64 / n_keys as f64;
@@ -155,20 +174,6 @@ pub fn build(spec: Spec, ds: &Dataset, costs: &[f64], total_bits: usize, seed: u
                     total_bits,
                     BloomHashStrategy::SeededXxh128 { k },
                 )
-            });
-            (Box::new(f), per)
-        }
-        Spec::Xor => {
-            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                XorFilter::build(&ds.positives, total_bits)
-            });
-            (Box::new(f), per)
-        }
-        Spec::Wbf => {
-            let negatives = ds.negatives_with_costs(costs);
-            let cache = (ds.negatives.len() / 100).clamp(64, 4096);
-            let (f, per) = metrics::construction_ns_per_key(n_keys, || {
-                WeightedBloomFilter::build(&ds.positives, &negatives, total_bits, cache)
             });
             (Box::new(f), per)
         }
@@ -269,6 +274,27 @@ mod tests {
             let w = weighted_fpr(built.filter.as_ref(), &ds, &costs);
             assert!((0.0..=1.0).contains(&w), "{}: {w}", spec.name());
             assert!(built.build_ns_per_key > 0.0);
+        }
+    }
+
+    /// The registry is the extension seam: every id it serves must build
+    /// and bench here with no per-type code — a newly registered filter
+    /// passes this test without any edit to the bench crate.
+    #[test]
+    fn every_registered_filter_id_builds_through_the_spec() {
+        let ds = tiny_dataset();
+        let costs = vec![1.0; ds.negatives.len()];
+        let negatives = ds.negatives_with_costs(&costs);
+        let input = BuildInput::from_members(&ds.positives).with_costed_negatives(&negatives);
+        for id in habf_core::registry::ids() {
+            let spec = FilterSpec::by_id(id)
+                .expect("listed id resolves")
+                .total_bits(ds.positives.len() * 12)
+                .shards(2);
+            let filter = spec.build(&input).unwrap_or_else(|e| panic!("{id}: {e}"));
+            let as_filter: &dyn Filter = filter.as_ref();
+            assert_zero_fnr(as_filter, &ds);
+            assert!(as_filter.space_bits() > 0, "{id}: no space reported");
         }
     }
 

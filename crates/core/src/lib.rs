@@ -45,24 +45,32 @@
 //! | §IV theoretical analysis (Eqs 3, 11, 12, 19) | [`theory`] |
 //! | — sharded concurrent serving (post-paper) | [`sharded`] |
 //! | — FP-feedback adaptation loop (post-paper) | [`adapt`] |
+//! | — unified object-safe filter API (post-paper) | [`filter_api`], [`registry`] |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod adapt;
+pub mod filter_api;
 pub mod gamma;
 pub mod habf;
 pub mod hash_expressor;
 pub mod persist;
+pub mod registry;
 pub mod sharded;
 pub mod theory;
 pub mod tpjo;
 pub mod vindex;
 
 pub use adapt::{AdaptPolicy, FpLog};
+pub use filter_api::{
+    BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, FilterSpec, Rebuildable,
+    SpaceBudget,
+};
 pub use habf::{ConfigError, FHabf, Habf, HabfConfig, QueryOutcome};
 pub use hash_expressor::HashExpressor;
-pub use persist::PersistError;
+pub use persist::{ContainerHeader, PersistError};
+pub use registry::{FilterEntry, ImageFormat, LoadedFilter};
 pub use sharded::{InsertOutcome, InsertableShard, ShardFilter, ShardedConfig, ShardedHabf};
 pub use tpjo::{BuildStats, TpjoConfig};
 

@@ -1,9 +1,28 @@
-//! Persistence: serialize built HABF / f-HABF filters to a compact binary
-//! format and load them back.
+//! Persistence: serialize built filters to compact binary formats and
+//! load them back.
 //!
 //! The intended deployment (and the paper's setting) builds filters
 //! *offline*, where the negative keys and costs are collected, and ships
-//! them to query servers. The format is versioned and self-describing:
+//! them to query servers. Three formats coexist:
+//!
+//! The **`HABC` container** is the current, self-describing envelope every
+//! [`crate::DynFilter`] writes through
+//! [`crate::DynFilter::write_to`] and the
+//! [`crate::registry`] loads:
+//!
+//! ```text
+//! magic "HABC" | version u8 | id_len u8 | filter-id bytes (ASCII)
+//! payload_len u64 | payload bytes…
+//! ```
+//!
+//! The filter id names the payload codec in the registry, so any
+//! registered filter — HABF family or baseline — round-trips through one
+//! format, and loaders reject unknown ids with a typed error instead of
+//! misparsing the payload.
+//!
+//! The **legacy `HABF` image** (unsharded HABF / f-HABF) doubles as the
+//! container payload for those ids, so pre-container images remain
+//! loadable byte-for-byte:
 //!
 //! ```text
 //! magic "HABF" | version u8 | kind u8 (0 = HABF, 1 = f-HABF)
@@ -14,22 +33,35 @@
 //! omega u64 | inserted u64 | cell words…
 //! ```
 //!
+//! The **legacy `HABS` image** frames per-shard `HABF` blobs the same way
+//! and likewise doubles as the sharded ids' container payload.
+//!
 //! Hash-function ids are stable across versions (pinned by the golden
 //! vectors in `habf-hashing`), so a persisted HashExpressor chain decodes
 //! to the same functions forever. The entry points are
 //! [`crate::Habf::to_bytes`] / [`crate::Habf::from_bytes`] and their
-//! [`crate::FHabf`] counterparts.
+//! [`crate::FHabf`] counterparts (legacy images), and
+//! [`crate::registry::load`] (any format).
 
 use crate::hash_expressor::HashExpressor;
 use habf_hashing::HashId;
 use habf_util::{BitVec, PackedCells};
 
-const MAGIC: &[u8; 4] = b"HABF";
+pub(crate) const MAGIC: &[u8; 4] = b"HABF";
 const VERSION: u8 = 1;
 
 /// Magic for the sharded container format framing per-shard blobs.
-const SHARDED_MAGIC: &[u8; 4] = b"HABS";
+pub(crate) const SHARDED_MAGIC: &[u8; 4] = b"HABS";
 const SHARDED_VERSION: u8 = 1;
+
+/// Magic of the self-describing container format.
+pub(crate) const CONTAINER_MAGIC: &[u8; 4] = b"HABC";
+
+/// Current container version.
+pub const CONTAINER_VERSION: u8 = 1;
+
+/// Longest filter id the container header can name.
+const MAX_ID_LEN: usize = 64;
 
 /// Upper bound on the persisted shard count; rejects corrupt headers
 /// before any per-shard allocation happens.
@@ -38,12 +70,15 @@ pub(crate) const MAX_SHARDS: usize = 65_536;
 /// Errors loading a persisted filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PersistError {
-    /// The buffer does not start with the `HABF` magic.
+    /// The buffer does not start with a known magic.
     BadMagic,
     /// Unknown format version.
     BadVersion(u8),
     /// The kind byte does not match the requested filter type.
     WrongKind,
+    /// The container names a filter id absent from the
+    /// [`crate::registry`].
+    UnknownFilterId(String),
     /// The buffer ended early or a length field is inconsistent.
     Truncated,
     /// A field value is out of its legal range.
@@ -56,6 +91,9 @@ impl core::fmt::Display for PersistError {
             PersistError::BadMagic => write!(f, "not a HABF filter image"),
             PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
             PersistError::WrongKind => write!(f, "filter kind mismatch"),
+            PersistError::UnknownFilterId(id) => {
+                write!(f, "container names unregistered filter id {id:?}")
+            }
             PersistError::Truncated => write!(f, "truncated filter image"),
             PersistError::Corrupt(what) => write!(f, "corrupt filter image: {what}"),
         }
@@ -64,17 +102,17 @@ impl core::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
         if end > self.buf.len() {
             return Err(PersistError::Truncated);
@@ -84,17 +122,17 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u8(&mut self) -> Result<u8, PersistError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(
             self.bytes(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn words(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
+    pub(crate) fn words(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
         let raw = self.bytes(n.checked_mul(8).ok_or(PersistError::Truncated)?)?;
         Ok(raw
             .chunks_exact(8)
@@ -102,13 +140,83 @@ impl<'a> Reader<'a> {
             .collect())
     }
 
-    fn finish(&self) -> Result<(), PersistError> {
+    pub(crate) fn finish(&self) -> Result<(), PersistError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
             Err(PersistError::Corrupt("trailing bytes"))
         }
     }
+}
+
+/// Parsed container header: which codec owns the payload and the envelope
+/// version it was written with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContainerHeader {
+    /// Registry id of the payload codec (e.g. `"habf"`, `"bloom"`).
+    pub id: String,
+    /// Container (envelope) format version.
+    pub version: u8,
+}
+
+/// Appends a self-describing container — header naming `id`, then the
+/// length-framed `payload` — to `out`.
+///
+/// # Panics
+/// Panics if `id` is empty, longer than 64 bytes, or not ASCII (registry
+/// ids are short ASCII slugs by construction).
+pub fn encode_container(id: &str, payload: &[u8], out: &mut Vec<u8>) {
+    assert!(
+        !id.is_empty() && id.len() <= MAX_ID_LEN && id.is_ascii(),
+        "filter id must be 1..=64 ASCII bytes"
+    );
+    out.reserve(14 + id.len() + payload.len());
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.push(CONTAINER_VERSION);
+    out.push(id.len() as u8);
+    out.extend_from_slice(id.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Splits a container image into its header and payload bytes.
+///
+/// # Errors
+/// Returns [`PersistError::BadMagic`] when the buffer is not a container,
+/// [`PersistError::BadVersion`] on an unknown envelope version, and
+/// [`PersistError::Truncated`] / [`PersistError::Corrupt`] on any length
+/// inconsistency. The payload is *not* validated here — that is the
+/// codec's job.
+pub fn decode_container(buf: &[u8]) -> Result<(ContainerHeader, &[u8]), PersistError> {
+    let mut r = Reader::new(buf);
+    if r.bytes(4)? != CONTAINER_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != CONTAINER_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let id_len = usize::from(r.u8()?);
+    if id_len == 0 || id_len > MAX_ID_LEN {
+        return Err(PersistError::Corrupt("filter id length out of range"));
+    }
+    let id_bytes = r.bytes(id_len)?;
+    let id = std::str::from_utf8(id_bytes)
+        .map_err(|_| PersistError::Corrupt("filter id is not ASCII"))?;
+    if !id.is_ascii() {
+        return Err(PersistError::Corrupt("filter id is not ASCII"));
+    }
+    let payload_len = r.u64()?;
+    let payload_len = usize::try_from(payload_len).map_err(|_| PersistError::Truncated)?;
+    let payload = r.bytes(payload_len)?;
+    r.finish()?;
+    Ok((
+        ContainerHeader {
+            id: id.to_string(),
+            version,
+        },
+        payload,
+    ))
 }
 
 pub(crate) struct Image<'a> {
@@ -201,7 +309,11 @@ pub(crate) fn decode(buf: &[u8], expect_kind: u8) -> Result<Decoded, PersistErro
         return Err(PersistError::Corrupt("empty HashExpressor"));
     }
     let inserted = r.u64()? as usize;
-    let cell_word_count = (omega * cell_bits as usize).div_ceil(64);
+    // Checked: a corrupt omega near usize::MAX must error, not overflow.
+    let cell_word_count = omega
+        .checked_mul(cell_bits as usize)
+        .ok_or(PersistError::Truncated)?
+        .div_ceil(64);
     let cells = PackedCells::from_words(r.words(cell_word_count)?, omega, cell_bits);
     r.finish()?;
     let _ = kind;

@@ -1,0 +1,884 @@
+//! The string-keyed filter registry: every servable filter registers one
+//! [`FilterEntry`] (build function + payload codec under a stable ASCII
+//! id), and every consumer — the LSM store, the CLI, the bench suite —
+//! dispatches through it instead of matching on concrete types.
+//!
+//! Adding a filter variant is one [`crate::DynFilter`] impl plus one line
+//! in [`entries`]; nothing downstream changes.
+//!
+//! Loading is format-sniffing: [`load`] reads the current `HABC`
+//! container (any registered id) *and* the legacy `HABF` / `HABS` images,
+//! which double as the HABF-family ids' container payloads — so every
+//! pre-container image remains loadable byte-for-byte through the same
+//! entry point.
+
+use crate::filter_api::{BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, Rebuildable};
+use crate::habf::{FHabf, Habf};
+use crate::persist::{self, PersistError, Reader};
+use crate::sharded::{ShardFilter, ShardedHabf};
+use habf_filters::{BloomFilter, BloomHashStrategy, WeightedBloomFilter, XorFilter};
+use habf_util::{BitVec, PackedCells};
+
+/// Signature of a registry build function: common parameter bag in,
+/// boxed [`DynFilter`] out.
+pub type BuildFn = fn(&FilterParams, &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError>;
+
+/// Signature of a registry payload decoder.
+pub type LoadFn = fn(&[u8]) -> Result<Box<dyn DynFilter>, PersistError>;
+
+/// One registered filter: its stable id, a one-line summary, the build
+/// dispatch target, and the payload codec.
+pub struct FilterEntry {
+    /// Stable ASCII id — the container's self-description and the CLI's
+    /// `--filter` argument.
+    pub id: &'static str,
+    /// One-line summary for listings (`habf filters`).
+    pub summary: &'static str,
+    /// Builds the filter from the common parameter bag. Assumes the
+    /// input passed [`BuildInput::validate_costs`] —
+    /// [`crate::FilterSpec::build`] is the checked entry point.
+    pub build: BuildFn,
+    /// Decodes a container payload written by
+    /// [`crate::DynFilter::write_payload`] under this id.
+    pub load_payload: LoadFn,
+}
+
+/// Every registered filter, in registration order. **This table is the
+/// single place a new filter variant is wired in.**
+#[must_use]
+pub fn entries() -> &'static [FilterEntry] {
+    &[
+        FilterEntry {
+            id: "habf",
+            summary: "Hash Adaptive Bloom Filter (full TPJO, two-round query)",
+            build: build_habf,
+            load_payload: load_habf,
+        },
+        FilterEntry {
+            id: "fhabf",
+            summary: "fast HABF (double hashing, gamma off)",
+            build: build_fhabf,
+            load_payload: load_fhabf,
+        },
+        FilterEntry {
+            id: "sharded-habf",
+            summary: "HABF sharded by a splitter hash, built in parallel",
+            build: build_sharded_habf,
+            load_payload: load_sharded_habf,
+        },
+        FilterEntry {
+            id: "sharded-fhabf",
+            summary: "f-HABF sharded by a splitter hash, built in parallel",
+            build: build_sharded_fhabf,
+            load_payload: load_sharded_fhabf,
+        },
+        FilterEntry {
+            id: "bloom",
+            summary: "standard Bloom filter (seeded xxHash-128, k = ln2*b)",
+            build: build_bloom,
+            load_payload: load_bloom,
+        },
+        FilterEntry {
+            id: "weighted-bloom",
+            summary: "Weighted Bloom filter with query-time cost cache",
+            build: build_weighted_bloom,
+            load_payload: load_weighted_bloom,
+        },
+        FilterEntry {
+            id: "xor",
+            summary: "Xor filter (3-wise, peeled fingerprints)",
+            build: build_xor,
+            load_payload: load_xor,
+        },
+    ]
+}
+
+/// Looks up a registered filter by id.
+#[must_use]
+pub fn entry(id: &str) -> Option<&'static FilterEntry> {
+    entries().iter().find(|e| e.id == id)
+}
+
+/// The registered ids, in registration order.
+#[must_use]
+pub fn ids() -> Vec<&'static str> {
+    entries().iter().map(|e| e.id).collect()
+}
+
+/// Which on-disk format a loaded image used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImageFormat {
+    /// The current self-describing `HABC` container.
+    Container,
+    /// A pre-container unsharded `HABF` image.
+    LegacySingle,
+    /// A pre-container sharded `HABS` image.
+    LegacySharded,
+}
+
+impl ImageFormat {
+    /// Short display name for diagnostics (`habf inspect`).
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            ImageFormat::Container => "HABC container",
+            ImageFormat::LegacySingle => "legacy HABF image",
+            ImageFormat::LegacySharded => "legacy HABS image",
+        }
+    }
+}
+
+/// A filter loaded by [`load`], with the envelope facts the image itself
+/// declared (format and version) for inspection.
+pub struct LoadedFilter {
+    /// The loaded filter, servable and re-persistable.
+    pub filter: Box<dyn DynFilter>,
+    /// The on-disk format the image used.
+    pub format: ImageFormat,
+    /// The format version the image declared (container version for
+    /// [`ImageFormat::Container`], image version for the legacy formats).
+    pub version: u8,
+}
+
+/// Loads any persisted filter image — the `HABC` container for every
+/// registered id, or a legacy `HABF` / `HABS` image through the adapters.
+///
+/// # Errors
+/// Returns a typed [`PersistError`] on any malformed input — bad magic,
+/// unknown version, a container naming an unregistered id, truncation, or
+/// payload corruption; never panics on untrusted bytes.
+pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
+    if buf.len() < 4 {
+        return Err(PersistError::Truncated);
+    }
+    let magic: &[u8; 4] = buf[..4].try_into().expect("4 bytes");
+    match magic {
+        m if m == persist::CONTAINER_MAGIC => {
+            let (header, payload) = persist::decode_container(buf)?;
+            let e = entry(&header.id)
+                .ok_or_else(|| PersistError::UnknownFilterId(header.id.clone()))?;
+            Ok(LoadedFilter {
+                filter: (e.load_payload)(payload)?,
+                format: ImageFormat::Container,
+                version: header.version,
+            })
+        }
+        m if m == persist::MAGIC || m == persist::SHARDED_MAGIC => {
+            // Legacy images self-describe through their kind byte; the
+            // whole image doubles as the matching id's container payload.
+            if buf.len() < 6 {
+                return Err(PersistError::Truncated);
+            }
+            let (version, kind) = (buf[4], buf[5]);
+            let sharded = m == persist::SHARDED_MAGIC;
+            let id = match (sharded, kind) {
+                (false, 0) => "habf",
+                (false, 1) => "fhabf",
+                (true, 0) => "sharded-habf",
+                (true, 1) => "sharded-fhabf",
+                _ => return Err(PersistError::Corrupt("unknown legacy kind byte")),
+            };
+            let e = entry(id).expect("legacy ids are registered");
+            Ok(LoadedFilter {
+                filter: (e.load_payload)(buf)?,
+                format: if sharded {
+                    ImageFormat::LegacySharded
+                } else {
+                    ImageFormat::LegacySingle
+                },
+                version,
+            })
+        }
+        _ => Err(PersistError::BadMagic),
+    }
+}
+
+// ---------------------------------------------------------------------
+// HABF family: DynFilter impls + build/load dispatch targets. The legacy
+// image formats are the payload codecs.
+// ---------------------------------------------------------------------
+
+impl DynFilter for Habf {
+    fn filter_id(&self) -> &'static str {
+        "habf"
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("hashes per key (k)", self.h0().len().to_string()),
+            ("expressor entries", self.expressor_entries().to_string()),
+            ("bloom fill ratio", format!("{:.4}", self.fill_ratio())),
+            ("fpr envelope", format!("{:.6}", self.fpr_envelope())),
+        ]
+    }
+
+    fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        Some(self)
+    }
+}
+
+impl Rebuildable for Habf {
+    fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError> {
+        input.validate_costs()?;
+        Habf::rebuild(self, &input.members, &input.merged_negatives(), seed);
+        Ok(())
+    }
+}
+
+impl DynFilter for FHabf {
+    fn filter_id(&self) -> &'static str {
+        "fhabf"
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![("hashes per key (k)", self.h0().len().to_string())]
+    }
+
+    fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        Some(self)
+    }
+}
+
+impl Rebuildable for FHabf {
+    fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError> {
+        input.validate_costs()?;
+        FHabf::rebuild(self, &input.members, &input.merged_negatives(), seed);
+        Ok(())
+    }
+}
+
+impl<F: ShardFilter + Clone> DynFilter for ShardedHabf<F> {
+    fn filter_id(&self) -> &'static str {
+        if F::KIND == 0 {
+            "sharded-habf"
+        } else {
+            "sharded-fhabf"
+        }
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        let per_shard: Vec<usize> = (0..self.shard_count())
+            .map(|i| self.shard(i).space_bits())
+            .collect();
+        vec![
+            ("shards", self.shard_count().to_string()),
+            ("splitter seed", format!("{:#x}", self.splitter_seed())),
+            ("built keys", self.built_keys().to_string()),
+            (
+                "inserted since build",
+                self.inserted_since_build().to_string(),
+            ),
+            (
+                "shard space bits",
+                format!(
+                    "{}..{}",
+                    per_shard.iter().min().copied().unwrap_or(0),
+                    per_shard.iter().max().copied().unwrap_or(0)
+                ),
+            ),
+        ]
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
+    }
+
+    fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        Some(self)
+    }
+}
+
+impl<F: ShardFilter> BatchQuery for ShardedHabf<F> {
+    fn contains_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
+        ShardedHabf::contains_batch(self, keys)
+    }
+
+    fn contains_batch_par(&self, keys: &[&[u8]], threads: usize) -> Vec<bool> {
+        ShardedHabf::contains_batch_par(self, keys, threads)
+    }
+}
+
+impl<F: ShardFilter + Clone> Rebuildable for ShardedHabf<F> {
+    fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError> {
+        input.validate_costs()?;
+        self.rebuild_in_place(&input.members, &input.merged_negatives(), seed);
+        Ok(())
+    }
+}
+
+fn build_habf(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.habf_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(Habf::build(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn build_fhabf(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.habf_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(FHabf::build(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn build_sharded_habf(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.sharded_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(ShardedHabf::<Habf>::build_par(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn build_sharded_fhabf(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.sharded_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(ShardedHabf::<FHabf>::build_par(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn load_habf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    Habf::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+fn load_fhabf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    FHabf::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+fn load_sharded_habf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    ShardedHabf::<Habf>::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+fn load_sharded_fhabf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    ShardedHabf::<FHabf>::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+// ---------------------------------------------------------------------
+// Baseline filters: DynFilter impls + fresh payload codecs (the
+// baselines had no persistence before the container existed).
+// ---------------------------------------------------------------------
+
+const BLOOM_PAYLOAD_VERSION: u8 = 1;
+const WBF_PAYLOAD_VERSION: u8 = 1;
+const XOR_PAYLOAD_VERSION: u8 = 1;
+
+/// Bound on decoded per-key hash counts: far above any real
+/// configuration (`optimal_k` clamps at 30), low enough to reject
+/// corrupt headers before querying burns CPU.
+const MAX_DECODED_K: usize = 1024;
+
+impl DynFilter for BloomFilter {
+    fn filter_id(&self) -> &'static str {
+        "bloom"
+    }
+
+    /// ```text
+    /// version u8 | strategy u8 (0 family, 1 city64, 2 xxh128, 3 double)
+    /// strategy fields (0: k u8 + ids | 1/2: k u16 | 3: k u16 + seed u64)
+    /// items u64 | m u64 | words…
+    /// ```
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.push(BLOOM_PAYLOAD_VERSION);
+        match self.strategy() {
+            BloomHashStrategy::FamilyDistinct { ids } => {
+                out.push(0);
+                out.push(ids.len() as u8);
+                out.extend_from_slice(ids);
+            }
+            BloomHashStrategy::SeededCity64 { k } => {
+                out.push(1);
+                out.extend_from_slice(&(*k as u16).to_le_bytes());
+            }
+            BloomHashStrategy::SeededXxh128 { k } => {
+                out.push(2);
+                out.extend_from_slice(&(*k as u16).to_le_bytes());
+            }
+            BloomHashStrategy::DoubleHashing { k, seed } => {
+                out.push(3);
+                out.extend_from_slice(&(*k as u16).to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.bits().len() as u64).to_le_bytes());
+        for w in self.bits().words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("hashes per key (k)", self.k().to_string()),
+            ("items", self.items().to_string()),
+            ("fill ratio", format!("{:.4}", self.fill_ratio())),
+        ]
+    }
+}
+
+fn build_bloom(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError> {
+    let total = p.total_bits(input.members.len());
+    Ok(Box::new(BloomFilter::build(&input.members, total)))
+}
+
+fn load_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != BLOOM_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let strategy = match r.u8()? {
+        0 => {
+            let k = usize::from(r.u8()?);
+            let ids = r.bytes(k)?.to_vec();
+            if ids.is_empty()
+                || ids
+                    .iter()
+                    .any(|&id| id == 0 || usize::from(id) > habf_hashing::FAMILY_SIZE)
+            {
+                return Err(PersistError::Corrupt("bloom family id out of range"));
+            }
+            BloomHashStrategy::FamilyDistinct { ids }
+        }
+        1 => BloomHashStrategy::SeededCity64 {
+            k: decode_k(&mut r)?,
+        },
+        2 => BloomHashStrategy::SeededXxh128 {
+            k: decode_k(&mut r)?,
+        },
+        3 => {
+            let k = decode_k(&mut r)?;
+            let seed = r.u64()?;
+            BloomHashStrategy::DoubleHashing { k, seed }
+        }
+        _ => return Err(PersistError::Corrupt("unknown bloom strategy")),
+    };
+    let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let m = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    if m == 0 {
+        return Err(PersistError::Corrupt("empty Bloom array"));
+    }
+    let bits = BitVec::from_words(r.words(m.div_ceil(64))?, m);
+    r.finish()?;
+    Ok(Box::new(BloomFilter::from_parts(bits, strategy, items)))
+}
+
+fn decode_k(r: &mut Reader<'_>) -> Result<usize, PersistError> {
+    let k = usize::from(u16::from_le_bytes(r.bytes(2)?.try_into().expect("2 bytes")));
+    if k == 0 || k > MAX_DECODED_K {
+        return Err(PersistError::Corrupt("hash count out of range"));
+    }
+    Ok(k)
+}
+
+impl DynFilter for WeightedBloomFilter {
+    fn filter_id(&self) -> &'static str {
+        "weighted-bloom"
+    }
+
+    /// ```text
+    /// version u8 | k_default u16 | items u64
+    /// cache_len u64 | per entry: tag u64 + k u16
+    /// m u64 | words…
+    /// ```
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.push(WBF_PAYLOAD_VERSION);
+        out.extend_from_slice(&(self.k_default() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cache().len() as u64).to_le_bytes());
+        for (tag, k) in self.cache() {
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.bits().len() as u64).to_le_bytes());
+        for w in self.bits().words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("default k", self.k_default().to_string()),
+            ("cost-cache entries", self.cache_len().to_string()),
+            ("items", self.items().to_string()),
+        ]
+    }
+}
+
+fn build_weighted_bloom(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    if input.members.is_empty() {
+        return Err(BuildError::EmptyMembers {
+            id: "weighted-bloom",
+        });
+    }
+    let total = p.total_bits(input.members.len());
+    Ok(Box::new(WeightedBloomFilter::build(
+        &input.members,
+        &input.merged_negatives(),
+        total,
+        p.cache_entries,
+    )))
+}
+
+fn load_weighted_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WBF_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let k_default = usize::from(u16::from_le_bytes(r.bytes(2)?.try_into().expect("2 bytes")));
+    if k_default == 0 || k_default > MAX_DECODED_K {
+        return Err(PersistError::Corrupt("hash count out of range"));
+    }
+    let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let cache_len = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    // One bounds-checked read for the whole cache region, so a corrupt
+    // length fails before any allocation is sized from it.
+    let raw = r.bytes(cache_len.checked_mul(10).ok_or(PersistError::Truncated)?)?;
+    let cache: Vec<(u64, u16)> = raw
+        .chunks_exact(10)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
+                u16::from_le_bytes(c[8..].try_into().expect("2 bytes")),
+            )
+        })
+        .collect();
+    let m = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    if m == 0 {
+        return Err(PersistError::Corrupt("empty WBF array"));
+    }
+    let bits = BitVec::from_words(r.words(m.div_ceil(64))?, m);
+    r.finish()?;
+    Ok(Box::new(WeightedBloomFilter::from_parts(
+        bits, cache, k_default, items,
+    )))
+}
+
+impl DynFilter for XorFilter {
+    fn filter_id(&self) -> &'static str {
+        "xor"
+    }
+
+    /// ```text
+    /// version u8 | fp_bits u8 | seg_len u64 | seed u64 | items u64
+    /// fingerprint words…
+    /// ```
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.push(XOR_PAYLOAD_VERSION);
+        out.push(self.fp_bits() as u8);
+        out.extend_from_slice(&(self.seg_len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.seed().to_le_bytes());
+        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
+        for w in self.fingerprints().words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("fingerprint bits", self.fp_bits().to_string()),
+            ("items", self.items().to_string()),
+            ("theoretical fpr", format!("{:.6}", self.theoretical_fpr())),
+        ]
+    }
+}
+
+fn build_xor(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError> {
+    let n = input.members.len();
+    if n == 0 {
+        return Err(BuildError::EmptyMembers { id: "xor" });
+    }
+    let total = p.total_bits(n);
+    let b = total as f64 / n as f64;
+    if (b / (1.23 + 32.0 / n as f64)).floor() < 1.0 {
+        return Err(BuildError::BadBudget {
+            id: "xor",
+            detail: "below one fingerprint bit per key at 1.23x slack",
+        });
+    }
+    Ok(Box::new(XorFilter::build(&input.members, total)))
+}
+
+fn load_xor(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != XOR_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let fp_bits = u32::from(r.u8()?);
+    if !(1..=32).contains(&fp_bits) {
+        return Err(PersistError::Corrupt("fingerprint width out of range"));
+    }
+    let seg_len = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let slots = seg_len.checked_mul(3).ok_or(PersistError::Truncated)?;
+    if slots == 0 {
+        return Err(PersistError::Corrupt("empty fingerprint table"));
+    }
+    let seed = r.u64()?;
+    let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let word_count = slots
+        .checked_mul(fp_bits as usize)
+        .ok_or(PersistError::Truncated)?
+        .div_ceil(64);
+    let cells = PackedCells::from_words(r.words(word_count)?, slots, fp_bits);
+    r.finish()?;
+    Ok(Box::new(XorFilter::from_parts(
+        cells, seg_len, seed, fp_bits, items,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FilterSpec;
+
+    type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
+
+    fn sample() -> Workload {
+        let pos: Vec<Vec<u8>> = (0..800).map(|i| format!("pos:{i}").into_bytes()).collect();
+        let neg: Vec<(Vec<u8>, f64)> = (0..800)
+            .map(|i| (format!("neg:{i}").into_bytes(), 1.0 + (i % 9) as f64))
+            .collect();
+        (pos, neg)
+    }
+
+    #[test]
+    fn every_registered_id_builds_and_roundtrips_through_the_container() {
+        let (pos, neg) = sample();
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+        for e in entries() {
+            let spec = FilterSpec::by_id(e.id).expect("registered id has a spec");
+            let spec = spec.bits_per_key(10.0).shards(2);
+            let filter = spec.build(&input).unwrap_or_else(|err| {
+                panic!("{}: build failed: {err}", e.id);
+            });
+            assert_eq!(filter.filter_id(), e.id);
+            for k in &pos {
+                assert!(filter.contains(k), "{}: member dropped", e.id);
+            }
+            let image = filter.to_container_bytes();
+            let loaded = load(&image).unwrap_or_else(|err| {
+                panic!("{}: container load failed: {err}", e.id);
+            });
+            assert_eq!(loaded.format, ImageFormat::Container);
+            assert_eq!(loaded.version, persist::CONTAINER_VERSION);
+            assert_eq!(loaded.filter.filter_id(), e.id);
+            for k in &pos {
+                assert!(loaded.filter.contains(k), "{}: member lost in image", e.id);
+            }
+            for (k, _) in &neg {
+                assert_eq!(
+                    filter.contains(k),
+                    loaded.filter.contains(k),
+                    "{}: answer changed through the container",
+                    e.id
+                );
+            }
+            assert_eq!(
+                loaded.filter.to_container_bytes(),
+                image,
+                "{}: re-encode must be stable",
+                e.id
+            );
+            assert!(
+                !loaded.filter.metadata().is_empty(),
+                "{}: no metadata",
+                e.id
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_images_load_through_the_adapters() {
+        let (pos, neg) = sample();
+        let cfg = crate::HabfConfig::with_total_bits(800 * 10);
+        let habf = Habf::build(&pos, &neg, &cfg);
+        let loaded = load(&habf.to_bytes()).expect("legacy habf");
+        assert_eq!(loaded.format, ImageFormat::LegacySingle);
+        assert_eq!(loaded.filter.filter_id(), "habf");
+        for k in &pos {
+            assert!(loaded.filter.contains(k));
+        }
+
+        let scfg = crate::ShardedConfig::new(2, cfg);
+        let sharded = ShardedHabf::<FHabf>::build_par(&pos, &neg, &scfg);
+        let loaded = load(&sharded.to_bytes()).expect("legacy sharded");
+        assert_eq!(loaded.format, ImageFormat::LegacySharded);
+        assert_eq!(loaded.filter.filter_id(), "sharded-fhabf");
+    }
+
+    #[test]
+    fn unknown_container_id_is_a_typed_error() {
+        let mut image = Vec::new();
+        persist::encode_container("no-such-filter", b"payload", &mut image);
+        assert_eq!(
+            load(&image).err(),
+            Some(PersistError::UnknownFilterId("no-such-filter".into()))
+        );
+    }
+
+    #[test]
+    fn capability_discovery_matches_the_filters() {
+        let (pos, neg) = sample();
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+        let mut habf = FilterSpec::habf().build(&input).expect("habf");
+        assert!(habf.as_rebuildable().is_some(), "HABF must be rebuildable");
+        assert!(habf.as_batch().is_none());
+
+        let mut sharded = FilterSpec::sharded(2).build(&input).expect("sharded");
+        assert!(sharded.as_batch().is_some(), "sharded must batch");
+        assert!(sharded.as_rebuildable().is_some());
+        let keys: Vec<&[u8]> = pos.iter().map(Vec::as_slice).collect();
+        let batch = sharded.as_batch().expect("batch").contains_batch(&keys);
+        assert!(batch.iter().all(|&b| b));
+
+        let mut bloom = FilterSpec::bloom().build(&input).expect("bloom");
+        assert!(bloom.as_rebuildable().is_none(), "bloom is static");
+        assert!(bloom.as_batch().is_none());
+    }
+
+    #[test]
+    fn rebuild_through_the_capability_prunes_the_new_negatives() {
+        let (pos, _) = sample();
+        let input = BuildInput::from_members(&pos);
+        let mut filter = FilterSpec::habf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("habf");
+        let space = filter.space_bits();
+        let mined: Vec<(Vec<u8>, f64)> = (0..400)
+            .map(|i| (format!("mined:{i}").into_bytes(), 5.0))
+            .collect();
+        let rebuild_input = BuildInput::from_members(&pos).with_hints(&mined);
+        filter
+            .as_rebuildable()
+            .expect("habf is rebuildable")
+            .rebuild(&rebuild_input, 7)
+            .expect("rebuild");
+        assert_eq!(filter.space_bits(), space, "geometry drifted");
+        for k in &pos {
+            assert!(filter.contains(k), "member dropped by rebuild");
+        }
+        let pruned = mined.iter().filter(|(k, _)| !filter.contains(k)).count();
+        assert!(pruned > 300, "only {pruned}/400 mined misses pruned");
+    }
+
+    #[test]
+    fn bad_costs_are_rejected_at_the_spec_boundary() {
+        let (pos, _) = sample();
+        let bad = vec![(b"x".to_vec(), f64::NAN)];
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&bad);
+        assert_eq!(
+            FilterSpec::weighted_bloom().build(&input).err(),
+            Some(BuildError::BadCost { index: 0 })
+        );
+        for zero_or_neg in [0.0, -1.0, f64::INFINITY] {
+            let bad = vec![(b"x".to_vec(), zero_or_neg)];
+            let input = BuildInput::from_members(&pos).with_costed_negatives(&bad);
+            assert!(FilterSpec::habf().build(&input).is_err(), "{zero_or_neg}");
+        }
+    }
+
+    #[test]
+    fn empty_member_rules_follow_the_filters() {
+        let empty: Vec<Vec<u8>> = Vec::new();
+        let input = BuildInput::from_members(&empty);
+        assert!(FilterSpec::habf().build(&input).is_ok(), "habf degenerates");
+        assert_eq!(
+            FilterSpec::xor().build(&input).err(),
+            Some(BuildError::EmptyMembers { id: "xor" })
+        );
+        assert_eq!(
+            FilterSpec::weighted_bloom().build(&input).err(),
+            Some(BuildError::EmptyMembers {
+                id: "weighted-bloom"
+            })
+        );
+    }
+
+    /// The HABF family keeps the LSM run builder's historical 256-bit
+    /// budget floor (a 64-bit HABF cannot hold a useful HashExpressor);
+    /// cost-oblivious baselines keep the generic 64-bit floor.
+    #[test]
+    fn habf_family_floors_tiny_budgets_at_256_bits() {
+        let members: Vec<Vec<u8>> = (0..5).map(|i| format!("m:{i}").into_bytes()).collect();
+        let input = BuildInput::from_members(&members);
+        let habf = FilterSpec::habf()
+            .total_bits(50)
+            .build(&input)
+            .expect("habf");
+        assert!(
+            habf.space_bits() > 200,
+            "tiny HABF got only {} bits",
+            habf.space_bits()
+        );
+        let bloom = FilterSpec::bloom()
+            .total_bits(50)
+            .build(&input)
+            .expect("bloom");
+        assert_eq!(bloom.space_bits(), 64);
+    }
+
+    #[test]
+    fn spec_validate_catches_shape_errors_before_any_build() {
+        assert!(FilterSpec::habf().validate().is_ok());
+        assert!(FilterSpec::bloom().validate().is_ok());
+        assert!(matches!(
+            FilterSpec::habf().habf_shape(-1.0, 3, 4).validate(),
+            Err(BuildError::Config(_))
+        ));
+        assert!(matches!(
+            FilterSpec::sharded(0).validate(),
+            Err(BuildError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn merged_negatives_dedup_keeps_max_cost() {
+        let negs = vec![(b"a".to_vec(), 1.0), (b"b".to_vec(), 4.0)];
+        let hints = vec![(b"a".to_vec(), 5.0), (b"c".to_vec(), 2.0)];
+        let members: Vec<Vec<u8>> = Vec::new();
+        let input = BuildInput::from_members(&members)
+            .with_costed_negatives(&negs)
+            .with_hints(&hints);
+        let merged = input.merged_negatives();
+        assert_eq!(
+            merged,
+            vec![
+                (b"a".as_slice(), 5.0),
+                (b"b".as_slice(), 4.0),
+                (b"c".as_slice(), 2.0),
+            ]
+        );
+    }
+}

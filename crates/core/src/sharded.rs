@@ -425,6 +425,12 @@ impl<F: ShardFilter> ShardedHabf<F> {
         self.inserted_since_build
     }
 
+    /// Positive keys the last full (re)build ran over.
+    #[must_use]
+    pub fn built_keys(&self) -> usize {
+        self.built_keys
+    }
+
     /// Serializes the filter: a container header (shard count, splitter
     /// seed, insert counters) framing each shard's unsharded image.
     #[must_use]

@@ -160,6 +160,32 @@ impl BloomFilter {
         filter
     }
 
+    /// Reassembles a filter from its serialized parts (the persistence
+    /// codec in `habf-core` lives downstream of this crate, so the parts
+    /// constructor is public the way `HashExpressor::from_parts` is).
+    ///
+    /// # Panics
+    /// Panics on degenerate parts (see [`BloomFilter::new`]).
+    #[must_use]
+    pub fn from_parts(bits: BitVec, strategy: BloomHashStrategy, items: usize) -> Self {
+        let mut filter = Self::new(bits.len(), strategy);
+        filter.bits = bits;
+        filter.items = items;
+        filter
+    }
+
+    /// The underlying bit array.
+    #[must_use]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The probe-position strategy.
+    #[must_use]
+    pub fn strategy(&self) -> &BloomHashStrategy {
+        &self.strategy
+    }
+
     /// Inserts a key.
     pub fn insert(&mut self, key: &[u8]) {
         let m = self.bits.len();

@@ -127,6 +127,40 @@ impl WeightedBloomFilter {
         self.set_positions(key, k);
     }
 
+    /// Reassembles a filter from its serialized parts (for the
+    /// persistence codec in `habf-core`, which lives downstream).
+    ///
+    /// # Panics
+    /// Panics if `bits` is empty or `k_default` is zero.
+    #[must_use]
+    pub fn from_parts(
+        bits: BitVec,
+        cache: Vec<(u64, u16)>,
+        k_default: usize,
+        items: usize,
+    ) -> Self {
+        assert!(!bits.is_empty(), "WBF needs at least one bit");
+        assert!(k_default > 0, "WBF needs at least one hash");
+        Self {
+            bits,
+            cache,
+            k_default,
+            items,
+        }
+    }
+
+    /// The underlying bit array.
+    #[must_use]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// The query-time cost cache entries (`(key tag, k)`).
+    #[must_use]
+    pub fn cache(&self) -> &[(u64, u16)] {
+        &self.cache
+    }
+
     /// Number of inserted keys.
     #[must_use]
     pub fn items(&self) -> usize {

@@ -161,6 +161,51 @@ impl XorFilter {
         })
     }
 
+    /// Reassembles a filter from its serialized parts (for the
+    /// persistence codec in `habf-core`, which lives downstream).
+    ///
+    /// # Panics
+    /// Panics if the fingerprint table does not span `3 · seg_len` slots
+    /// of `fp_bits`-wide cells.
+    #[must_use]
+    pub fn from_parts(
+        fingerprints: PackedCells,
+        seg_len: usize,
+        seed: u64,
+        fp_bits: u32,
+        items: usize,
+    ) -> Self {
+        assert!(
+            fingerprints.len() == 3 * seg_len && fingerprints.width() == fp_bits,
+            "fingerprint table must span 3*seg_len cells of fp_bits each"
+        );
+        Self {
+            fingerprints,
+            seg_len,
+            seed,
+            fp_bits,
+            items,
+        }
+    }
+
+    /// The packed fingerprint table.
+    #[must_use]
+    pub fn fingerprints(&self) -> &PackedCells {
+        &self.fingerprints
+    }
+
+    /// Slots per segment (the table spans three segments).
+    #[must_use]
+    pub fn seg_len(&self) -> usize {
+        self.seg_len
+    }
+
+    /// The peeling seed that succeeded at construction.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Fingerprint width in bits.
     #[must_use]
     pub fn fp_bits(&self) -> u32 {

@@ -11,8 +11,10 @@
 //! * a sorted in-memory **memtable** that flushes into level-0 runs;
 //! * **leveled compaction** — when a level exceeds its fanout, its runs
 //!   merge into one run on the next level (newest-wins on duplicates);
-//! * a **filter per run** ([`FilterKind`]: none, standard Bloom, HABF or
-//!   f-HABF), built at flush/compaction time;
+//! * a **filter per run** ([`LsmConfig::filter`]: any registered
+//!   [`habf_core::FilterSpec`] — Bloom, HABF, f-HABF, sharded, xor, … —
+//!   or none), built through the filter registry at flush/compaction
+//!   time and served behind [`habf_core::DynFilter`];
 //! * **negative hints** — the cost-annotated keys an operator knows are
 //!   frequently looked up but absent (the paper's "frequently failed
 //!   queries with heavy I/O overhead can be cached"); HABF runs feed them
@@ -39,9 +41,9 @@
 mod run;
 mod store;
 
-pub use run::{Run, RunFilter};
-pub use store::{AdaptConfig, FilterKind, HintError, IoStats, Lsm, LsmConfig};
+pub use run::Run;
+pub use store::{AdaptConfig, HintError, IoStats, Lsm, LsmConfig};
 
-// Re-exported so store users can configure the adaptation loop without
-// depending on `habf-core` directly.
-pub use habf_core::{AdaptPolicy, FpLog};
+// Re-exported so store users can configure the filters and the
+// adaptation loop without depending on `habf-core` directly.
+pub use habf_core::{AdaptPolicy, DynFilter, FilterSpec, FpLog};

@@ -1,53 +1,19 @@
 //! A sorted immutable run (SSTable stand-in) with an optional filter.
+//!
+//! The run holds its filter as a `Box<dyn DynFilter>` built through the
+//! registry-dispatched [`FilterSpec`] — there is no per-variant enum here:
+//! a newly registered filter serves as a run filter with zero changes to
+//! this crate.
 
-use habf_core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
-use habf_filters::{BloomFilter, Filter};
-
-/// The filter attached to one run.
-pub enum RunFilter {
-    /// No filter: every probe pays the block read.
-    None,
-    /// Standard Bloom filter (`k = ln2 · b`).
-    Bloom(BloomFilter),
-    /// Hash Adaptive Bloom Filter with TPJO over the negative hints.
-    Habf(Habf),
-    /// The fast HABF variant.
-    FHabf(FHabf),
-    /// HABF sharded across the run's key space, built in parallel.
-    Sharded(ShardedHabf<Habf>),
-}
-
-impl RunFilter {
-    /// Tests the filter; `None` always passes (no pruning).
-    #[must_use]
-    pub fn may_contain(&self, key: &[u8]) -> bool {
-        match self {
-            RunFilter::None => true,
-            RunFilter::Bloom(f) => f.contains(key),
-            RunFilter::Habf(f) => f.contains(key),
-            RunFilter::FHabf(f) => f.contains(key),
-            RunFilter::Sharded(f) => f.contains(key),
-        }
-    }
-
-    /// Filter memory in bits (0 for `None`).
-    #[must_use]
-    pub fn space_bits(&self) -> usize {
-        match self {
-            RunFilter::None => 0,
-            RunFilter::Bloom(f) => f.space_bits(),
-            RunFilter::Habf(f) => f.space_bits(),
-            RunFilter::FHabf(f) => f.space_bits(),
-            RunFilter::Sharded(f) => f.space_bits(),
-        }
-    }
-}
+use habf_core::{BuildInput, DynFilter, FilterSpec};
 
 /// An immutable sorted run of key-value entries.
 pub struct Run {
     /// Entries sorted by key, duplicate-free.
     entries: Vec<(Vec<u8>, Vec<u8>)>,
-    filter: RunFilter,
+    /// The filter guarding the run; `None` means every probe pays the
+    /// block read.
+    filter: Option<Box<dyn DynFilter>>,
 }
 
 impl Run {
@@ -56,7 +22,7 @@ impl Run {
     /// # Panics
     /// Panics (debug) if entries are not strictly sorted.
     #[must_use]
-    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>, filter: RunFilter) -> Self {
+    pub fn new(entries: Vec<(Vec<u8>, Vec<u8>)>, filter: Option<Box<dyn DynFilter>>) -> Self {
         debug_assert!(
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "run entries must be strictly sorted"
@@ -76,10 +42,22 @@ impl Run {
         self.entries.is_empty()
     }
 
-    /// The filter guarding this run.
+    /// The filter guarding this run, when it has one.
     #[must_use]
-    pub fn filter(&self) -> &RunFilter {
-        &self.filter
+    pub fn filter(&self) -> Option<&dyn DynFilter> {
+        self.filter.as_deref()
+    }
+
+    /// Tests the filter; a filterless run always passes (no pruning).
+    #[must_use]
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.filter.as_ref().is_none_or(|f| f.contains(key))
+    }
+
+    /// Filter memory in bits (0 for a filterless run).
+    #[must_use]
+    pub fn filter_bits(&self) -> usize {
+        self.filter.as_ref().map_or(0, |f| f.space_bits())
     }
 
     /// The sorted entries (used by compaction).
@@ -103,86 +81,64 @@ impl Run {
             .map(|i| self.entries[i].1.as_slice())
     }
 
-    /// Builds the configured filter for `keys`, excluding hints that are
-    /// actually present in the run (a hint that became a member must not be
-    /// treated as negative).
+    /// Builds the configured filter for the run's keys through the
+    /// registry, excluding hints that are actually present in the run (a
+    /// hint that became a member must not be treated as negative).
+    /// Returns `None` for an empty run or a `None` spec.
+    ///
+    /// # Panics
+    /// Panics if the spec's build fails — the spec is store
+    /// configuration, so a failure is an operator error, not data
+    /// corruption.
     #[must_use]
     pub fn build_filter(
         entries: &[(Vec<u8>, Vec<u8>)],
-        kind: &crate::FilterKind,
+        spec: Option<&FilterSpec>,
         hints: &[(Vec<u8>, f64)],
-    ) -> RunFilter {
-        use crate::FilterKind;
+    ) -> Option<Box<dyn DynFilter>> {
+        let spec = spec?;
         if entries.is_empty() {
-            return RunFilter::None;
+            return None;
         }
-        let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
-        match kind {
-            FilterKind::None => RunFilter::None,
-            FilterKind::Bloom { bits_per_key } => {
-                let m = ((keys.len() as f64) * bits_per_key) as usize;
-                RunFilter::Bloom(BloomFilter::build(&keys, m.max(64)))
-            }
-            FilterKind::ShardedHabf {
-                bits_per_key,
-                shards,
-            } => {
-                let negatives = costed_negatives(entries, hints);
-                let cfg = sharded_config(keys.len(), *bits_per_key, *shards);
-                RunFilter::Sharded(ShardedHabf::build_par(&keys, &negatives, &cfg))
-            }
-            FilterKind::Habf { bits_per_key } | FilterKind::FHabf { bits_per_key } => {
-                let total = (((keys.len() as f64) * bits_per_key) as usize).max(256);
-                let negatives = costed_negatives(entries, hints);
-                let cfg = HabfConfig::with_total_bits(total);
-                if matches!(kind, FilterKind::Habf { .. }) {
-                    RunFilter::Habf(Habf::build(&keys, &negatives, &cfg))
-                } else {
-                    RunFilter::FHabf(FHabf::build(&keys, &negatives, &cfg))
-                }
-            }
+        let input = BuildInput {
+            members: entries.iter().map(|(k, _)| k.as_slice()).collect(),
+            costed_negatives: costed_negatives(entries, hints),
+            hints: Vec::new(),
+        };
+        match spec.build(&input) {
+            Ok(filter) => Some(filter),
+            Err(e) => panic!("run filter {:?} failed to build: {e}", spec.id()),
         }
     }
 
     /// Rebuilds this run's filter in place with fresh hints — the
-    /// adaptation loop's per-run step. For sharded filters the rebuild
-    /// goes shard-by-shard through [`ShardedHabf::rebuild_par`]'s
-    /// copy-on-write path (readers holding shard handles keep their
-    /// snapshots); every other kind is rebuilt from scratch.
-    pub fn rebuild_filter(&mut self, kind: &crate::FilterKind, hints: &[(Vec<u8>, f64)]) {
-        if let (
-            crate::FilterKind::ShardedHabf {
-                bits_per_key,
-                shards,
-            },
-            RunFilter::Sharded(filter),
-        ) = (kind, &mut self.filter)
-        {
+    /// adaptation loop's per-run step. A filter exposing the
+    /// [`habf_core::Rebuildable`] capability is rebuilt at its exact
+    /// geometry (sharded filters go shard-by-shard through their
+    /// copy-on-write path, so readers holding shard handles keep their
+    /// snapshots); anything else is rebuilt from scratch through the
+    /// spec.
+    pub fn rebuild_filter(&mut self, spec: Option<&FilterSpec>, hints: &[(Vec<u8>, f64)]) {
+        if let (Some(spec), Some(filter)) = (spec, self.filter.as_mut()) {
             if !self.entries.is_empty() {
-                let keys: Vec<&[u8]> = self.entries.iter().map(|(k, _)| k.as_slice()).collect();
-                let negatives = costed_negatives(&self.entries, hints);
-                let cfg = sharded_config(keys.len(), *bits_per_key, *shards);
-                if cfg.shards == filter.shard_count() && cfg.splitter_seed == filter.splitter_seed()
-                {
-                    filter.rebuild_par(&keys, &negatives, &cfg);
+                if let Some(rebuildable) = filter.as_rebuildable() {
+                    let input = BuildInput {
+                        members: self.entries.iter().map(|(k, _)| k.as_slice()).collect(),
+                        costed_negatives: costed_negatives(&self.entries, hints),
+                        hints: Vec::new(),
+                    };
+                    rebuildable
+                        .rebuild(&input, spec.params().seed)
+                        .expect("hint pipeline delivers validated costs");
                     return;
                 }
             }
         }
-        self.filter = Run::build_filter(&self.entries, kind, hints);
+        self.filter = Run::build_filter(&self.entries, spec, hints);
     }
 }
 
-/// The sharded build configuration for a run of `n_keys` keys — shared by
-/// [`Run::build_filter`] and [`Run::rebuild_filter`] so an in-place
-/// rebuild reproduces the original routing (shard count and splitter
-/// seed) exactly.
-fn sharded_config(n_keys: usize, bits_per_key: f64, shards: usize) -> ShardedConfig {
-    let total = (((n_keys as f64) * bits_per_key) as usize).max(256);
-    ShardedConfig::new(shards.max(1), HabfConfig::with_total_bits(total))
-}
-
-/// Hints that are not members of the run, as HABF's costed negative set.
+/// Hints that are not members of the run, as the costed negative set.
 ///
 /// Caps the list relative to the run size: the HashExpressor stores one
 /// chain per optimized key, and its accidental-chain FPR grows with
@@ -222,7 +178,7 @@ mod tests {
 
     #[test]
     fn get_finds_members_and_rejects_others() {
-        let run = Run::new(entries(100), RunFilter::None);
+        let run = Run::new(entries(100), None);
         assert_eq!(run.get(b"key000042"), Some(b"val42".as_slice()));
         assert_eq!(run.get(b"key000100"), None);
         assert_eq!(run.len(), 100);
@@ -231,11 +187,11 @@ mod tests {
     #[test]
     fn bloom_filter_run_never_drops_members() {
         let es = entries(500);
-        let filter = Run::build_filter(&es, &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
+        let filter = Run::build_filter(&es, Some(&FilterSpec::bloom().bits_per_key(10.0)), &[]);
         let run = Run::new(es, filter);
         for i in 0..500 {
             let key = format!("key{i:06}").into_bytes();
-            assert!(run.filter().may_contain(&key), "member pruned");
+            assert!(run.may_contain(&key), "member pruned");
             assert!(run.get(&key).is_some());
         }
     }
@@ -246,18 +202,14 @@ mod tests {
         let hints: Vec<(Vec<u8>, f64)> = (0..400)
             .map(|i| (format!("miss{i:06}").into_bytes(), 10.0))
             .collect();
-        let filter =
-            Run::build_filter(&es, &crate::FilterKind::Habf { bits_per_key: 10.0 }, &hints);
+        let filter = Run::build_filter(&es, Some(&FilterSpec::habf().bits_per_key(10.0)), &hints);
         let run = Run::new(es, filter);
         for i in 0..400 {
             let key = format!("key{i:06}").into_bytes();
-            assert!(run.filter().may_contain(&key));
+            assert!(run.may_contain(&key));
         }
         // The hinted misses should be pruned almost always.
-        let pruned = hints
-            .iter()
-            .filter(|(k, _)| !run.filter().may_contain(k))
-            .count();
+        let pruned = hints.iter().filter(|(k, _)| !run.may_contain(k)).count();
         assert!(pruned > 300, "only {pruned}/400 hinted misses pruned");
     }
 
@@ -266,10 +218,9 @@ mod tests {
         let es = entries(100);
         // Hint a key that IS in the run: must not break zero-FNR.
         let hints = vec![(b"key000050".to_vec(), 100.0)];
-        let filter =
-            Run::build_filter(&es, &crate::FilterKind::Habf { bits_per_key: 12.0 }, &hints);
+        let filter = Run::build_filter(&es, Some(&FilterSpec::habf().bits_per_key(12.0)), &hints);
         let run = Run::new(es, filter);
-        assert!(run.filter().may_contain(b"key000050"));
+        assert!(run.may_contain(b"key000050"));
     }
 
     #[test]
@@ -280,76 +231,85 @@ mod tests {
             .collect();
         let filter = Run::build_filter(
             &es,
-            &crate::FilterKind::ShardedHabf {
-                bits_per_key: 10.0,
-                shards: 4,
-            },
+            Some(&FilterSpec::sharded(4).bits_per_key(10.0)),
             &hints,
         );
-        assert!(matches!(filter, RunFilter::Sharded(_)));
+        assert_eq!(filter.as_ref().map(|f| f.filter_id()), Some("sharded-habf"));
         let run = Run::new(es, filter);
         for i in 0..600 {
             let key = format!("key{i:06}").into_bytes();
-            assert!(run.filter().may_contain(&key), "member pruned");
+            assert!(run.may_contain(&key), "member pruned");
         }
-        let pruned = hints
-            .iter()
-            .filter(|(k, _)| !run.filter().may_contain(k))
-            .count();
+        let pruned = hints.iter().filter(|(k, _)| !run.may_contain(k)).count();
         assert!(pruned > 450, "only {pruned}/600 hinted misses pruned");
-        assert!(run.filter().space_bits() > 0);
+        assert!(run.filter_bits() > 0);
     }
 
     #[test]
     fn rebuild_filter_adopts_new_hints() {
         let es = entries(400);
-        let kind = crate::FilterKind::Habf { bits_per_key: 12.0 };
-        let filter = Run::build_filter(&es, &kind, &[]);
+        let spec = FilterSpec::habf().bits_per_key(12.0);
+        let filter = Run::build_filter(&es, Some(&spec), &[]);
         let mut run = Run::new(es, filter);
         let mined: Vec<(Vec<u8>, f64)> = (0..400)
             .map(|i| (format!("mined{i:06}").into_bytes(), 5.0))
             .collect();
-        run.rebuild_filter(&kind, &mined);
+        run.rebuild_filter(Some(&spec), &mined);
         for i in 0..400 {
             let key = format!("key{i:06}").into_bytes();
-            assert!(run.filter().may_contain(&key), "member pruned by rebuild");
+            assert!(run.may_contain(&key), "member pruned by rebuild");
         }
-        let pruned = mined
-            .iter()
-            .filter(|(k, _)| !run.filter().may_contain(k))
-            .count();
+        let pruned = mined.iter().filter(|(k, _)| !run.may_contain(k)).count();
         assert!(pruned > 300, "only {pruned}/400 mined misses pruned");
+    }
+
+    #[test]
+    fn non_rebuildable_filters_fall_back_to_scratch_rebuilds() {
+        let es = entries(300);
+        let spec = FilterSpec::bloom().bits_per_key(10.0);
+        let filter = Run::build_filter(&es, Some(&spec), &[]);
+        let mut run = Run::new(es, filter);
+        assert!(
+            run.filter
+                .as_mut()
+                .is_some_and(|f| f.as_rebuildable().is_none()),
+            "bloom must not advertise the rebuild capability"
+        );
+        run.rebuild_filter(Some(&spec), &[]);
+        for i in 0..300 {
+            let key = format!("key{i:06}").into_bytes();
+            assert!(run.may_contain(&key), "member pruned by scratch rebuild");
+        }
     }
 
     #[test]
     fn sharded_rebuild_stays_in_place_and_matches_scratch_build() {
         let es = entries(600);
-        let kind = crate::FilterKind::ShardedHabf {
-            bits_per_key: 12.0,
-            shards: 4,
-        };
-        let filter = Run::build_filter(&es, &kind, &[]);
+        let spec = FilterSpec::sharded(4).bits_per_key(12.0);
+        let filter = Run::build_filter(&es, Some(&spec), &[]);
         let mut run = Run::new(es.clone(), filter);
         let mined: Vec<(Vec<u8>, f64)> = (0..600)
             .map(|i| (format!("mined{i:06}").into_bytes(), 5.0))
             .collect();
-        run.rebuild_filter(&kind, &mined);
-        assert!(matches!(run.filter(), RunFilter::Sharded(_)));
+        run.rebuild_filter(Some(&spec), &mined);
+        assert_eq!(run.filter().map(|f| f.filter_id()), Some("sharded-habf"));
         for (k, _) in &es {
-            assert!(run.filter().may_contain(k), "member pruned by rebuild");
+            assert!(run.may_contain(k), "member pruned by rebuild");
         }
         // The in-place rebuild must answer exactly like a scratch build
         // over the same hints (same routing, same budget, same seeds).
-        let scratch = Run::build_filter(&es, &kind, &mined);
+        let scratch = Run::build_filter(&es, Some(&spec), &mined).expect("scratch filter");
         for (k, _) in &mined {
-            assert_eq!(run.filter().may_contain(k), scratch.may_contain(k));
+            assert_eq!(run.may_contain(k), scratch.contains(k));
         }
     }
 
     #[test]
     fn empty_run_gets_no_filter() {
-        let filter = Run::build_filter(&[], &crate::FilterKind::Bloom { bits_per_key: 10.0 }, &[]);
-        assert!(matches!(filter, RunFilter::None));
-        assert_eq!(filter.space_bits(), 0);
+        let filter = Run::build_filter(&[], Some(&FilterSpec::bloom().bits_per_key(10.0)), &[]);
+        assert!(filter.is_none());
+        let run = Run::new(Vec::new(), filter);
+        assert_eq!(run.filter_bits(), 0);
+        assert!(run.may_contain(b"anything"));
     }
 }

@@ -1,40 +1,9 @@
 //! The leveled store: memtable, flush, compaction, I/O accounting, and the
 //! FP-feedback adaptation loop.
 
-use crate::run::{Run, RunFilter};
-use habf_core::{AdaptPolicy, FpLog};
+use crate::run::Run;
+use habf_core::{AdaptPolicy, FilterSpec, FpLog};
 use std::collections::{BTreeMap, HashSet};
-
-/// Which filter each run carries.
-#[derive(Clone, Debug)]
-pub enum FilterKind {
-    /// No filters — every lookup probes every overlapping run.
-    None,
-    /// Standard Bloom filter with the given space budget.
-    Bloom {
-        /// Filter bits per stored key.
-        bits_per_key: f64,
-    },
-    /// HABF built with the store's negative hints.
-    Habf {
-        /// Filter bits per stored key (same budget as the Bloom baseline).
-        bits_per_key: f64,
-    },
-    /// f-HABF built with the store's negative hints.
-    FHabf {
-        /// Filter bits per stored key.
-        bits_per_key: f64,
-    },
-    /// Sharded HABF: the run's keys are split across `shards` independent
-    /// HABFs built in parallel (large runs amortize the thread fan-out;
-    /// see `habf_core::sharded`).
-    ShardedHabf {
-        /// Filter bits per stored key (total across all shards).
-        bits_per_key: f64,
-        /// Shard count per run filter.
-        shards: usize,
-    },
-}
 
 /// Store configuration.
 #[derive(Clone, Debug)]
@@ -43,8 +12,11 @@ pub struct LsmConfig {
     pub memtable_capacity: usize,
     /// Runs a level may hold before compacting into the next level.
     pub level_fanout: usize,
-    /// The per-run filter policy.
-    pub filter: FilterKind,
+    /// The per-run filter policy: any registered [`FilterSpec`], sized in
+    /// bits per stored key, or `None` for no filters (every lookup probes
+    /// every overlapping run). Registry dispatch means a newly registered
+    /// filter variant serves as a run filter with no changes here.
+    pub filter: Option<FilterSpec>,
 }
 
 impl Default for LsmConfig {
@@ -52,7 +24,7 @@ impl Default for LsmConfig {
         Self {
             memtable_capacity: 4096,
             level_fanout: 4,
-            filter: FilterKind::Bloom { bits_per_key: 10.0 },
+            filter: Some(FilterSpec::bloom().bits_per_key(10.0)),
         }
     }
 }
@@ -155,6 +127,12 @@ pub struct Lsm {
 
 impl Lsm {
     /// Creates an empty store.
+    ///
+    /// # Panics
+    /// Panics on a degenerate configuration: zero memtable capacity or
+    /// level fanout, or a filter spec whose shape fails
+    /// [`FilterSpec::validate`] — surfacing the misconfiguration here
+    /// instead of as a build panic inside the first flush.
     #[must_use]
     pub fn new(config: LsmConfig) -> Self {
         assert!(
@@ -162,6 +140,11 @@ impl Lsm {
             "memtable capacity must be > 0"
         );
         assert!(config.level_fanout > 0, "level fanout must be > 0");
+        if let Some(spec) = &config.filter {
+            if let Err(e) = spec.validate() {
+                panic!("invalid run-filter spec {:?}: {e}", spec.id());
+            }
+        }
         Self {
             config,
             memtable: BTreeMap::new(),
@@ -257,7 +240,7 @@ impl Lsm {
         let entries: Vec<(Vec<u8>, Vec<u8>)> =
             std::mem::take(&mut self.memtable).into_iter().collect();
         let hints = self.hints_for_run(&entries);
-        let filter = Run::build_filter(&entries, &self.config.filter, &hints);
+        let filter = Run::build_filter(&entries, self.config.filter.as_ref(), &hints);
         self.push_run(0, Run::new(entries, filter));
     }
 
@@ -364,7 +347,7 @@ impl Lsm {
         }
         let entries: Vec<(Vec<u8>, Vec<u8>)> = merged.into_iter().collect();
         let hints = self.hints_for_run(&entries);
-        let filter = Run::build_filter(&entries, &self.config.filter, &hints);
+        let filter = Run::build_filter(&entries, self.config.filter.as_ref(), &hints);
         self.push_run(level + 1, Run::new(entries, filter));
     }
 
@@ -389,7 +372,7 @@ impl Lsm {
         for (level, runs) in self.levels.iter().enumerate() {
             let level_cost = level as u64 + 1;
             for run in runs.iter().rev() {
-                if !run.filter().may_contain(key) {
+                if !run.may_contain(key) {
                     self.io.pruned_probes += 1;
                     continue;
                 }
@@ -441,12 +424,10 @@ impl Lsm {
             for ri in 0..self.levels[li].len() {
                 // Take the run out so hint assembly sees only its siblings
                 // (and so we can borrow the store immutably meanwhile).
-                let mut run = std::mem::replace(
-                    &mut self.levels[li][ri],
-                    Run::new(Vec::new(), RunFilter::None),
-                );
+                let mut run =
+                    std::mem::replace(&mut self.levels[li][ri], Run::new(Vec::new(), None));
                 let hints = self.hints_for_run_with_pool(&pool, run.entries());
-                run.rebuild_filter(&self.config.filter, &hints);
+                run.rebuild_filter(self.config.filter.as_ref(), &hints);
                 self.levels[li][ri] = run;
                 rebuilt += 1;
             }
@@ -491,7 +472,7 @@ impl Lsm {
     pub fn filter_bits(&self) -> usize {
         self.levels
             .iter()
-            .flat_map(|runs| runs.iter().map(|r| r.filter().space_bits()))
+            .flat_map(|runs| runs.iter().map(Run::filter_bits))
             .sum()
     }
 
@@ -520,7 +501,7 @@ fn dedup_keep_max_cost(hints: &mut Vec<(Vec<u8>, f64)>) {
 mod tests {
     use super::*;
 
-    fn store(filter: FilterKind) -> Lsm {
+    fn store(filter: Option<FilterSpec>) -> Lsm {
         Lsm::new(LsmConfig {
             memtable_capacity: 128,
             level_fanout: 3,
@@ -534,7 +515,7 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip_through_flushes() {
-        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        let mut db = store(Some(FilterSpec::bloom().bits_per_key(10.0)));
         for i in 0..1_000 {
             db.put(key(i), format!("v{i}").into_bytes());
         }
@@ -551,7 +532,7 @@ mod tests {
 
     #[test]
     fn newest_value_wins_after_compaction() {
-        let mut db = store(FilterKind::None);
+        let mut db = store(None);
         for round in 0..5 {
             for i in 0..300 {
                 db.put(key(i), format!("r{round}v{i}").into_bytes());
@@ -565,8 +546,8 @@ mod tests {
 
     #[test]
     fn filters_prune_misses() {
-        let mut with = store(FilterKind::Bloom { bits_per_key: 10.0 });
-        let mut without = store(FilterKind::None);
+        let mut with = store(Some(FilterSpec::bloom().bits_per_key(10.0)));
+        let mut without = store(None);
         for i in 0..2_000 {
             with.put(key(i), b"v".to_vec());
             without.put(key(i), b"v".to_vec());
@@ -595,7 +576,7 @@ mod tests {
         // filters are MB-scale; 1k-entry runs are the small end of
         // realistic).
         let misses: Vec<(Vec<u8>, f64)> = (50_000..52_000).map(|i| (key(i), 5.0)).collect();
-        let build = |kind: FilterKind| -> Lsm {
+        let build = |kind: Option<FilterSpec>| -> Lsm {
             let mut db = Lsm::new(LsmConfig {
                 memtable_capacity: 1024,
                 level_fanout: 3,
@@ -611,8 +592,8 @@ mod tests {
             db
         };
         // Equal filter budget for both.
-        let mut bloom_db = build(FilterKind::Bloom { bits_per_key: 12.0 });
-        let mut habf_db = build(FilterKind::Habf { bits_per_key: 12.0 });
+        let mut bloom_db = build(Some(FilterSpec::bloom().bits_per_key(12.0)));
+        let mut habf_db = build(Some(FilterSpec::habf().bits_per_key(12.0)));
         for (k, _) in &misses {
             let _ = bloom_db.get(k);
             let _ = habf_db.get(k);
@@ -631,10 +612,7 @@ mod tests {
         let mut db = Lsm::new(LsmConfig {
             memtable_capacity: 1024,
             level_fanout: 3,
-            filter: FilterKind::ShardedHabf {
-                bits_per_key: 12.0,
-                shards: 4,
-            },
+            filter: Some(FilterSpec::sharded(4).bits_per_key(12.0)),
         });
         db.set_negative_hints(misses.clone())
             .expect("finite hint costs");
@@ -656,7 +634,7 @@ mod tests {
 
     #[test]
     fn weighted_cost_grows_with_depth() {
-        let mut db = store(FilterKind::None);
+        let mut db = store(None);
         for i in 0..2_000 {
             db.put(key(i), b"v".to_vec());
         }
@@ -670,7 +648,7 @@ mod tests {
 
     #[test]
     fn filter_bits_reported() {
-        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        let mut db = store(Some(FilterSpec::bloom().bits_per_key(10.0)));
         for i in 0..500 {
             db.put(key(i), b"v".to_vec());
         }
@@ -680,8 +658,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "invalid run-filter spec")]
+    fn misconfigured_filter_spec_is_rejected_at_construction() {
+        // delta <= 0 corrupts the HABF budget split; the store must
+        // refuse at new(), not panic inside the first flush.
+        let _ = store(Some(FilterSpec::habf().habf_shape(-1.0, 3, 4)));
+    }
+
+    #[test]
     fn empty_flush_is_noop() {
-        let mut db = store(FilterKind::None);
+        let mut db = store(None);
         db.flush();
         assert_eq!(db.depth(), 0);
         assert_eq!(db.get(b"nothing"), None);
@@ -692,7 +678,7 @@ mod tests {
     /// so duplicate keys with non-adjacent costs survived).
     #[test]
     fn set_negative_hints_dedups_nonadjacent_duplicates_keeping_max_cost() {
-        let mut db = store(FilterKind::None);
+        let mut db = store(None);
         // Shuffled duplicate-key input: key "a" appears at costs 5, 1, 3 —
         // sorted by cost the "a" entries are NOT adjacent.
         db.set_negative_hints(vec![
@@ -719,7 +705,7 @@ mod tests {
     /// Regression (pre-fix: `.expect(\"NaN cost\")` panicked on user input).
     #[test]
     fn set_negative_hints_rejects_non_finite_costs_without_panicking() {
-        let mut db = store(FilterKind::None);
+        let mut db = store(None);
         db.set_negative_hints(vec![(b"keep".to_vec(), 2.0)])
             .expect("finite costs");
         let err = db
@@ -747,7 +733,7 @@ mod tests {
     /// that have since been written).
     #[test]
     fn hints_for_run_excludes_the_runs_own_members() {
-        let mut db = store(FilterKind::Habf { bits_per_key: 12.0 });
+        let mut db = store(Some(FilterSpec::habf().bits_per_key(12.0)));
         // Operator-hints a key that will become a member.
         db.set_negative_hints(vec![(key(3), 9.0), (key(90_000), 4.0)])
             .expect("finite costs");
@@ -790,7 +776,7 @@ mod tests {
         let mut db = Lsm::new(LsmConfig {
             memtable_capacity: 1024,
             level_fanout: 3,
-            filter: FilterKind::Habf { bits_per_key: 12.0 },
+            filter: Some(FilterSpec::habf().bits_per_key(12.0)),
         });
         for i in 0..3_000 {
             db.put(key(i), b"v".to_vec());
@@ -849,7 +835,7 @@ mod tests {
 
     #[test]
     fn report_miss_feeds_the_log_and_can_trigger_rebuilds() {
-        let mut db = store(FilterKind::Bloom { bits_per_key: 10.0 });
+        let mut db = store(Some(FilterSpec::bloom().bits_per_key(10.0)));
         for i in 0..400 {
             db.put(key(i), b"v".to_vec());
         }
@@ -879,10 +865,7 @@ mod tests {
         let mut db = Lsm::new(LsmConfig {
             memtable_capacity: 2048,
             level_fanout: 3,
-            filter: FilterKind::ShardedHabf {
-                bits_per_key: 12.0,
-                shards: 4,
-            },
+            filter: Some(FilterSpec::sharded(4).bits_per_key(12.0)),
         });
         for i in 0..2_000 {
             db.put(key(i), b"v".to_vec());

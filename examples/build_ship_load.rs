@@ -1,16 +1,18 @@
 //! Offline build → ship → online load, the intended HABF deployment.
 //!
 //! The negative keys and costs live where the logs are (a batch job); the
-//! query servers only need the finished filter. This example builds an
-//! HABF, writes its binary image to disk, loads it back, and verifies the
-//! loaded filter answers identically.
+//! query servers only need the finished filter image. This example builds
+//! through [`FilterSpec`], writes the self-describing `HABC` container to
+//! disk, loads it back through the registry — the online side never names
+//! a concrete filter type — and verifies the loaded filter answers
+//! identically.
 //!
 //! ```sh
 //! cargo run --release --example build_ship_load
 //! ```
 
-use habf::core::{Habf, HabfConfig};
-use habf::filters::Filter;
+use habf::core::registry;
+use habf::prelude::{BuildInput, FilterSpec};
 use habf::workloads::ShallaConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,33 +24,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enumerate()
         .map(|(i, k)| (k.as_slice(), 1.0 + (i % 100) as f64))
         .collect();
-    let filter = Habf::build(
-        &ds.positives,
-        &negatives,
-        &HabfConfig::with_total_bits(ds.positives.len() * 10),
-    );
-    let image = filter.to_bytes();
+    let input = BuildInput::from_members(&ds.positives).with_costed_negatives(&negatives);
+    let filter = FilterSpec::habf().bits_per_key(10.0).build(&input)?;
+    let image = filter.to_container_bytes();
     let path = std::env::temp_dir().join("habf_filter.bin");
     std::fs::write(&path, &image)?;
     println!(
-        "built over {} positives / {} known negatives; image: {} bytes -> {}",
+        "built {} over {} positives / {} known negatives; image: {} bytes -> {}",
+        filter.filter_id(),
         ds.positives.len(),
         ds.negatives.len(),
         image.len(),
         path.display()
     );
 
-    // "Online": a query server with no access to the key sets.
-    let shipped = Habf::from_bytes(&std::fs::read(&path)?)?;
+    // "Online": a query server with no access to the key sets — and no
+    // knowledge of the filter type; the container self-describes.
+    let shipped = registry::load(&std::fs::read(&path)?)?;
+    println!(
+        "loaded a {} from a {} (v{})",
+        shipped.filter.filter_id(),
+        shipped.format.describe(),
+        shipped.version
+    );
     let mut checked = 0usize;
     for key in ds.positives.iter().chain(ds.negatives.iter()) {
-        assert_eq!(filter.contains(key), shipped.contains(key));
+        assert_eq!(filter.contains(key), shipped.filter.contains(key));
         checked += 1;
     }
     println!("loaded filter agrees with the original on all {checked} keys");
     println!(
         "members always accepted: {}",
-        ds.positives.iter().all(|k| shipped.contains(k))
+        ds.positives.iter().all(|k| shipped.filter.contains(k))
     );
     std::fs::remove_file(&path)?;
     Ok(())

@@ -11,7 +11,7 @@
 //! cargo run --release --example kv_store_cache
 //! ```
 
-use habf::lsm::{FilterKind, IoStats, Lsm, LsmConfig};
+use habf::lsm::{FilterSpec, IoStats, Lsm, LsmConfig};
 use habf::util::Xoshiro256;
 use habf::workloads::ZipfSampler;
 
@@ -32,7 +32,7 @@ fn miss_key(i: usize) -> Vec<u8> {
     format!("ghost:{i:09}").into_bytes()
 }
 
-fn run(filter: FilterKind, hints: Option<&[(Vec<u8>, f64)]>) -> (IoStats, usize) {
+fn run(filter: Option<FilterSpec>, hints: Option<&[(Vec<u8>, f64)]>) -> (IoStats, usize) {
     // Large-ish runs keep each run's HashExpressor occupancy t/ω low
     // (accidental-chain FPR is bounded by t/ω, paper §III-F).
     let mut db = Lsm::new(LsmConfig {
@@ -93,26 +93,20 @@ fn main() {
     );
     let mut results = Vec::new();
     for (name, kind, hinted) in [
-        ("none", FilterKind::None, false),
+        ("none", None, false),
         (
             "Bloom",
-            FilterKind::Bloom {
-                bits_per_key: BITS_PER_KEY,
-            },
+            Some(FilterSpec::bloom().bits_per_key(BITS_PER_KEY)),
             false,
         ),
         (
             "HABF (hinted)",
-            FilterKind::Habf {
-                bits_per_key: BITS_PER_KEY,
-            },
+            Some(FilterSpec::habf().bits_per_key(BITS_PER_KEY)),
             true,
         ),
         (
             "f-HABF (hinted)",
-            FilterKind::FHabf {
-                bits_per_key: BITS_PER_KEY,
-            },
+            Some(FilterSpec::fhabf().bits_per_key(BITS_PER_KEY)),
             true,
         ),
     ] {

@@ -1,13 +1,12 @@
-//! Quickstart: build an HABF from a member set and a cost-annotated set of
-//! known negatives, and compare it head-to-head with a standard Bloom
-//! filter of identical size.
+//! Quickstart: build an HABF and a standard Bloom filter of identical
+//! size through the unified [`FilterSpec`] entry point and compare them
+//! head-to-head on cost-weighted false positives.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use habf::core::{Habf, HabfConfig};
-use habf::filters::{BloomFilter, Filter};
+use habf::prelude::{BuildInput, DynFilter, FilterSpec};
 
 fn main() {
     // The set we want to answer membership queries for.
@@ -26,22 +25,26 @@ fn main() {
         })
         .collect();
 
-    // Same space for both filters: 10 bits per member.
-    let total_bits = members.len() * 10;
-
-    let habf = Habf::build(
-        &members,
-        &known_negatives,
-        &HabfConfig::with_total_bits(total_bits),
-    );
-    let bloom = BloomFilter::build(&members, total_bits);
+    // One build input, two specs, same 10 bits/key budget. Every filter
+    // the registry knows builds through this exact entry point — swap
+    // FilterSpec::habf() for any `habf filters` id and nothing else
+    // changes.
+    let input = BuildInput::from_members(&members).with_costed_negatives(&known_negatives);
+    let habf = FilterSpec::habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("habf builds");
+    let bloom = FilterSpec::bloom()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("bloom builds");
 
     // One-sided error: members are always admitted.
     assert!(members.iter().all(|k| habf.contains(k)));
     assert!(members.iter().all(|k| bloom.contains(k)));
 
     // Cost-weighted false positives over the known negatives.
-    let weigh = |f: &dyn Filter| -> (f64, usize) {
+    let weigh = |f: &dyn DynFilter| -> (f64, usize) {
         let mut fp_cost = 0.0;
         let mut fp = 0usize;
         let total: f64 = known_negatives.iter().map(|(_, c)| c).sum();
@@ -53,27 +56,26 @@ fn main() {
         }
         (fp_cost / total, fp)
     };
-    let (habf_wfpr, habf_fp) = weigh(&habf);
-    let (bloom_wfpr, bloom_fp) = weigh(&bloom);
+    let (habf_wfpr, habf_fp) = weigh(habf.as_ref());
+    let (bloom_wfpr, bloom_fp) = weigh(bloom.as_ref());
 
-    println!("space budget       : {total_bits} bits ({} bits/key)", 10);
+    println!("space budget       : 10 bits/key for both filters");
     println!("members            : {}", members.len());
     println!("known negatives    : {}", known_negatives.len());
     println!();
     println!(
-        "standard Bloom     : {bloom_fp} false positives, weighted FPR {:.4}%",
+        "{:<18} : {bloom_fp} false positives, weighted FPR {:.4}%",
+        bloom.name(),
         bloom_wfpr * 100.0
     );
     println!(
-        "HABF               : {habf_fp} false positives, weighted FPR {:.4}%",
+        "{:<18} : {habf_fp} false positives, weighted FPR {:.4}%",
+        habf.name(),
         habf_wfpr * 100.0
     );
-    println!(
-        "HABF optimizer     : {} collision keys found, {} optimized, {} chains stored",
-        habf.stats().initial_collision_keys,
-        habf.stats().optimized,
-        habf.expressor_entries()
-    );
+    for (label, value) in habf.metadata() {
+        println!("HABF {label:<18}: {value}");
+    }
     assert!(
         habf_wfpr <= bloom_wfpr,
         "HABF should not lose to BF when the negatives are known"

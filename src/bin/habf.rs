@@ -1,42 +1,52 @@
 //! `habf` — command-line front end for building, querying, inspecting,
-//! and adapting HABF filter images.
+//! and adapting filter images of any registered kind.
 //!
 //! ```text
-//! habf build --positives pos.txt --negatives neg.txt --bits-per-key 10 --out filter.bin
-//! habf build --positives pos.txt --negatives neg.txt --shards 4 --threads 2 --out filter.bin
+//! habf filters                                 # list registered filter ids
+//! habf build --filter habf --positives pos.txt --negatives neg.txt --out filter.bin
+//! habf build --filter sharded-fhabf --shards 4 --threads 2 --positives pos.txt …
 //! habf query filter.bin <key> [<key>…]        # exit 0 if all maybe-present
 //! habf query filter.bin --replay queries.txt  # replay keys from a file
 //! habf adapt filter.bin --positives pos.txt --queries queries.txt --out adapted.bin
 //! habf inspect filter.bin
 //! ```
 //!
-//! `--shards N` (with N > 1) builds a sharded filter: keys are partitioned
-//! by a splitter hash and the shards are built in parallel over
-//! `--threads` workers (0 = auto). Query, adapt, and inspect load either
-//! format.
+//! Every subcommand dispatches through the filter registry
+//! (`habf::core::registry`): `build` resolves `--filter <id>` to a
+//! [`FilterSpec`], `query`/`adapt`/`inspect` load any image — the current
+//! self-describing `HABC` container or a legacy `HABF`/`HABS` image — and
+//! work against the object-safe [`DynFilter`] surface, so a newly
+//! registered filter is immediately buildable, queryable, and
+//! inspectable here with no CLI changes.
+//!
+//! The legacy flags remain as defaults: `--fast` selects `fhabf` and
+//! `--shards N` (N > 1) the sharded variant when `--filter` is not given
+//! explicitly.
 //!
 //! `adapt` closes the FP-feedback loop offline: it replays a query log
 //! against the filter, records every false positive (a query key that is
 //! not in `--positives` yet passes the filter) into a cost-decayed
 //! [`FpLog`], and — if the waste crosses `--threshold` — mines the log
-//! into negative hints and rebuilds the filter at its current space
-//! budget. The same loop runs as `query --replay FILE --adapt`, mirroring
-//! how a server would adapt in place.
+//! into negative hints and rebuilds the filter at its current geometry
+//! through the [`habf::core::Rebuildable`] capability. Filters without
+//! that capability (e.g. `bloom`, `xor`) are refused with a clear
+//! message. The same loop runs as `query --replay FILE --adapt`,
+//! mirroring how a server would adapt in place.
 //!
 //! `--negatives` and `--queries` lines are either `key` (cost 1) or
 //! `key<TAB>cost`. Keys are one per line, newline-delimited, matched as
 //! raw bytes.
 
-use habf::core::{AdaptPolicy, FHabf, FpLog, Habf, HabfConfig, ShardedConfig, ShardedHabf};
-use habf::filters::Filter;
+use habf::core::registry::{self, LoadedFilter};
+use habf::core::{AdaptPolicy, BuildInput, DynFilter, FilterSpec, FpLog};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage:\n  habf build --positives FILE --negatives FILE [--bits-per-key F] \
-         [--fast] [--seed N] [--shards N] [--threads N] [--out FILE]\n  habf query FILTER \
-[KEY…] [--replay FILE] [--adapt --positives FILE [--out FILE]]\n  habf adapt FILTER \
---positives FILE --queries FILE [--out FILE] [--threshold F] [--max-hints N] [--seed N]\n  \
-habf inspect FILTER";
+const USAGE: &str = "usage:\n  habf filters\n  habf build --positives FILE [--negatives FILE] \
+[--filter ID] [--bits-per-key F]\n         [--fast] [--seed N] [--shards N] [--threads N] \
+[--out FILE]\n  habf query FILTER [KEY…] [--replay FILE] [--adapt --positives FILE [--out FILE]]\n  \
+habf adapt FILTER --positives FILE --queries FILE [--out FILE] [--threshold F] \
+[--max-hints N] [--seed N]\n  habf inspect FILTER";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -76,9 +86,17 @@ fn parse_negatives(path: &str) -> Vec<(Vec<u8>, f64)> {
         .collect()
 }
 
+fn cmd_filters() -> ExitCode {
+    for entry in registry::entries() {
+        println!("{}\t{}", entry.id, entry.summary);
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_build(args: &[String]) -> ExitCode {
     let mut positives_path = None;
     let mut negatives_path = None;
+    let mut filter_id: Option<String> = None;
     let mut bits_per_key = 10.0f64;
     let mut fast = false;
     let mut seed = 0x4841_4246u64;
@@ -91,6 +109,7 @@ fn cmd_build(args: &[String]) -> ExitCode {
         match flag.as_str() {
             "--positives" => positives_path = Some(val()),
             "--negatives" => negatives_path = Some(val()),
+            "--filter" => filter_id = Some(val()),
             "--bits-per-key" => bits_per_key = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
             "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
@@ -104,165 +123,122 @@ fn cmd_build(args: &[String]) -> ExitCode {
         eprintln!("habf: --shards must be at least 1");
         return ExitCode::FAILURE;
     }
-    let (Some(pp), Some(np)) = (positives_path, negatives_path) else {
-        usage()
+    // `--fast` is a default-picker for when no id is named; silently
+    // ignoring it next to an explicit `--filter` would build something
+    // other than what the operator asked for.
+    if fast && filter_id.is_some() {
+        eprintln!("habf: --fast conflicts with --filter; name the id directly (e.g. fhabf)");
+        return ExitCode::FAILURE;
+    }
+    // The legacy flags double as defaults when no id is named.
+    let id = filter_id.unwrap_or_else(|| {
+        let base = if fast { "fhabf" } else { "habf" };
+        if shards > 1 {
+            format!("sharded-{base}")
+        } else {
+            base.to_string()
+        }
+    });
+    let Some(spec) = FilterSpec::by_id(&id) else {
+        eprintln!(
+            "habf: unknown filter id {id:?}; registered: {}",
+            registry::ids().join(", ")
+        );
+        return ExitCode::FAILURE;
     };
+    let spec = spec
+        .bits_per_key(bits_per_key)
+        .seed(seed)
+        .shards(shards)
+        .threads(threads);
+    let Some(pp) = positives_path else { usage() };
     let positives = read_lines(&pp);
     if positives.is_empty() {
         eprintln!("habf: {pp} holds no keys");
         return ExitCode::FAILURE;
     }
-    let negatives = parse_negatives(&np);
-    let mut cfg = HabfConfig::with_total_bits((positives.len() as f64 * bits_per_key) as usize);
-    cfg.seed = seed;
-
-    let (image, stats_line) = if shards > 1 {
-        let mut scfg = ShardedConfig::new(shards, cfg);
-        scfg.threads = threads;
-        if fast {
-            let f = ShardedHabf::<FHabf>::build_par(&positives, &negatives, &scfg);
-            (
-                f.to_bytes(),
-                format!(
-                    "Sharded-f-HABF: {} positives across {} shards",
-                    positives.len(),
-                    f.shard_count()
-                ),
-            )
-        } else {
-            let f = ShardedHabf::<Habf>::build_par(&positives, &negatives, &scfg);
-            (
-                f.to_bytes(),
-                format!(
-                    "Sharded-HABF: {} positives across {} shards",
-                    positives.len(),
-                    f.shard_count()
-                ),
-            )
+    let negatives = negatives_path
+        .map(|np| parse_negatives(&np))
+        .unwrap_or_default();
+    let input = BuildInput::from_members(&positives).with_costed_negatives(&negatives);
+    let filter = match spec.build(&input) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("habf: cannot build {id:?}: {e}");
+            return ExitCode::FAILURE;
         }
-    } else if fast {
-        let f = FHabf::build(&positives, &negatives, &cfg);
-        let s = f.stats().clone();
-        (
-            f.to_bytes(),
-            format!(
-                "f-HABF: {} positives, {} negatives, {} collision keys, {} optimized",
-                s.positives, s.negatives, s.initial_collision_keys, s.optimized
-            ),
-        )
-    } else {
-        let f = Habf::build(&positives, &negatives, &cfg);
-        let s = f.stats().clone();
-        (
-            f.to_bytes(),
-            format!(
-                "HABF: {} positives, {} negatives, {} collision keys, {} optimized, {} failed",
-                s.positives, s.negatives, s.initial_collision_keys, s.optimized, s.failed
-            ),
-        )
     };
+    let image = filter.to_container_bytes();
     if let Err(e) = std::fs::write(&out, &image) {
         eprintln!("habf: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("{stats_line}");
+    println!(
+        "{} ({}): {} positives, {} negatives, {} bits",
+        filter.name(),
+        filter.filter_id(),
+        positives.len(),
+        negatives.len(),
+        filter.space_bits()
+    );
+    for (label, value) in filter.metadata() {
+        println!("  {label}: {value}");
+    }
     println!("wrote {} bytes to {out}", image.len());
     ExitCode::SUCCESS
 }
 
-/// A loaded filter image of any persisted kind, kept concretely typed so
-/// `adapt` can rebuild it at the same geometry.
-enum AnyFilter {
-    Habf(Habf),
-    FHabf(FHabf),
-    Sharded(ShardedHabf<Habf>),
-    ShardedFast(ShardedHabf<FHabf>),
-}
-
-impl AnyFilter {
-    /// Loads any persisted filter kind — unsharded or sharded, HABF or
-    /// f-HABF (the magics and kind bytes disambiguate).
-    fn load(path: &str) -> Result<Self, String> {
-        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        if let Ok(f) = Habf::from_bytes(&bytes) {
-            return Ok(AnyFilter::Habf(f));
-        }
-        if let Ok(f) = FHabf::from_bytes(&bytes) {
-            return Ok(AnyFilter::FHabf(f));
-        }
-        if let Ok(f) = ShardedHabf::<Habf>::from_bytes(&bytes) {
-            return Ok(AnyFilter::Sharded(f));
-        }
-        ShardedHabf::<FHabf>::from_bytes(&bytes)
-            .map(AnyFilter::ShardedFast)
-            .map_err(|e| format!("{path}: {e}"))
-    }
-
-    fn as_filter(&self) -> &dyn Filter {
-        match self {
-            AnyFilter::Habf(f) => f,
-            AnyFilter::FHabf(f) => f,
-            AnyFilter::Sharded(f) => f,
-            AnyFilter::ShardedFast(f) => f,
-        }
-    }
-
-    /// Re-runs TPJO over `positives` with `negatives` as the costed hint
-    /// set, at the loaded filter's exact geometry (space, `k`, cell width,
-    /// shard routing) — geometry preservation keeps the replayed false
-    /// positives valid evidence against the rebuilt filter.
-    fn rebuild(&mut self, positives: &[Vec<u8>], negatives: &[(Vec<u8>, f64)], seed: u64) {
-        match self {
-            AnyFilter::Habf(f) => f.rebuild(positives, negatives, seed),
-            AnyFilter::FHabf(f) => f.rebuild(positives, negatives, seed),
-            AnyFilter::Sharded(f) => f.rebuild_in_place(positives, negatives, seed),
-            AnyFilter::ShardedFast(f) => f.rebuild_in_place(positives, negatives, seed),
-        }
-    }
-
-    fn to_bytes(&self) -> Vec<u8> {
-        match self {
-            AnyFilter::Habf(f) => f.to_bytes(),
-            AnyFilter::FHabf(f) => f.to_bytes(),
-            AnyFilter::Sharded(f) => f.to_bytes(),
-            AnyFilter::ShardedFast(f) => f.to_bytes(),
-        }
-    }
+fn load_filter(path: &str) -> Result<LoadedFilter, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    registry::load(&bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Replays the costed `queries` against `filter`, logging every false
 /// positive (passes the filter, absent from `positives`); if the decayed
-/// waste reaches `threshold`, mines the log and rebuilds the filter.
-/// Returns `(fps_before, fps_after, rebuilt)`.
+/// waste reaches `threshold`, mines the log and rebuilds the filter
+/// through its [`habf::core::Rebuildable`] capability at its exact
+/// geometry. Returns `(fps_before, fps_after, rebuilt)`, or an error for
+/// filters without the capability.
 fn adapt_filter(
-    filter: &mut AnyFilter,
+    filter: &mut dyn DynFilter,
     positives: &[Vec<u8>],
     queries: &[(Vec<u8>, f64)],
     threshold: f64,
     max_hints: usize,
     seed: u64,
-) -> (u64, u64, bool) {
+) -> Result<(u64, u64, bool), String> {
+    if filter.as_rebuildable().is_none() {
+        return Err(format!(
+            "filter {:?} does not support adaptation (no rebuild capability)",
+            filter.filter_id()
+        ));
+    }
     let members: std::collections::HashSet<&[u8]> = positives.iter().map(Vec::as_slice).collect();
     let mut log = FpLog::new(queries.len().max(1), 1.0);
     let mut policy = AdaptPolicy::cost_threshold(threshold);
     policy.min_fp_events = 1;
     for (key, cost) in queries {
         log.note_lookup();
-        if !members.contains(key.as_slice()) && filter.as_filter().contains(key) {
+        if !members.contains(key.as_slice()) && filter.contains(key) {
             log.record(key, *cost);
         }
     }
     let fps_before = log.window_fp_events();
     if !policy.should_rebuild(&log) {
-        return (fps_before, fps_before, false);
+        return Ok((fps_before, fps_before, false));
     }
     let mined = log.mine_hints(max_hints);
-    filter.rebuild(positives, &mined, seed);
+    let input = BuildInput::from_members(positives).with_hints(&mined);
+    filter
+        .as_rebuildable()
+        .expect("capability checked above")
+        .rebuild(&input, seed)
+        .map_err(|e| format!("rebuild failed: {e}"))?;
     let fps_after = queries
         .iter()
-        .filter(|(key, _)| !members.contains(key.as_slice()) && filter.as_filter().contains(key))
+        .filter(|(key, _)| !members.contains(key.as_slice()) && filter.contains(key))
         .count() as u64;
-    (fps_before, fps_after, true)
+    Ok((fps_before, fps_after, true))
 }
 
 fn cmd_adapt(args: &[String]) -> ExitCode {
@@ -289,7 +265,7 @@ fn cmd_adapt(args: &[String]) -> ExitCode {
     let (Some(pp), Some(qp)) = (positives_path, queries_path) else {
         usage()
     };
-    let mut filter = match AnyFilter::load(path) {
+    let mut loaded = match load_filter(path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("habf: {e}");
@@ -302,14 +278,20 @@ fn cmd_adapt(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let queries = parse_negatives(&qp);
-    let (before, after, rebuilt) = adapt_filter(
-        &mut filter,
+    let (before, after, rebuilt) = match adapt_filter(
+        loaded.filter.as_mut(),
         &positives,
         &queries,
         threshold,
         max_hints,
         seed,
-    );
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("habf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "replayed {} queries: {before} false positives",
         queries.len()
@@ -318,7 +300,17 @@ fn cmd_adapt(args: &[String]) -> ExitCode {
         println!("below threshold {threshold}: no adaptation needed");
         return ExitCode::SUCCESS;
     }
-    let image = filter.to_bytes();
+    // Preserve the input's on-disk format: a legacy image stays a legacy
+    // image (its payload IS the legacy encoding), so older readers keep
+    // loading the adapted output; only container inputs re-wrap.
+    let image = match loaded.format {
+        habf::core::ImageFormat::Container => loaded.filter.to_container_bytes(),
+        _ => {
+            let mut payload = Vec::new();
+            loaded.filter.write_payload(&mut payload);
+            payload
+        }
+    };
     if let Err(e) = std::fs::write(&out, &image) {
         eprintln!("habf: cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -355,18 +347,27 @@ fn cmd_query(args: &[String]) -> ExitCode {
     if keys.is_empty() {
         usage();
     }
-    let filter = match AnyFilter::load(path) {
+    let loaded = match load_filter(path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("habf: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Filters exposing the batch capability answer the whole replay in
+    // one shard-grouped pass; the rest take the scalar path.
+    let key_slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+    let answers: Vec<bool> = match loaded.filter.as_batch() {
+        Some(batch) => batch.contains_batch(&key_slices),
+        None => key_slices
+            .iter()
+            .map(|k| loaded.filter.contains(k))
+            .collect(),
+    };
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     let mut all_present = true;
-    for key in &keys {
-        let hit = filter.as_filter().contains(key);
+    for (key, &hit) in keys.iter().zip(&answers) {
         all_present &= hit;
         let _ = writeln!(
             lock,
@@ -408,15 +409,24 @@ fn cmd_query(args: &[String]) -> ExitCode {
 
 fn cmd_inspect(args: &[String]) -> ExitCode {
     let [path] = args else { usage() };
-    match AnyFilter::load(path) {
-        Ok(any) => {
-            let f = any.as_filter();
+    match load_filter(path) {
+        Ok(loaded) => {
+            let f = loaded.filter.as_ref();
+            println!(
+                "format      : {} (v{})",
+                loaded.format.describe(),
+                loaded.version
+            );
+            println!("filter id   : {}", f.filter_id());
             println!("kind        : {}", f.name());
             println!(
                 "space       : {} bits ({} KB)",
                 f.space_bits(),
                 f.space_bits() / 8 / 1024
             );
+            for (label, value) in f.metadata() {
+                println!("{label:<12}: {value}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -440,6 +450,7 @@ fn main() -> ExitCode {
     }
     let (cmd, rest) = args.split_first().expect("non-empty args");
     match cmd.as_str() {
+        "filters" => cmd_filters(),
         "build" => cmd_build(rest),
         "query" => cmd_query(rest),
         "adapt" => cmd_adapt(rest),

@@ -26,16 +26,25 @@
 //!
 //! ## Example
 //!
+//! Every filter builds through the one validated entry point
+//! ([`prelude::FilterSpec`]) and serves behind the object-safe
+//! [`prelude::DynFilter`]:
+//!
 //! ```
-//! use habf::core::{Habf, HabfConfig};
-//! use habf::filters::Filter;
+//! use habf::prelude::{BuildInput, FilterSpec};
 //!
 //! let members: Vec<Vec<u8>> = (0..500).map(|i| format!("user:{i}").into_bytes()).collect();
 //! let blocked: Vec<(Vec<u8>, f64)> = (0..500)
 //!     .map(|i| (format!("bot:{i}").into_bytes(), 1.0))
 //!     .collect();
-//! let filter = Habf::build(&members, &blocked, &HabfConfig::with_total_bits(500 * 10));
+//! let input = BuildInput::from_members(&members).with_costed_negatives(&blocked);
+//! let filter = FilterSpec::habf().bits_per_key(10.0).build(&input).unwrap();
 //! assert!(members.iter().all(|k| filter.contains(k)));
+//!
+//! // Ships as a self-describing container, loads back by id.
+//! let image = filter.to_container_bytes();
+//! let loaded = habf::core::registry::load(&image).unwrap();
+//! assert_eq!(loaded.filter.filter_id(), "habf");
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for
@@ -52,7 +61,18 @@ pub use habf_util as util;
 pub use habf_workloads as workloads;
 
 /// Convenience prelude: the types most programs need.
+///
+/// The unified filter API ([`habf_core::FilterSpec`] →
+/// [`habf_core::DynFilter`] with [`habf_core::BatchQuery`] /
+/// [`habf_core::Rebuildable`] capabilities), the concrete HABF-family
+/// types, the persistence surface, and the adaptation types (`FpLog`,
+/// `AdaptPolicy`, `HintError`) — no deep module paths needed.
 pub mod prelude {
-    pub use habf_core::{FHabf, Habf, HabfConfig, ShardedConfig, ShardedHabf};
+    pub use habf_core::{
+        AdaptPolicy, BatchQuery, BuildError, BuildInput, DynFilter, FHabf, FilterSpec, FpLog, Habf,
+        HabfConfig, ImageFormat, LoadedFilter, PersistError, Rebuildable, ShardedConfig,
+        ShardedHabf,
+    };
     pub use habf_filters::Filter;
+    pub use habf_lsm::HintError;
 }

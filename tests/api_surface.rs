@@ -1,0 +1,95 @@
+//! API-surface snapshot: pins the façade prelude and the filter-registry
+//! ids so an accidental rename, dropped re-export, or registry edit fails
+//! loudly — these are the symbols and strings shipped filter images and
+//! downstream code depend on.
+
+// Every prelude symbol, imported by name: a removal or rename breaks this
+// file at compile time.
+#[allow(unused_imports)]
+use habf::prelude::{
+    AdaptPolicy, BatchQuery, BuildError, BuildInput, DynFilter, FHabf, Filter, FilterSpec, FpLog,
+    Habf, HabfConfig, HintError, ImageFormat, LoadedFilter, PersistError, Rebuildable,
+    ShardedConfig, ShardedHabf,
+};
+
+/// The registered filter ids, in registration order. Ids are persisted
+/// inside every `HABC` container, so removing or renaming one orphans
+/// shipped images — additions belong at the end.
+#[test]
+fn registry_ids_are_pinned() {
+    assert_eq!(
+        habf::core::registry::ids(),
+        vec![
+            "habf",
+            "fhabf",
+            "sharded-habf",
+            "sharded-fhabf",
+            "bloom",
+            "weighted-bloom",
+            "xor",
+        ],
+        "registry ids are a persistence contract; append, never rename"
+    );
+}
+
+/// Every registry id resolves to a spec, and the typed constructors agree
+/// with the string-keyed path.
+#[test]
+fn typed_spec_constructors_match_their_ids() {
+    for (spec, id) in [
+        (FilterSpec::habf(), "habf"),
+        (FilterSpec::fhabf(), "fhabf"),
+        (FilterSpec::sharded(2), "sharded-habf"),
+        (FilterSpec::sharded_fast(2), "sharded-fhabf"),
+        (FilterSpec::bloom(), "bloom"),
+        (FilterSpec::weighted_bloom(), "weighted-bloom"),
+        (FilterSpec::xor(), "xor"),
+    ] {
+        assert_eq!(spec.id(), id);
+        assert!(
+            FilterSpec::by_id(id).is_some(),
+            "{id}: by_id must resolve every registered id"
+        );
+    }
+    assert!(FilterSpec::by_id("no-such-filter").is_none());
+}
+
+/// The built filters report the id they were specced with — the id is
+/// what the container persists and the registry loads by.
+#[test]
+fn built_filters_carry_their_registry_id() {
+    let members: Vec<Vec<u8>> = (0..300).map(|i| format!("m:{i}").into_bytes()).collect();
+    let input = BuildInput::from_members(&members);
+    for id in habf::core::registry::ids() {
+        let filter = FilterSpec::by_id(id)
+            .expect("registered")
+            .bits_per_key(10.0)
+            .shards(2)
+            .build(&input)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(filter.filter_id(), id);
+    }
+}
+
+/// `DynFilter` must stay object-safe, the capability traits usable
+/// through it, and the trait upcast to `Filter` available — this is the
+/// exact shape the LSM store and the CLI rely on.
+#[test]
+fn dyn_filter_is_object_safe_with_upcast_and_capabilities() {
+    let members: Vec<Vec<u8>> = (0..300).map(|i| format!("m:{i}").into_bytes()).collect();
+    let input = BuildInput::from_members(&members);
+    let mut filter: Box<dyn DynFilter> = FilterSpec::sharded(2)
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("sharded builds");
+    let as_filter: &dyn Filter = filter.as_ref();
+    assert!(as_filter.space_bits() > 0);
+    let keys: Vec<&[u8]> = members.iter().map(Vec::as_slice).collect();
+    let batch: &dyn BatchQuery = filter.as_batch().expect("sharded batches");
+    assert!(batch.contains_batch(&keys).iter().all(|&b| b));
+    let rebuildable: &mut dyn Rebuildable = filter.as_rebuildable().expect("sharded rebuilds");
+    rebuildable
+        .rebuild(&BuildInput::from_members(&members), 1)
+        .expect("rebuild over members only");
+    assert!(members.iter().all(|k| filter.contains(k)));
+}

@@ -157,7 +157,9 @@ fn sharded_build_query_inspect_roundtrip() {
         "{}",
         String::from_utf8_lossy(&build.stderr)
     );
-    assert!(String::from_utf8_lossy(&build.stdout).contains("4 shards"));
+    let build_text = String::from_utf8_lossy(&build.stdout);
+    assert!(build_text.contains("sharded-habf"), "{build_text}");
+    assert!(build_text.contains("shards: 4"), "{build_text}");
 
     // Members answer "maybe" with exit 0 through the sharded loader.
     let hit = Command::new(bin())
@@ -183,7 +185,14 @@ fn sharded_build_query_inspect_roundtrip() {
         .arg(&out)
         .output()
         .expect("inspect");
-    assert!(String::from_utf8_lossy(&inspect.stdout).contains("Sharded-HABF"));
+    let text = String::from_utf8_lossy(&inspect.stdout);
+    assert!(text.contains("Sharded-HABF"), "{text}");
+    // Satellite: sharded images expose as much envelope + filter
+    // metadata as single-filter ones.
+    assert!(text.contains("filter id   : sharded-habf"), "{text}");
+    assert!(text.contains("HABC container (v1)"), "{text}");
+    assert!(text.contains("shards"), "{text}");
+    assert!(text.contains("splitter seed"), "{text}");
 
     // --shards 0 is rejected up front.
     let zero = Command::new(bin())
@@ -364,6 +373,201 @@ fn query_replay_and_adapt_flag() {
         .expect("run query --adapt without positives");
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("--positives"));
+}
+
+/// The registry is the CLI's dispatch surface: every id `habf filters`
+/// lists must build, persist, query, and inspect with the same flags —
+/// the CI matrix runs this same loop through the shell.
+#[test]
+fn every_registered_filter_id_round_trips_through_the_cli() {
+    let dir = TempDir::new("registry-matrix");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..1500).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let neg = write_file(
+        &dir.0,
+        "neg.txt",
+        &(0..1500).map(|i| format!("bot:{i}\t3")).collect::<Vec<_>>(),
+    );
+
+    let list = Command::new(bin())
+        .arg("filters")
+        .output()
+        .expect("filters");
+    assert!(list.status.success());
+    let listing = String::from_utf8_lossy(&list.stdout).to_string();
+    let ids: Vec<&str> = listing
+        .lines()
+        .filter_map(|l| l.split('\t').next())
+        .collect();
+    assert!(ids.len() >= 7, "registry shrank: {ids:?}");
+
+    for id in ids {
+        let out = dir.0.join(format!("{id}.bin"));
+        let build = Command::new(bin())
+            .args(["build", "--filter", id, "--shards", "2", "--positives"])
+            .arg(&pos)
+            .arg("--negatives")
+            .arg(&neg)
+            .args(["--bits-per-key", "10", "--out"])
+            .arg(&out)
+            .output()
+            .expect("run build");
+        assert!(
+            build.status.success(),
+            "{id}: {}",
+            String::from_utf8_lossy(&build.stderr)
+        );
+
+        // Members answer "maybe" with exit 0 for every filter kind.
+        let hit = Command::new(bin())
+            .arg("query")
+            .arg(&out)
+            .args(["user:0", "user:749", "user:1499"])
+            .output()
+            .expect("run query");
+        assert!(
+            hit.status.success(),
+            "{id}: member dropped: {}",
+            String::from_utf8_lossy(&hit.stdout)
+        );
+
+        // Inspect names the container version and the filter id for
+        // every supported format.
+        let inspect = Command::new(bin())
+            .arg("inspect")
+            .arg(&out)
+            .output()
+            .expect("inspect");
+        assert!(inspect.status.success(), "{id}");
+        let text = String::from_utf8_lossy(&inspect.stdout);
+        assert!(text.contains("HABC container (v1)"), "{id}: {text}");
+        assert!(
+            text.contains(&format!("filter id   : {id}")),
+            "{id}: {text}"
+        );
+        assert!(text.contains("space"), "{id}: {text}");
+    }
+}
+
+/// `adapt` must preserve the input's on-disk format: a legacy image in,
+/// a legacy image out — older readers keep loading the adapted output.
+#[test]
+fn adapt_preserves_the_legacy_image_format() {
+    let dir = TempDir::new("adapt-legacy");
+    // The checked-in legacy fixture (pre-container format) and its
+    // golden workload (see tests/golden_persist.rs).
+    let fixture =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/habf_v1.bin");
+    let filter = dir.0.join("legacy.bin");
+    std::fs::copy(&fixture, &filter).expect("copy fixture");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..64)
+            .map(|i| format!("golden:pos:{i}"))
+            .collect::<Vec<_>>(),
+    );
+    let queries = write_file(
+        &dir.0,
+        "queries.txt",
+        &(0..64)
+            .map(|i| format!("golden:neg:{i}"))
+            .collect::<Vec<_>>(),
+    );
+    let adapted = dir.0.join("adapted.bin");
+    let adapt = Command::new(bin())
+        .arg("adapt")
+        .arg(&filter)
+        .arg("--positives")
+        .arg(&pos)
+        .arg("--queries")
+        .arg(&queries)
+        .args(["--threshold", "0.5"])
+        .arg("--out")
+        .arg(&adapted)
+        .output()
+        .expect("adapt legacy");
+    assert!(
+        adapt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&adapt.stderr)
+    );
+    if adapted.exists() {
+        let bytes = std::fs::read(&adapted).expect("adapted image");
+        assert_eq!(&bytes[..4], b"HABF", "legacy input must stay legacy");
+        let inspect = Command::new(bin())
+            .arg("inspect")
+            .arg(&adapted)
+            .output()
+            .expect("inspect adapted");
+        let text = String::from_utf8_lossy(&inspect.stdout);
+        assert!(text.contains("legacy HABF image"), "{text}");
+    } else {
+        // Below threshold (no FPs in the replay): nothing was written,
+        // which also cannot have migrated the format.
+        let text = String::from_utf8_lossy(&adapt.stdout);
+        assert!(text.contains("no adaptation needed"), "{text}");
+    }
+}
+
+/// `--fast` next to an explicit `--filter` is a contradiction, not a
+/// silently dropped flag.
+#[test]
+fn fast_flag_conflicts_with_explicit_filter_id() {
+    let dir = TempDir::new("fast-conflict");
+    let pos = write_file(&dir.0, "pos.txt", &["k1".into(), "k2".into()]);
+    let out = Command::new(bin())
+        .args(["build", "--filter", "habf", "--fast", "--positives"])
+        .arg(&pos)
+        .output()
+        .expect("run build");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fast conflicts with --filter"));
+}
+
+/// Filters without the rebuild capability refuse `adapt` with a typed
+/// message instead of corrupting the image or panicking.
+#[test]
+fn adapt_refuses_filters_without_the_rebuild_capability() {
+    let dir = TempDir::new("adapt-refusal");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..500).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let queries = write_file(
+        &dir.0,
+        "queries.txt",
+        &(0..200).map(|i| format!("miss:{i}")).collect::<Vec<_>>(),
+    );
+    let out = dir.0.join("bloom.bin");
+    let build = Command::new(bin())
+        .args(["build", "--filter", "bloom", "--positives"])
+        .arg(&pos)
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("build bloom");
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let adapt = Command::new(bin())
+        .arg("adapt")
+        .arg(&out)
+        .arg("--positives")
+        .arg(&pos)
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .expect("adapt bloom");
+    assert!(!adapt.status.success());
+    let err = String::from_utf8_lossy(&adapt.stderr);
+    assert!(err.contains("does not support adaptation"), "{err}");
 }
 
 #[test]

@@ -1,8 +1,9 @@
-//! Golden serialization tests: the persist formats (unsharded `HABF`
-//! image and sharded `HABS` container) are pinned by checked-in fixture
-//! blobs under `tests/golden/`, so any byte-level drift — field order, a
-//! header change, hash-function renumbering — fails loudly instead of
-//! silently orphaning every shipped filter image.
+//! Golden serialization tests: the persist formats (the legacy unsharded
+//! `HABF` image, the legacy sharded `HABS` image, and the current `HABC`
+//! container for every registered filter id) are pinned by checked-in
+//! fixture blobs under `tests/golden/`, so any byte-level drift — field
+//! order, a header change, hash-function renumbering — fails loudly
+//! instead of silently orphaning every shipped filter image.
 //!
 //! To regenerate after a *deliberate, versioned* format change:
 //!
@@ -10,7 +11,11 @@
 //! GOLDEN_REGEN=1 cargo test --test golden_persist
 //! ```
 
-use habf::prelude::{FHabf, Filter, Habf, HabfConfig, ShardedConfig, ShardedHabf};
+use habf::core::registry;
+use habf::prelude::{
+    BuildInput, FHabf, Filter, FilterSpec, Habf, HabfConfig, ImageFormat, ShardedConfig,
+    ShardedHabf,
+};
 use std::path::PathBuf;
 
 type Workload = (Vec<Vec<u8>>, Vec<(Vec<u8>, f64)>);
@@ -113,6 +118,71 @@ fn sharded_container_is_byte_stable() {
     }
     for (k, _) in &neg {
         assert_eq!(restored.contains(k), filter.contains(k));
+    }
+}
+
+/// One container fixture per registered filter id: the container
+/// envelope *and* every payload codec (including the baselines, which
+/// gained persistence with the container) are byte-pinned.
+#[test]
+fn container_images_are_byte_stable_for_every_registered_id() {
+    let (pos, neg) = workload();
+    let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+    for id in registry::ids() {
+        let filter = FilterSpec::by_id(id)
+            .expect("registered")
+            .total_bits(64 * 12)
+            .shards(2)
+            .build(&input)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let image = filter.to_container_bytes();
+        assert_matches_fixture(&format!("container_{id}_v1.bin"), &image);
+
+        let loaded = registry::load(&image).unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(loaded.format, ImageFormat::Container, "{id}");
+        assert_eq!(loaded.filter.filter_id(), id);
+        assert_eq!(loaded.filter.to_container_bytes(), image, "{id}: re-encode");
+        for k in &pos {
+            assert!(loaded.filter.contains(k), "{id}: member dropped");
+        }
+        for (k, _) in &neg {
+            assert_eq!(filter.contains(k), loaded.filter.contains(k), "{id}");
+        }
+    }
+}
+
+/// The pre-container fixtures must keep loading **byte-for-byte** through
+/// the registry's legacy adapters — shipped images never re-serialize
+/// differently, and the adapter reports the right id and format.
+#[test]
+fn legacy_fixtures_load_through_the_registry_adapters() {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        return; // fixtures may not exist yet during regeneration
+    }
+    for (fixture, id, format) in [
+        ("habf_v1.bin", "habf", ImageFormat::LegacySingle),
+        ("fhabf_v1.bin", "fhabf", ImageFormat::LegacySingle),
+        (
+            "sharded_habf_v1.bin",
+            "sharded-habf",
+            ImageFormat::LegacySharded,
+        ),
+    ] {
+        let bytes = std::fs::read(golden_path(fixture)).expect("fixture");
+        let loaded = registry::load(&bytes).unwrap_or_else(|e| panic!("{fixture}: {e}"));
+        assert_eq!(loaded.format, format, "{fixture}");
+        assert_eq!(loaded.version, 1, "{fixture}");
+        assert_eq!(loaded.filter.filter_id(), id, "{fixture}");
+        // The legacy image doubles as the id's container payload, so the
+        // payload re-encodes to the legacy bytes exactly.
+        let mut payload = Vec::new();
+        loaded.filter.write_payload(&mut payload);
+        assert_eq!(payload, bytes, "{fixture}: adapter altered legacy bytes");
+        // And the golden workload still answers.
+        let (pos, _) = workload();
+        for k in &pos {
+            assert!(loaded.filter.contains(k), "{fixture}: member dropped");
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! End-to-end LSM integration: the paper's motivating application wired
 //! through the real crates.
 
-use habf::lsm::{AdaptConfig, FilterKind, Lsm, LsmConfig};
+use habf::lsm::{AdaptConfig, FilterSpec, Lsm, LsmConfig};
 use habf::util::Xoshiro256;
 use habf::workloads::{DriftConfig, ZipfSampler};
 
@@ -13,7 +13,7 @@ fn ghost(i: usize) -> Vec<u8> {
     format!("ghost:{i:09}").into_bytes()
 }
 
-fn populate(filter: FilterKind, n: usize, hints: Vec<(Vec<u8>, f64)>) -> Lsm {
+fn populate(filter: Option<FilterSpec>, n: usize, hints: Vec<(Vec<u8>, f64)>) -> Lsm {
     let mut db = Lsm::new(LsmConfig {
         memtable_capacity: 8_192,
         level_fanout: 3,
@@ -30,7 +30,7 @@ fn populate(filter: FilterKind, n: usize, hints: Vec<(Vec<u8>, f64)>) -> Lsm {
 
 #[test]
 fn durability_across_compactions() {
-    let mut db = populate(FilterKind::Bloom { bits_per_key: 10.0 }, 30_000, vec![]);
+    let mut db = populate(Some(FilterSpec::bloom().bits_per_key(10.0)), 30_000, vec![]);
     for i in (0..30_000).step_by(7) {
         assert_eq!(db.get(&key(i)), Some(format!("v{i}").into_bytes()));
     }
@@ -54,11 +54,11 @@ fn habf_filters_reduce_weighted_miss_cost() {
         .collect();
 
     let mut bloom_db = populate(
-        FilterKind::Bloom { bits_per_key: 10.0 },
+        Some(FilterSpec::bloom().bits_per_key(10.0)),
         24_000,
         hints.clone(),
     );
-    let mut habf_db = populate(FilterKind::Habf { bits_per_key: 10.0 }, 24_000, hints);
+    let mut habf_db = populate(Some(FilterSpec::habf().bits_per_key(10.0)), 24_000, hints);
 
     // Replay a fresh window of the same traffic (misses only).
     let mut rng = Xoshiro256::new(4);
@@ -97,7 +97,7 @@ fn adaptive_store_beats_static_hints_after_drift() {
     let phase0 = workload.observed_costs(0);
     let build = |adaptive: bool| -> Lsm {
         let mut db = populate(
-            FilterKind::Habf { bits_per_key: 12.0 },
+            Some(FilterSpec::habf().bits_per_key(12.0)),
             8_000,
             phase0.clone(),
         );
@@ -144,7 +144,7 @@ fn adaptive_store_beats_static_hints_after_drift() {
 
 #[test]
 fn point_lookups_return_latest_version() {
-    let mut db = populate(FilterKind::FHabf { bits_per_key: 10.0 }, 10_000, vec![]);
+    let mut db = populate(Some(FilterSpec::fhabf().bits_per_key(10.0)), 10_000, vec![]);
     // Overwrite a slice of keys; new versions must win through compaction.
     for i in 0..2_000 {
         db.put(key(i), b"NEW".to_vec());
@@ -160,7 +160,7 @@ fn point_lookups_return_latest_version() {
 
 #[test]
 fn filter_memory_is_accounted() {
-    let db = populate(FilterKind::Habf { bits_per_key: 10.0 }, 20_000, vec![]);
+    let db = populate(Some(FilterSpec::habf().bits_per_key(10.0)), 20_000, vec![]);
     let bits = db.filter_bits();
     // Roughly bits_per_key × entries, within rounding and duplicates.
     assert!(bits > 20_000 * 6, "filter bits {bits} suspiciously low");

@@ -80,4 +80,7 @@ fn facade_reexports_cover_the_workspace_map() {
     let _ = habf::util::SplitMix64::new(1);
     let _ = habf::workloads::ZipfSampler::new(16, 1.0);
     let _ = habf::lsm::LsmConfig::default();
+    // The unified filter API rides the core re-export (pinned in detail
+    // by tests/api_surface.rs).
+    let _ = habf::core::registry::ids();
 }

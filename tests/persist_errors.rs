@@ -1,0 +1,137 @@
+//! Persistence error paths: untrusted bytes must produce *typed* errors,
+//! never panics — truncation, bad magic, wrong container version, unknown
+//! filter ids, and arbitrary byte mutations, across every registered
+//! filter id and both legacy formats.
+
+use habf::core::registry;
+use habf::core::{BuildInput, FilterSpec, PersistError};
+use proptest::prelude::*;
+
+/// One small container image per registered id (plus the legacy images),
+/// used as the mutation corpus. Built once — the proptests below run
+/// hundreds of cases, and every filter construction is a full build.
+fn corpus() -> &'static [(String, Vec<u8>)] {
+    static CORPUS: std::sync::OnceLock<Vec<(String, Vec<u8>)>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(build_corpus)
+}
+
+fn build_corpus() -> Vec<(String, Vec<u8>)> {
+    let members: Vec<Vec<u8>> = (0..64).map(|i| format!("m:{i}").into_bytes()).collect();
+    let negatives: Vec<(Vec<u8>, f64)> = (0..64)
+        .map(|i| (format!("n:{i}").into_bytes(), 1.0 + (i % 5) as f64))
+        .collect();
+    let input = BuildInput::from_members(&members).with_costed_negatives(&negatives);
+    let mut images: Vec<(String, Vec<u8>)> = registry::ids()
+        .into_iter()
+        .map(|id| {
+            let filter = FilterSpec::by_id(id)
+                .expect("registered")
+                .bits_per_key(12.0)
+                .shards(2)
+                .build(&input)
+                .unwrap_or_else(|e| panic!("{id}: {e}"));
+            (format!("container:{id}"), filter.to_container_bytes())
+        })
+        .collect();
+    // Legacy formats go through the same loader and must be as hardened.
+    let cfg = habf::prelude::HabfConfig::with_total_bits(64 * 12);
+    let habf = habf::prelude::Habf::build(&members, &negatives, &cfg);
+    images.push(("legacy:habf".into(), habf.to_bytes()));
+    let scfg = habf::prelude::ShardedConfig::new(2, cfg);
+    let sharded =
+        habf::prelude::ShardedHabf::<habf::prelude::Habf>::build_par(&members, &negatives, &scfg);
+    images.push(("legacy:sharded".into(), sharded.to_bytes()));
+    images
+}
+
+#[test]
+fn truncations_at_every_prefix_error_not_panic() {
+    for (name, image) in corpus() {
+        for cut in 0..image.len() {
+            let result = registry::load(&image[..cut]);
+            assert!(result.is_err(), "{name}: cut at {cut} loaded");
+        }
+        assert!(registry::load(image).is_ok(), "{name}: pristine image");
+    }
+}
+
+#[test]
+fn bad_magic_wrong_version_and_unknown_id_are_typed() {
+    for (name, image) in corpus() {
+        // Magic damage.
+        let mut bad = image.clone();
+        bad[0] = b'Z';
+        assert_eq!(
+            registry::load(&bad).err(),
+            Some(PersistError::BadMagic),
+            "{name}"
+        );
+        // Version damage (byte 4 in every format).
+        let mut bad = image.clone();
+        bad[4] = 250;
+        assert_eq!(
+            registry::load(&bad).err(),
+            Some(PersistError::BadVersion(250)),
+            "{name}"
+        );
+        // Trailing garbage.
+        let mut bad = image.clone();
+        bad.push(0);
+        assert!(registry::load(&bad).is_err(), "{name}: trailing byte");
+    }
+
+    // A well-formed container naming an id the registry does not serve.
+    let (_, image) = &corpus()[0];
+    let (_, payload) = habf::core::persist::decode_container(image).expect("container");
+    let mut unknown = Vec::new();
+    habf::core::persist::encode_container("future-filter", payload, &mut unknown);
+    assert_eq!(
+        registry::load(&unknown).err(),
+        Some(PersistError::UnknownFilterId("future-filter".into()))
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary single-byte mutations: load must return `Ok` or a typed
+    /// error, and anything that loads must answer queries without
+    /// panicking (a flipped payload byte may legally produce a different
+    /// but well-formed filter).
+    #[test]
+    fn single_byte_mutations_never_panic(
+        // Wide index range + modulo: a corpus that grows with future
+        // registry entries stays fully covered without edits here.
+        image_idx in 0usize..4096,
+        offset_frac in 0.0f64..1.0,
+        xor_with in 1u8..=255,
+    ) {
+        let corpus = corpus();
+        let (name, image) = &corpus[image_idx % corpus.len()];
+        let mut mutated = image.clone();
+        let offset = ((mutated.len() - 1) as f64 * offset_frac) as usize;
+        mutated[offset] ^= xor_with;
+        if let Ok(loaded) = registry::load(&mutated) {
+            // Loadable mutants must still be servable and re-encodable.
+            let _ = loaded.filter.contains(b"probe:key");
+            let _ = loaded.filter.space_bits();
+            let _ = loaded.filter.to_container_bytes();
+            let _ = name;
+        }
+    }
+
+    /// Arbitrary byte soup — including inputs forced to start with each
+    /// valid magic — errors, never panics.
+    #[test]
+    fn random_bytes_error_not_panic(mut bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = registry::load(&bytes);
+        // Force each known magic over the same soup so the per-format
+        // decoders see adversarial headers, not just BadMagic exits.
+        for magic in [b"HABF", b"HABS", b"HABC"] {
+            if bytes.len() >= 4 {
+                bytes[..4].copy_from_slice(magic);
+            }
+            let _ = registry::load(&bytes);
+        }
+    }
+}

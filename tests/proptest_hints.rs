@@ -4,7 +4,7 @@
 //! key-unique, finite-cost, descending, capped, and disjoint from the
 //! run's members.
 
-use habf::lsm::{AdaptConfig, FilterKind, Lsm, LsmConfig};
+use habf::lsm::{AdaptConfig, Lsm, LsmConfig};
 use proptest::prelude::*;
 
 fn member_key(i: usize) -> Vec<u8> {
@@ -38,7 +38,7 @@ proptest! {
         let mut db = Lsm::new(LsmConfig {
             memtable_capacity: 4096,
             level_fanout: 3,
-            filter: FilterKind::None, // hint assembly is filter-agnostic
+            filter: None, // hint assembly is filter-agnostic
         });
         db.enable_adaptation(AdaptConfig::default());
 
