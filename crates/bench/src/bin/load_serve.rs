@@ -1,0 +1,55 @@
+//! Load-and-serve suite: owned decode vs zero-copy mmap view of one
+//! sharded `HABC` v2 image — open time and batched-probe throughput.
+//!
+//! Prints the comparison table and writes a machine-readable summary
+//! (default `BENCH_load.json`; `--out PATH` overrides) that CI uploads
+//! as the perf-trajectory artifact. The committed `BENCH_load.json` at
+//! the repo root archives a 10M-key run.
+//!
+//! Flags: `--out PATH`, `--keys N`, `--shards N`, `--bits-per-key F`,
+//! `--seed N`.
+
+fn main() {
+    let mut out = "BENCH_load.json".to_string();
+    let mut keys = 2_000_000usize;
+    let mut shards = 8usize;
+    let mut bits_per_key = 10.0f64;
+    let mut seed = 0xBEEFu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = value("--out"),
+            "--keys" => keys = value("--keys").parse().expect("--keys: integer"),
+            "--shards" => shards = value("--shards").parse().expect("--shards: integer"),
+            "--bits-per-key" => {
+                bits_per_key = value("--bits-per-key")
+                    .parse()
+                    .expect("--bits-per-key: float");
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --out PATH | --keys N | --shards N | --bits-per-key F | --seed N"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let r = habf_bench::load_serve::run_load_serve(keys, shards, bits_per_key, seed);
+    r.table().print();
+    println!(
+        "\n{} keys, {} shards, {} image: view open {:.1}x faster than owned decode",
+        r.keys,
+        r.shards,
+        habf_bench::report::bytes(r.image_bytes),
+        r.open_speedup()
+    );
+    std::fs::write(&out, r.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

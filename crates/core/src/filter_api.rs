@@ -24,6 +24,7 @@ use crate::habf::{ConfigError, HabfConfig};
 use crate::persist;
 use crate::sharded::ShardedConfig;
 use habf_filters::Filter;
+use habf_util::Backing;
 
 /// How a [`FilterSpec`] sizes the filter it builds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -449,19 +450,27 @@ pub trait DynFilter: Filter {
     /// [`Filter::name`], which is the paper-style display name.
     fn filter_id(&self) -> &'static str;
 
-    /// Serializes the filter's *payload* (the codec the registry entry
-    /// for [`DynFilter::filter_id`] decodes). Most callers want
-    /// [`DynFilter::write_to`], which wraps the payload in the
-    /// self-describing container.
+    /// Serializes the filter's **v1** payload (the opaque codec the
+    /// registry entry for [`DynFilter::filter_id`] decodes from v1
+    /// containers and the legacy formats). Most callers want
+    /// [`DynFilter::write_to`], which writes the current aligned v2
+    /// container instead.
     fn write_payload(&self, out: &mut Vec<u8>);
 
-    /// Appends the filter as a self-describing `HABC` container (magic,
-    /// version, filter id, length-framed payload) — the format
-    /// [`crate::registry::load`] reads back for any registered id.
+    /// Serializes the filter's **v2** payload: scalar metadata into
+    /// `out.meta()`, bulk `u64` word arrays as aligned frames via
+    /// `out.frame(..)`. This is what makes the written image loadable
+    /// zero-copy through [`crate::registry::load_mmap`].
+    fn write_payload_v2<'a>(&'a self, out: &mut persist::FrameWriter<'a>);
+
+    /// Appends the filter as a self-describing `HABC` **v2** container
+    /// (magic, version, filter id, aligned meta + word frames) — the
+    /// format [`crate::registry::load`] and the zero-copy loaders read
+    /// back for any registered id.
     fn write_to(&self, out: &mut Vec<u8>) {
-        let mut payload = Vec::new();
-        self.write_payload(&mut payload);
-        persist::encode_container(self.filter_id(), &payload, out);
+        let mut fw = persist::FrameWriter::new();
+        self.write_payload_v2(&mut fw);
+        persist::encode_container_v2(self.filter_id(), &fw, out);
     }
 
     /// [`DynFilter::write_to`] into a fresh buffer.
@@ -469,6 +478,25 @@ pub trait DynFilter: Filter {
         let mut out = Vec::new();
         self.write_to(&mut out);
         out
+    }
+
+    /// The filter as a **v1** container (previous envelope, opaque
+    /// payload) — for tooling that must produce images for pre-v2
+    /// readers. New images should use [`DynFilter::to_container_bytes`].
+    fn to_container_bytes_v1(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.write_payload(&mut payload);
+        let mut out = Vec::new();
+        persist::encode_container(self.filter_id(), &payload, &mut out);
+        out
+    }
+
+    /// Where the filter's payload words live: [`Backing::Owned`] after a
+    /// build or a copying load, a shared/mmap view after a zero-copy load
+    /// — until mutations ([`Rebuildable::rebuild`], inserts) promote the
+    /// storage to owned words. `habf inspect` reports this.
+    fn backing(&self) -> Backing {
+        Backing::Owned
     }
 
     /// Inspection metadata as label/value pairs (shard counts, per-key

@@ -5,7 +5,7 @@ use crate::hash_expressor::HashExpressor;
 use crate::tpjo::{self, BuildStats, TpjoConfig};
 use habf_filters::Filter;
 use habf_hashing::{HashFamily, HashId, HashProvider, FAMILY_SIZE};
-use habf_util::BitVec;
+use habf_util::{Backing, BitVec};
 
 /// Construction parameters (paper §V-D defaults).
 #[derive(Clone, Debug)]
@@ -267,9 +267,19 @@ impl Habf {
 
     fn round1(&self, key: &[u8]) -> bool {
         let m = self.bloom.len();
+        // Positions are reduced modulo `m`, so the bounds-masked probe is
+        // exact and keeps the panic branch out of the hot loop.
         self.h0
             .iter()
-            .all(|&id| self.bloom.get(self.family.position(id, key, m)))
+            .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
+    }
+
+    /// Where this filter's payload words live: `owned` after a build or a
+    /// copying load, a shared/mmap view after a zero-copy load — until
+    /// the first mutation promotes the touched part to owned words.
+    #[must_use]
+    pub fn backing(&self) -> Backing {
+        self.bloom.backing().combine(self.he.cells().backing())
     }
 
     /// Inserts a positive key after construction (update extension).
@@ -300,7 +310,7 @@ impl Habf {
                 let m = self.bloom.len();
                 if phi
                     .iter()
-                    .all(|&id| self.bloom.get(self.family.position(id, key, m)))
+                    .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
                 {
                     QueryOutcome::Round2Positive
                 } else {
@@ -321,11 +331,10 @@ impl Habf {
         crate::theory::habf_fpr_envelope(f_star, self.he.inserted(), self.he.omega())
     }
 
-    /// Serializes the filter to the versioned binary image described in
-    /// [`crate::persist`]. Build-time [`BuildStats`] are *not* persisted.
-    #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
-        crate::persist::encode(&crate::persist::Image {
+    /// The persist image of this filter (header scalars + borrowed word
+    /// arrays), shared by the legacy writer and the v2 frame writer.
+    pub(crate) fn image(&self) -> crate::persist::Image<'_> {
+        crate::persist::Image {
             kind: 0,
             k: self.h0.len(),
             cell_bits: self.he.cell_bits(),
@@ -334,7 +343,26 @@ impl Habf {
             sim_seed: 0,
             bloom: &self.bloom,
             he: &self.he,
-        })
+        }
+    }
+
+    /// Rebuilds a filter from a decoded persist image (legacy or v2; the
+    /// storage may be owned words or a zero-copy view).
+    pub(crate) fn from_decoded(d: crate::persist::Decoded) -> Self {
+        Self {
+            bloom: d.bloom,
+            he: d.he,
+            h0: d.h0,
+            family: HashFamily::with_size(d.family),
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// Serializes the filter to the versioned binary image described in
+    /// [`crate::persist`]. Build-time [`BuildStats`] are *not* persisted.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::persist::encode(&self.image())
     }
 
     /// Loads a filter persisted by [`Habf::to_bytes`].
@@ -343,14 +371,17 @@ impl Habf {
     /// Returns a [`crate::persist::PersistError`] on any malformed input;
     /// never panics on untrusted bytes.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, crate::persist::PersistError> {
-        let d = crate::persist::decode(buf, 0)?;
-        Ok(Self {
-            bloom: d.bloom,
-            he: d.he,
-            h0: d.h0,
-            family: HashFamily::with_size(d.family),
-            stats: BuildStats::default(),
-        })
+        Ok(Self::from_decoded(crate::persist::decode(buf, 0)?))
+    }
+}
+
+impl crate::persist::V2Shard for Habf {
+    fn v2_image(&self) -> crate::persist::Image<'_> {
+        self.image()
+    }
+
+    fn from_decoded(d: crate::persist::Decoded) -> Self {
+        Habf::from_decoded(d)
     }
 }
 
@@ -376,7 +407,7 @@ impl Filter for Habf {
             Some(phi) => {
                 let m = self.bloom.len();
                 phi.iter()
-                    .all(|&id| self.bloom.get(self.family.position(id, key, m)))
+                    .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
             }
             None => false,
         }
@@ -468,10 +499,15 @@ impl FHabf {
         self.stats = out.stats;
     }
 
-    /// Serializes the filter (see [`Habf::to_bytes`]).
+    /// Where this filter's payload words live (see [`Habf::backing`]).
     #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
-        crate::persist::encode(&crate::persist::Image {
+    pub fn backing(&self) -> Backing {
+        self.bloom.backing().combine(self.he.cells().backing())
+    }
+
+    /// The persist image of this filter (see [`Habf::image`]).
+    pub(crate) fn image(&self) -> crate::persist::Image<'_> {
+        crate::persist::Image {
             kind: 1,
             k: self.h0.len(),
             cell_bits: self.he.cell_bits(),
@@ -480,7 +516,24 @@ impl FHabf {
             sim_seed: self.family.seed(),
             bloom: &self.bloom,
             he: &self.he,
-        })
+        }
+    }
+
+    /// Rebuilds a filter from a decoded persist image.
+    pub(crate) fn from_decoded(d: crate::persist::Decoded) -> Self {
+        Self {
+            bloom: d.bloom,
+            he: d.he,
+            h0: d.h0,
+            family: habf_hashing::double::SimulatedFamily::new(d.family, d.sim_seed),
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// Serializes the filter (see [`Habf::to_bytes`]).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::persist::encode(&self.image())
     }
 
     /// Loads a filter persisted by [`FHabf::to_bytes`].
@@ -488,14 +541,17 @@ impl FHabf {
     /// # Errors
     /// Returns a [`crate::persist::PersistError`] on any malformed input.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, crate::persist::PersistError> {
-        let d = crate::persist::decode(buf, 1)?;
-        Ok(Self {
-            bloom: d.bloom,
-            he: d.he,
-            h0: d.h0,
-            family: habf_hashing::double::SimulatedFamily::new(d.family, d.sim_seed),
-            stats: BuildStats::default(),
-        })
+        Ok(Self::from_decoded(crate::persist::decode(buf, 1)?))
+    }
+}
+
+impl crate::persist::V2Shard for FHabf {
+    fn v2_image(&self) -> crate::persist::Image<'_> {
+        self.image()
+    }
+
+    fn from_decoded(d: crate::persist::Decoded) -> Self {
+        FHabf::from_decoded(d)
     }
 }
 
@@ -507,14 +563,14 @@ impl Filter for FHabf {
         let round1 = self
             .h0
             .iter()
-            .all(|&id| self.bloom.get(bound.position(id, key, m)));
+            .all(|&id| self.bloom.get_probe(bound.position(id, key, m)));
         if round1 {
             return true;
         }
         match self.he.query(key, &bound) {
             Some(phi) => phi
                 .iter()
-                .all(|&id| self.bloom.get(bound.position(id, key, m))),
+                .all(|&id| self.bloom.get_probe(bound.position(id, key, m))),
             None => false,
         }
     }

@@ -234,7 +234,9 @@ impl HashExpressor {
         let mut pos = self.f_cell(key);
         let mut phi = Vec::with_capacity(self.k);
         for step in 0..self.k {
-            let value = self.cells.get(pos);
+            // `pos` is reduced modulo `omega`, so the bounds-masked probe
+            // is exact and keeps the panic branch out of the query loop.
+            let value = self.cells.get_probe(pos);
             if value == 0 {
                 return None;
             }

@@ -69,8 +69,10 @@ pub use filter_api::{
 };
 pub use habf::{ConfigError, FHabf, Habf, HabfConfig, QueryOutcome};
 pub use hash_expressor::HashExpressor;
-pub use persist::{ContainerHeader, PersistError};
-pub use registry::{FilterEntry, ImageFormat, LoadedFilter};
+pub use persist::{
+    ContainerHeader, DecodedContainer, FrameEntry, FrameSource, FrameWriter, PersistError,
+};
+pub use registry::{FilterEntry, ImageFormat, LoadedFilter, OpenError};
 pub use sharded::{InsertOutcome, InsertableShard, ShardFilter, ShardedConfig, ShardedHabf};
 pub use tpjo::{BuildStats, TpjoConfig};
 

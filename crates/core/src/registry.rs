@@ -14,20 +14,28 @@
 
 use crate::filter_api::{BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, Rebuildable};
 use crate::habf::{FHabf, Habf};
-use crate::persist::{self, PersistError, Reader};
+use crate::persist::{self, FrameSource, FrameWriter, PersistError, Reader, V2Shard};
 use crate::sharded::{ShardFilter, ShardedHabf};
 use habf_filters::{BloomFilter, BloomHashStrategy, WeightedBloomFilter, XorFilter};
-use habf_util::{BitVec, PackedCells};
+use habf_util::{Backing, BitVec, ImageBytes, PackedCells};
+use std::sync::Arc;
 
 /// Signature of a registry build function: common parameter bag in,
 /// boxed [`DynFilter`] out.
 pub type BuildFn = fn(&FilterParams, &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError>;
 
-/// Signature of a registry payload decoder.
+/// Signature of a registry **v1** payload decoder (opaque payload bytes;
+/// always copies).
 pub type LoadFn = fn(&[u8]) -> Result<Box<dyn DynFilter>, PersistError>;
 
+/// Signature of a registry **v2** payload decoder: metadata bytes plus a
+/// [`FrameSource`] yielding the word frames — owned copies on the plain
+/// [`load`] path, zero-copy views on the [`load_shared`] / [`load_mmap`]
+/// path.
+pub type LoadV2Fn = fn(&[u8], &mut FrameSource<'_>) -> Result<Box<dyn DynFilter>, PersistError>;
+
 /// One registered filter: its stable id, a one-line summary, the build
-/// dispatch target, and the payload codec.
+/// dispatch target, and the payload codecs.
 pub struct FilterEntry {
     /// Stable ASCII id — the container's self-description and the CLI's
     /// `--filter` argument.
@@ -38,9 +46,12 @@ pub struct FilterEntry {
     /// input passed [`BuildInput::validate_costs`] —
     /// [`crate::FilterSpec::build`] is the checked entry point.
     pub build: BuildFn,
-    /// Decodes a container payload written by
+    /// Decodes a v1 container payload (or legacy image) written by
     /// [`crate::DynFilter::write_payload`] under this id.
     pub load_payload: LoadFn,
+    /// Decodes a v2 container payload written by
+    /// [`crate::DynFilter::write_payload_v2`] under this id.
+    pub load_v2: LoadV2Fn,
 }
 
 /// Every registered filter, in registration order. **This table is the
@@ -53,42 +64,49 @@ pub fn entries() -> &'static [FilterEntry] {
             summary: "Hash Adaptive Bloom Filter (full TPJO, two-round query)",
             build: build_habf,
             load_payload: load_habf,
+            load_v2: load_habf_v2,
         },
         FilterEntry {
             id: "fhabf",
             summary: "fast HABF (double hashing, gamma off)",
             build: build_fhabf,
             load_payload: load_fhabf,
+            load_v2: load_fhabf_v2,
         },
         FilterEntry {
             id: "sharded-habf",
             summary: "HABF sharded by a splitter hash, built in parallel",
             build: build_sharded_habf,
             load_payload: load_sharded_habf,
+            load_v2: load_sharded_habf_v2,
         },
         FilterEntry {
             id: "sharded-fhabf",
             summary: "f-HABF sharded by a splitter hash, built in parallel",
             build: build_sharded_fhabf,
             load_payload: load_sharded_fhabf,
+            load_v2: load_sharded_fhabf_v2,
         },
         FilterEntry {
             id: "bloom",
             summary: "standard Bloom filter (seeded xxHash-128, k = ln2*b)",
             build: build_bloom,
             load_payload: load_bloom,
+            load_v2: load_bloom_v2,
         },
         FilterEntry {
             id: "weighted-bloom",
             summary: "Weighted Bloom filter with query-time cost cache",
             build: build_weighted_bloom,
             load_payload: load_weighted_bloom,
+            load_v2: load_weighted_bloom_v2,
         },
         FilterEntry {
             id: "xor",
             summary: "Xor filter (3-wise, peeled fingerprints)",
             build: build_xor,
             load_payload: load_xor,
+            load_v2: load_xor_v2,
         },
     ]
 }
@@ -140,13 +158,48 @@ pub struct LoadedFilter {
     pub version: u8,
 }
 
-/// Loads any persisted filter image — the `HABC` container for every
-/// registered id, or a legacy `HABF` / `HABS` image through the adapters.
+/// Why [`load_mmap`] failed: the file could not be opened/mapped, or its
+/// contents failed image validation.
+#[derive(Debug)]
+pub enum OpenError {
+    /// Opening or mapping the file failed.
+    Io(std::io::Error),
+    /// The mapped bytes are not a loadable filter image.
+    Persist(PersistError),
+}
+
+impl core::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OpenError::Io(e) => write!(f, "cannot open filter image: {e}"),
+            OpenError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+impl From<std::io::Error> for OpenError {
+    fn from(e: std::io::Error) -> Self {
+        OpenError::Io(e)
+    }
+}
+
+impl From<PersistError> for OpenError {
+    fn from(e: PersistError) -> Self {
+        OpenError::Persist(e)
+    }
+}
+
+/// Loads any persisted filter image — the `HABC` container (v1 or v2) for
+/// every registered id, or a legacy `HABF` / `HABS` image through the
+/// adapters. This path always produces owned (copied) word storage; use
+/// [`load_shared`] / [`load_mmap`] to serve a v2 image in place.
 ///
 /// # Errors
 /// Returns a typed [`PersistError`] on any malformed input — bad magic,
-/// unknown version, a container naming an unregistered id, truncation, or
-/// payload corruption; never panics on untrusted bytes.
+/// unknown version, a container naming an unregistered id, truncation,
+/// misalignment, or payload corruption; never panics on untrusted bytes.
 pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
     if buf.len() < 4 {
         return Err(PersistError::Truncated);
@@ -154,13 +207,22 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
     let magic: &[u8; 4] = buf[..4].try_into().expect("4 bytes");
     match magic {
         m if m == persist::CONTAINER_MAGIC => {
-            let (header, payload) = persist::decode_container(buf)?;
-            let e = entry(&header.id)
-                .ok_or_else(|| PersistError::UnknownFilterId(header.id.clone()))?;
+            let decoded = persist::decode_container(buf)?;
+            let e = entry(&decoded.header.id)
+                .ok_or_else(|| PersistError::UnknownFilterId(decoded.header.id.clone()))?;
+            let filter = if decoded.header.version == persist::CONTAINER_VERSION {
+                let (meta, frames) = persist::parse_v2_payload(decoded.payload)?;
+                let mut source = FrameSource::borrowed(decoded.payload, frames);
+                let filter = (e.load_v2)(meta, &mut source)?;
+                source.finish()?;
+                filter
+            } else {
+                (e.load_payload)(decoded.payload)?
+            };
             Ok(LoadedFilter {
-                filter: (e.load_payload)(payload)?,
+                filter,
                 format: ImageFormat::Container,
-                version: header.version,
+                version: decoded.header.version,
             })
         }
         m if m == persist::MAGIC || m == persist::SHARDED_MAGIC => {
@@ -193,9 +255,71 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
     }
 }
 
+/// Loads a filter from a shared image, serving v2 word frames **in
+/// place**: the returned filter's bit arrays and cell tables are views
+/// into `image` (held alive by `Arc` clones), with zero payload-word
+/// copies. v1 containers and the legacy formats fall back to the copying
+/// adapters — byte-compatible, just not zero-copy.
+///
+/// Mutating the returned filter (rebuild, insert) promotes the touched
+/// storage to owned words; the image itself is never written.
+///
+/// # Errors
+/// Same validation as [`load`].
+pub fn load_shared(image: &Arc<ImageBytes>) -> Result<LoadedFilter, PersistError> {
+    let buf = image.as_bytes();
+    if buf.len() < 5 || &buf[..4] != persist::CONTAINER_MAGIC {
+        return load(buf);
+    }
+    let decoded = persist::decode_container(buf)?;
+    if decoded.header.version != persist::CONTAINER_VERSION {
+        return load(buf);
+    }
+    let e = entry(&decoded.header.id)
+        .ok_or_else(|| PersistError::UnknownFilterId(decoded.header.id.clone()))?;
+    let (meta, frames) = persist::parse_v2_payload(decoded.payload)?;
+    let mut source = FrameSource::shared(Arc::clone(image), decoded.payload_offset, frames);
+    let filter = (e.load_v2)(meta, &mut source)?;
+    source.finish()?;
+    Ok(LoadedFilter {
+        filter,
+        format: ImageFormat::Container,
+        version: decoded.header.version,
+    })
+}
+
+/// [`load_shared`] over an owned byte buffer: the bytes are moved into an
+/// 8-aligned shared image with one `memcpy` (a `Vec<u8>` has no alignment
+/// guarantee), then served in place — no per-word decode, no
+/// per-structure allocation.
+///
+/// # Errors
+/// Same validation as [`load`].
+pub fn load_bytes(bytes: Vec<u8>) -> Result<LoadedFilter, PersistError> {
+    load_shared(&Arc::new(ImageBytes::from_vec(bytes)))
+}
+
+/// Opens a filter image from disk and serves it memory-mapped: the word
+/// payload of a v2 container is never copied onto the heap — open time is
+/// O(header + shard count), not O(image bytes), and the page cache is
+/// shared across processes serving the same file. The mapping lives for
+/// as long as the filter (or any clone of it) does.
+///
+/// On platforms without the mmap shim (non-Linux, non-x86_64/aarch64) the
+/// file is read into an aligned buffer instead — same API, same answers.
+///
+/// # Errors
+/// [`OpenError::Io`] when the file cannot be opened or mapped,
+/// [`OpenError::Persist`] when its contents fail image validation.
+pub fn load_mmap(path: impl AsRef<std::path::Path>) -> Result<LoadedFilter, OpenError> {
+    let image = Arc::new(ImageBytes::open(path)?);
+    Ok(load_shared(&image)?)
+}
+
 // ---------------------------------------------------------------------
 // HABF family: DynFilter impls + build/load dispatch targets. The legacy
-// image formats are the payload codecs.
+// image formats are the v1 payload codecs; the v2 codecs split the same
+// fields into metadata + aligned word frames.
 // ---------------------------------------------------------------------
 
 impl DynFilter for Habf {
@@ -205,6 +329,16 @@ impl DynFilter for Habf {
 
     fn write_payload(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        let img = self.v2_image();
+        persist::encode_v2_meta(&img, out.meta());
+        persist::push_v2_frames(&img, out);
+    }
+
+    fn backing(&self) -> Backing {
+        Habf::backing(self)
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
@@ -238,6 +372,16 @@ impl DynFilter for FHabf {
         out.extend_from_slice(&self.to_bytes());
     }
 
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        let img = self.v2_image();
+        persist::encode_v2_meta(&img, out.meta());
+        persist::push_v2_frames(&img, out);
+    }
+
+    fn backing(&self) -> Backing {
+        FHabf::backing(self)
+    }
+
     fn metadata(&self) -> Vec<(&'static str, String)> {
         vec![("hashes per key (k)", self.h0().len().to_string())]
     }
@@ -255,7 +399,7 @@ impl Rebuildable for FHabf {
     }
 }
 
-impl<F: ShardFilter + Clone> DynFilter for ShardedHabf<F> {
+impl<F: ShardFilter + Clone + V2Shard> DynFilter for ShardedHabf<F> {
     fn filter_id(&self) -> &'static str {
         if F::KIND == 0 {
             "sharded-habf"
@@ -266,6 +410,33 @@ impl<F: ShardFilter + Clone> DynFilter for ShardedHabf<F> {
 
     fn write_payload(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_bytes());
+    }
+
+    /// v2 metadata:
+    /// ```text
+    /// kind u8 | shards u32 | splitter_seed u64 | built u64 | inserted u64
+    /// per shard: the HABF-family meta block (see persist::encode_v2_meta)
+    /// ```
+    /// followed by two word frames per shard (bloom bits, expressor
+    /// cells) in shard order — which is the frame table `habf inspect`
+    /// prints as per-shard payload offsets.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        let meta = out.meta();
+        meta.push(F::KIND);
+        meta.extend_from_slice(&(self.shard_count() as u32).to_le_bytes());
+        meta.extend_from_slice(&self.splitter_seed().to_le_bytes());
+        meta.extend_from_slice(&(self.built_keys() as u64).to_le_bytes());
+        meta.extend_from_slice(&(self.inserted_since_build() as u64).to_le_bytes());
+        for i in 0..self.shard_count() {
+            persist::encode_v2_meta(&self.shard(i).v2_image(), meta);
+        }
+        for i in 0..self.shard_count() {
+            persist::push_v2_frames(&self.shard(i).v2_image(), out);
+        }
+    }
+
+    fn backing(&self) -> Backing {
+        ShardedHabf::backing(self)
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
@@ -380,6 +551,77 @@ fn load_sharded_fhabf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
     ShardedHabf::<FHabf>::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
 }
 
+fn load_habf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let d = persist::decode_v2_meta(&mut r, 0, frames)?;
+    r.finish()?;
+    Ok(Box::new(Habf::from_decoded(d)))
+}
+
+fn load_fhabf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let d = persist::decode_v2_meta(&mut r, 1, frames)?;
+    r.finish()?;
+    Ok(Box::new(FHabf::from_decoded(d)))
+}
+
+/// Decodes a sharded v2 payload (see the `write_payload_v2` layout on the
+/// `ShardedHabf` impl): each shard's meta block plus its two frames, in
+/// shard order — frames may be zero-copy views, so a loaded sharded
+/// filter serves every shard straight from the image.
+fn load_sharded_v2<F>(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError>
+where
+    F: ShardFilter + Clone + V2Shard + 'static,
+{
+    let mut r = Reader::new(meta);
+    let kind = r.u8()?;
+    if kind != F::KIND {
+        return Err(PersistError::WrongKind);
+    }
+    let shards = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")) as usize;
+    if shards == 0 || shards > crate::sharded::MAX_SHARDS {
+        return Err(PersistError::Corrupt("shard count out of range"));
+    }
+    let splitter_seed = r.u64()?;
+    let built_keys = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let inserted = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let mut parts = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let d = persist::decode_v2_meta(&mut r, F::KIND, frames)?;
+        parts.push(Arc::new(F::from_decoded(d)));
+    }
+    r.finish()?;
+    Ok(Box::new(ShardedHabf::from_shard_parts(
+        parts,
+        splitter_seed,
+        built_keys,
+        inserted,
+    )))
+}
+
+fn load_sharded_habf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    load_sharded_v2::<Habf>(meta, frames)
+}
+
+fn load_sharded_fhabf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    load_sharded_v2::<FHabf>(meta, frames)
+}
+
 // ---------------------------------------------------------------------
 // Baseline filters: DynFilter impls + fresh payload codecs (the
 // baselines had no persistence before the container existed).
@@ -406,31 +648,21 @@ impl DynFilter for BloomFilter {
     /// ```
     fn write_payload(&self, out: &mut Vec<u8>) {
         out.push(BLOOM_PAYLOAD_VERSION);
-        match self.strategy() {
-            BloomHashStrategy::FamilyDistinct { ids } => {
-                out.push(0);
-                out.push(ids.len() as u8);
-                out.extend_from_slice(ids);
-            }
-            BloomHashStrategy::SeededCity64 { k } => {
-                out.push(1);
-                out.extend_from_slice(&(*k as u16).to_le_bytes());
-            }
-            BloomHashStrategy::SeededXxh128 { k } => {
-                out.push(2);
-                out.extend_from_slice(&(*k as u16).to_le_bytes());
-            }
-            BloomHashStrategy::DoubleHashing { k, seed } => {
-                out.push(3);
-                out.extend_from_slice(&(*k as u16).to_le_bytes());
-                out.extend_from_slice(&seed.to_le_bytes());
-            }
-        }
-        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
-        out.extend_from_slice(&(self.bits().len() as u64).to_le_bytes());
+        encode_bloom_meta(self, out);
         for w in self.bits().words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
+    }
+
+    /// v2: the same fields minus the payload version byte as metadata,
+    /// the bit array as one aligned word frame.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        encode_bloom_meta(self, out.meta());
+        out.frame(self.bits().words());
+    }
+
+    fn backing(&self) -> Backing {
+        self.bits().backing()
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
@@ -447,12 +679,39 @@ fn build_bloom(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFi
     Ok(Box::new(BloomFilter::build(&input.members, total)))
 }
 
-fn load_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
-    let mut r = Reader::new(buf);
-    let version = r.u8()?;
-    if version != BLOOM_PAYLOAD_VERSION {
-        return Err(PersistError::BadVersion(version));
+/// The strategy + shape fields shared by the bloom v1 payload (after its
+/// version byte) and the bloom v2 metadata blob.
+fn encode_bloom_meta(f: &BloomFilter, out: &mut Vec<u8>) {
+    match f.strategy() {
+        BloomHashStrategy::FamilyDistinct { ids } => {
+            out.push(0);
+            out.push(ids.len() as u8);
+            out.extend_from_slice(ids);
+        }
+        BloomHashStrategy::SeededCity64 { k } => {
+            out.push(1);
+            out.extend_from_slice(&(*k as u16).to_le_bytes());
+        }
+        BloomHashStrategy::SeededXxh128 { k } => {
+            out.push(2);
+            out.extend_from_slice(&(*k as u16).to_le_bytes());
+        }
+        BloomHashStrategy::DoubleHashing { k, seed } => {
+            out.push(3);
+            out.extend_from_slice(&(*k as u16).to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
     }
+    out.extend_from_slice(&(f.items() as u64).to_le_bytes());
+    out.extend_from_slice(&(f.bits().len() as u64).to_le_bytes());
+}
+
+/// Decodes the shared bloom fields up to (and including) the bit-array
+/// length `m`; the caller supplies the words (inline for v1, a frame for
+/// v2).
+fn decode_bloom_meta(
+    r: &mut Reader<'_>,
+) -> Result<(BloomHashStrategy, usize, usize), PersistError> {
     let strategy = match r.u8()? {
         0 => {
             let k = usize::from(r.u8()?);
@@ -466,14 +725,10 @@ fn load_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
             }
             BloomHashStrategy::FamilyDistinct { ids }
         }
-        1 => BloomHashStrategy::SeededCity64 {
-            k: decode_k(&mut r)?,
-        },
-        2 => BloomHashStrategy::SeededXxh128 {
-            k: decode_k(&mut r)?,
-        },
+        1 => BloomHashStrategy::SeededCity64 { k: decode_k(r)? },
+        2 => BloomHashStrategy::SeededXxh128 { k: decode_k(r)? },
         3 => {
-            let k = decode_k(&mut r)?;
+            let k = decode_k(r)?;
             let seed = r.u64()?;
             BloomHashStrategy::DoubleHashing { k, seed }
         }
@@ -484,8 +739,29 @@ fn load_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
     if m == 0 {
         return Err(PersistError::Corrupt("empty Bloom array"));
     }
+    Ok((strategy, items, m))
+}
+
+fn load_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != BLOOM_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let (strategy, items, m) = decode_bloom_meta(&mut r)?;
     let bits = BitVec::from_words(r.words(m.div_ceil(64))?, m);
     r.finish()?;
+    Ok(Box::new(BloomFilter::from_parts(bits, strategy, items)))
+}
+
+fn load_bloom_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (strategy, items, m) = decode_bloom_meta(&mut r)?;
+    r.finish()?;
+    let bits = BitVec::from_store(frames.next_words(m.div_ceil(64))?, m);
     Ok(Box::new(BloomFilter::from_parts(bits, strategy, items)))
 }
 
@@ -509,17 +785,22 @@ impl DynFilter for WeightedBloomFilter {
     /// ```
     fn write_payload(&self, out: &mut Vec<u8>) {
         out.push(WBF_PAYLOAD_VERSION);
-        out.extend_from_slice(&(self.k_default() as u16).to_le_bytes());
-        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
-        out.extend_from_slice(&(self.cache().len() as u64).to_le_bytes());
-        for (tag, k) in self.cache() {
-            out.extend_from_slice(&tag.to_le_bytes());
-            out.extend_from_slice(&k.to_le_bytes());
-        }
-        out.extend_from_slice(&(self.bits().len() as u64).to_le_bytes());
+        encode_wbf_meta(self, out);
         for w in self.bits().words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
+    }
+
+    /// v2: the same fields minus the version byte as metadata (the cost
+    /// cache is scalar data, so it stays in the meta blob), the bit array
+    /// as one aligned word frame.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        encode_wbf_meta(self, out.meta());
+        out.frame(self.bits().words());
+    }
+
+    fn backing(&self) -> Backing {
+        self.bits().backing()
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
@@ -549,12 +830,24 @@ fn build_weighted_bloom(
     )))
 }
 
-fn load_weighted_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
-    let mut r = Reader::new(buf);
-    let version = r.u8()?;
-    if version != WBF_PAYLOAD_VERSION {
-        return Err(PersistError::BadVersion(version));
+/// The WBF fields shared by the v1 payload (after its version byte) and
+/// the v2 metadata blob.
+fn encode_wbf_meta(f: &WeightedBloomFilter, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(f.k_default() as u16).to_le_bytes());
+    out.extend_from_slice(&(f.items() as u64).to_le_bytes());
+    out.extend_from_slice(&(f.cache().len() as u64).to_le_bytes());
+    for (tag, k) in f.cache() {
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&k.to_le_bytes());
     }
+    out.extend_from_slice(&(f.bits().len() as u64).to_le_bytes());
+}
+
+type WbfMeta = (usize, usize, Vec<(u64, u16)>, usize);
+
+/// Decodes the shared WBF fields up to (and including) the bit-array
+/// length `m`.
+fn decode_wbf_meta(r: &mut Reader<'_>) -> Result<WbfMeta, PersistError> {
     let k_default = usize::from(u16::from_le_bytes(r.bytes(2)?.try_into().expect("2 bytes")));
     if k_default == 0 || k_default > MAX_DECODED_K {
         return Err(PersistError::Corrupt("hash count out of range"));
@@ -577,8 +870,31 @@ fn load_weighted_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
     if m == 0 {
         return Err(PersistError::Corrupt("empty WBF array"));
     }
+    Ok((k_default, items, cache, m))
+}
+
+fn load_weighted_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WBF_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let (k_default, items, cache, m) = decode_wbf_meta(&mut r)?;
     let bits = BitVec::from_words(r.words(m.div_ceil(64))?, m);
     r.finish()?;
+    Ok(Box::new(WeightedBloomFilter::from_parts(
+        bits, cache, k_default, items,
+    )))
+}
+
+fn load_weighted_bloom_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (k_default, items, cache, m) = decode_wbf_meta(&mut r)?;
+    r.finish()?;
+    let bits = BitVec::from_store(frames.next_words(m.div_ceil(64))?, m);
     Ok(Box::new(WeightedBloomFilter::from_parts(
         bits, cache, k_default, items,
     )))
@@ -595,13 +911,21 @@ impl DynFilter for XorFilter {
     /// ```
     fn write_payload(&self, out: &mut Vec<u8>) {
         out.push(XOR_PAYLOAD_VERSION);
-        out.push(self.fp_bits() as u8);
-        out.extend_from_slice(&(self.seg_len() as u64).to_le_bytes());
-        out.extend_from_slice(&self.seed().to_le_bytes());
-        out.extend_from_slice(&(self.items() as u64).to_le_bytes());
+        encode_xor_meta(self, out);
         for w in self.fingerprints().words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
+    }
+
+    /// v2: the same fields minus the version byte as metadata, the
+    /// fingerprint table as one aligned word frame.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        encode_xor_meta(self, out.meta());
+        out.frame(self.fingerprints().words());
+    }
+
+    fn backing(&self) -> Backing {
+        self.fingerprints().backing()
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
@@ -629,12 +953,20 @@ fn build_xor(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilt
     Ok(Box::new(XorFilter::build(&input.members, total)))
 }
 
-fn load_xor(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
-    let mut r = Reader::new(buf);
-    let version = r.u8()?;
-    if version != XOR_PAYLOAD_VERSION {
-        return Err(PersistError::BadVersion(version));
-    }
+/// The xor-filter fields shared by the v1 payload (after its version
+/// byte) and the v2 metadata blob.
+fn encode_xor_meta(f: &XorFilter, out: &mut Vec<u8>) {
+    out.push(f.fp_bits() as u8);
+    out.extend_from_slice(&(f.seg_len() as u64).to_le_bytes());
+    out.extend_from_slice(&f.seed().to_le_bytes());
+    out.extend_from_slice(&(f.items() as u64).to_le_bytes());
+}
+
+type XorMeta = (u32, usize, usize, u64, usize, usize);
+
+/// Decodes the shared xor-filter fields, returning
+/// `(fp_bits, seg_len, slots, seed, items, word_count)`.
+fn decode_xor_meta(r: &mut Reader<'_>) -> Result<XorMeta, PersistError> {
     let fp_bits = u32::from(r.u8()?);
     if !(1..=32).contains(&fp_bits) {
         return Err(PersistError::Corrupt("fingerprint width out of range"));
@@ -650,8 +982,31 @@ fn load_xor(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
         .checked_mul(fp_bits as usize)
         .ok_or(PersistError::Truncated)?
         .div_ceil(64);
+    Ok((fp_bits, seg_len, slots, seed, items, word_count))
+}
+
+fn load_xor(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != XOR_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let (fp_bits, seg_len, slots, seed, items, word_count) = decode_xor_meta(&mut r)?;
     let cells = PackedCells::from_words(r.words(word_count)?, slots, fp_bits);
     r.finish()?;
+    Ok(Box::new(XorFilter::from_parts(
+        cells, seg_len, seed, fp_bits, items,
+    )))
+}
+
+fn load_xor_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (fp_bits, seg_len, slots, seed, items, word_count) = decode_xor_meta(&mut r)?;
+    r.finish()?;
+    let cells = PackedCells::from_store(frames.next_words(word_count)?, slots, fp_bits);
     Ok(Box::new(XorFilter::from_parts(
         cells, seg_len, seed, fp_bits, items,
     )))
@@ -716,6 +1071,139 @@ mod tests {
                 e.id
             );
         }
+    }
+
+    /// Every registered id loads zero-copy from a shared image: the
+    /// loaded filter is view-backed, answers exactly like the owned
+    /// decode, and promotes to owned words on mutation without touching
+    /// the image.
+    #[test]
+    fn every_id_serves_view_backed_from_a_shared_image() {
+        let (pos, neg) = sample();
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+        for e in entries() {
+            let spec = FilterSpec::by_id(e.id).expect("registered");
+            let filter = spec
+                .bits_per_key(10.0)
+                .shards(2)
+                .build(&input)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            assert_eq!(filter.backing(), Backing::Owned, "{}: fresh build", e.id);
+            let image = filter.to_container_bytes();
+
+            let owned = load(&image).unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            assert_eq!(owned.filter.backing(), Backing::Owned, "{}", e.id);
+
+            let shared = Arc::new(ImageBytes::from_vec(image.clone()));
+            let viewed = load_shared(&shared).unwrap_or_else(|err| panic!("{}: {err}", e.id));
+            assert_eq!(
+                viewed.filter.backing(),
+                Backing::SharedBytes,
+                "{}: v2 shared load must be a view",
+                e.id
+            );
+            for k in pos.iter().chain(neg.iter().map(|(k, _)| k)) {
+                assert_eq!(
+                    owned.filter.contains(k),
+                    viewed.filter.contains(k),
+                    "{}: view answers diverged",
+                    e.id
+                );
+            }
+            // Views re-encode byte-identically: serving in place loses
+            // nothing.
+            assert_eq!(viewed.filter.to_container_bytes(), image, "{}", e.id);
+        }
+    }
+
+    /// Mutating a view-backed filter promotes its storage to owned words
+    /// (copy-on-write) and leaves the shared image untouched.
+    #[test]
+    fn view_backed_rebuild_promotes_to_owned_words() {
+        let (pos, neg) = sample();
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+        let image = FilterSpec::sharded(2)
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("sharded")
+            .to_container_bytes();
+        let shared = Arc::new(ImageBytes::from_vec(image.clone()));
+        let mut loaded = load_shared(&shared).expect("view load");
+        assert_eq!(loaded.filter.backing(), Backing::SharedBytes);
+
+        let mined: Vec<(Vec<u8>, f64)> = (0..200)
+            .map(|i| (format!("mined:{i}").into_bytes(), 3.0))
+            .collect();
+        let rebuild_input = BuildInput::from_members(&pos).with_hints(&mined);
+        loaded
+            .filter
+            .as_rebuildable()
+            .expect("sharded rebuilds")
+            .rebuild(&rebuild_input, 7)
+            .expect("rebuild");
+        assert_eq!(
+            loaded.filter.backing(),
+            Backing::Owned,
+            "rebuild must promote every shard to owned words"
+        );
+        for k in &pos {
+            assert!(loaded.filter.contains(k), "member dropped by rebuild");
+        }
+        // The image is untouched: a fresh view still serves the
+        // pre-rebuild answers.
+        let fresh = load_shared(&shared).expect("fresh view");
+        assert_eq!(fresh.filter.to_container_bytes(), image);
+    }
+
+    /// `load_mmap` serves a v2 file with mmap backing; legacy and v1
+    /// images load through it too (copying).
+    #[test]
+    fn load_mmap_serves_files_of_every_format() {
+        let (pos, neg) = sample();
+        let input = BuildInput::from_members(&pos).with_costed_negatives(&neg);
+        let dir = std::env::temp_dir().join(format!("habf-registry-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let filter = FilterSpec::fhabf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("fhabf");
+        let v2 = dir.join("f.habc");
+        std::fs::write(&v2, filter.to_container_bytes()).expect("write v2");
+        let loaded = load_mmap(&v2).expect("mmap v2");
+        let want = if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            Backing::Mmap
+        } else {
+            Backing::SharedBytes
+        };
+        assert_eq!(loaded.filter.backing(), want);
+        for k in &pos {
+            assert!(loaded.filter.contains(k), "mmap view dropped a member");
+        }
+
+        // Legacy image through the same entry point (copying adapter).
+        let legacy_path = dir.join("legacy.habf");
+        let legacy = crate::Habf::build(&pos, &neg, &crate::HabfConfig::with_total_bits(800 * 10));
+        std::fs::write(&legacy_path, legacy.to_bytes()).expect("write legacy");
+        let loaded = load_mmap(&legacy_path).expect("mmap legacy");
+        assert_eq!(loaded.format, ImageFormat::LegacySingle);
+        assert_eq!(loaded.filter.backing(), Backing::Owned);
+
+        // Missing file and corrupt file are typed errors.
+        assert!(matches!(
+            load_mmap(dir.join("missing.habc")),
+            Err(OpenError::Io(_))
+        ));
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"not a filter").expect("write junk");
+        assert!(matches!(
+            load_mmap(&junk),
+            Err(OpenError::Persist(PersistError::BadMagic))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

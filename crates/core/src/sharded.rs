@@ -89,6 +89,10 @@ pub trait ShardFilter: Filter + Sized + Send + Sync {
     /// # Errors
     /// Returns a [`PersistError`] on malformed input.
     fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError>;
+
+    /// Where this shard's payload words live (owned heap vs a shared or
+    /// mmap'ed image view).
+    fn shard_backing(&self) -> habf_util::Backing;
 }
 
 impl ShardFilter for Habf {
@@ -109,6 +113,10 @@ impl ShardFilter for Habf {
     fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
         Habf::from_bytes(buf)
     }
+
+    fn shard_backing(&self) -> habf_util::Backing {
+        self.backing()
+    }
 }
 
 impl ShardFilter for FHabf {
@@ -128,6 +136,10 @@ impl ShardFilter for FHabf {
 
     fn shard_from_bytes(buf: &[u8]) -> Result<Self, PersistError> {
         FHabf::from_bytes(buf)
+    }
+
+    fn shard_backing(&self) -> habf_util::Backing {
+        self.backing()
     }
 }
 
@@ -443,6 +455,37 @@ impl<F: ShardFilter> ShardedHabf<F> {
             self.inserted_since_build as u64,
             &blobs,
         )
+    }
+
+    /// Where the shards' payload words live: `owned` unless every shard
+    /// still serves from an image view; the most view-like shard wins, so
+    /// the filter reports `mmap`/`shared` until all shards were promoted.
+    #[must_use]
+    pub fn backing(&self) -> habf_util::Backing {
+        self.shards
+            .iter()
+            .map(|s| s.shard_backing())
+            .fold(habf_util::Backing::Owned, habf_util::Backing::combine)
+    }
+
+    /// Reassembles a sharded filter from decoded shard parts — the v2
+    /// container's zero-copy load path.
+    pub(crate) fn from_shard_parts(
+        shards: Vec<Arc<F>>,
+        splitter_seed: u64,
+        built_keys: usize,
+        inserted_since_build: usize,
+    ) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "sharded filter needs at least one shard"
+        );
+        Self {
+            shards,
+            splitter_seed,
+            built_keys,
+            inserted_since_build,
+        }
     }
 
     /// Loads a filter persisted by [`ShardedHabf::to_bytes`].

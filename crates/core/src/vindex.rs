@@ -73,10 +73,14 @@ impl VIndex {
     }
 
     /// `true` iff the unit is mapped exactly once (adjustable).
+    ///
+    /// Units are hash positions already reduced modulo `len()`, so the
+    /// bounds-masked probe is exact and TPJO's conflict-detection loops
+    /// carry no panic branch.
     #[must_use]
     #[inline]
     pub fn is_single(&self, unit: usize) -> bool {
-        self.singleflag.get(unit) && self.keyid[unit] != NONE
+        self.singleflag.get_probe(unit) && self.keyid[unit] != NONE
     }
 
     /// The single occupant of `unit`, if [`Self::is_single`].

@@ -118,21 +118,25 @@ impl BloomFilter {
     pub fn new(m: usize, strategy: BloomHashStrategy) -> Self {
         assert!(m > 0, "Bloom filter needs at least one bit");
         assert!(strategy.k() > 0, "Bloom filter needs at least one hash");
-        // Naming follows the paper's §V-A defaults: the plain "BF" is the
-        // xxHash-128 implementation ("we set the default hash function used
-        // by f-HABF and other algorithms to XXH128"); the k-distinct
-        // Table II variant appears only in the Fig 14 implementation study.
-        let name = match &strategy {
-            BloomHashStrategy::FamilyDistinct { .. } => "BF(TableII)",
-            BloomHashStrategy::SeededCity64 { .. } => "BF(City64)",
-            BloomHashStrategy::SeededXxh128 { .. } => "BF",
-            BloomHashStrategy::DoubleHashing { .. } => "BF(double)",
-        };
+        let name = Self::strategy_name(&strategy);
         Self {
             bits: BitVec::new(m),
             strategy,
             name,
             items: 0,
+        }
+    }
+
+    /// Naming follows the paper's §V-A defaults: the plain "BF" is the
+    /// xxHash-128 implementation ("we set the default hash function used
+    /// by f-HABF and other algorithms to XXH128"); the k-distinct
+    /// Table II variant appears only in the Fig 14 implementation study.
+    fn strategy_name(strategy: &BloomHashStrategy) -> &'static str {
+        match strategy {
+            BloomHashStrategy::FamilyDistinct { .. } => "BF(TableII)",
+            BloomHashStrategy::SeededCity64 { .. } => "BF(City64)",
+            BloomHashStrategy::SeededXxh128 { .. } => "BF",
+            BloomHashStrategy::DoubleHashing { .. } => "BF(double)",
         }
     }
 
@@ -163,15 +167,22 @@ impl BloomFilter {
     /// Reassembles a filter from its serialized parts (the persistence
     /// codec in `habf-core` lives downstream of this crate, so the parts
     /// constructor is public the way `HashExpressor::from_parts` is).
+    /// Adopts `bits` as-is — including a zero-copy image view — without
+    /// allocating a scratch array.
     ///
     /// # Panics
     /// Panics on degenerate parts (see [`BloomFilter::new`]).
     #[must_use]
     pub fn from_parts(bits: BitVec, strategy: BloomHashStrategy, items: usize) -> Self {
-        let mut filter = Self::new(bits.len(), strategy);
-        filter.bits = bits;
-        filter.items = items;
-        filter
+        assert!(!bits.is_empty(), "Bloom filter needs at least one bit");
+        assert!(strategy.k() > 0, "Bloom filter needs at least one hash");
+        let name = Self::strategy_name(&strategy);
+        Self {
+            bits,
+            strategy,
+            name,
+            items,
+        }
     }
 
     /// The underlying bit array.

@@ -46,4 +46,4 @@ pub use store::{AdaptConfig, HintError, IoStats, Lsm, LsmConfig};
 
 // Re-exported so store users can configure the filters and the
 // adaptation loop without depending on `habf-core` directly.
-pub use habf_core::{AdaptPolicy, DynFilter, FilterSpec, FpLog};
+pub use habf_core::{AdaptPolicy, DynFilter, FilterSpec, FpLog, OpenError};

@@ -48,6 +48,20 @@ impl Run {
         self.filter.as_deref()
     }
 
+    /// Replaces the run's filter (used when reopening persisted filters
+    /// mmap-backed).
+    pub fn set_filter(&mut self, filter: Option<Box<dyn DynFilter>>) {
+        self.filter = filter;
+    }
+
+    /// Where the filter's payload words live (`None` for a filterless
+    /// run): `mmap`/`shared` while served from an image view, `owned`
+    /// after a build or once a rebuild promoted it.
+    #[must_use]
+    pub fn filter_backing(&self) -> Option<habf_util::Backing> {
+        self.filter.as_ref().map(|f| f.backing())
+    }
+
     /// Tests the filter; a filterless run always passes (no pruning).
     #[must_use]
     pub fn may_contain(&self, key: &[u8]) -> bool {

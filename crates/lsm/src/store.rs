@@ -483,6 +483,93 @@ impl Lsm {
             .enumerate()
             .flat_map(|(l, runs)| runs.iter().map(move |r| (l, r)))
     }
+
+    /// The file a run's filter persists under within a filter directory.
+    /// The name carries a fingerprint of the run's **key content**
+    /// (order-sensitive chained xxh64), so a filter file can only ever be
+    /// re-attached to a run holding exactly the keys it was built over —
+    /// a flush/compaction between save and open shifts run indices and
+    /// contents, and a positionally-matched stale filter would silently
+    /// prune keys the new run *does* hold (a zero-FN violation).
+    fn filter_path(
+        dir: &std::path::Path,
+        level: usize,
+        run_idx: usize,
+        run: &Run,
+    ) -> std::path::PathBuf {
+        let mut fingerprint = 0x00F1_17E2_u64;
+        for (k, _) in run.entries() {
+            fingerprint = habf_hashing::xxhash::xxh64(k, fingerprint);
+        }
+        dir.join(format!(
+            "filter-L{level}-R{run_idx}-{fingerprint:016x}.habc"
+        ))
+    }
+
+    /// Persists every run's filter as an aligned `HABC` v2 container
+    /// under `dir` (`filter-L<level>-R<run>-<keys fingerprint>.habc`),
+    /// creating the directory if needed. Returns the number of filter
+    /// files written. Runs without a filter write nothing.
+    ///
+    /// Together with [`Lsm::open_filters_mmap`] this is the store's warm
+    /// restart path: a store with many runs reopens its filters as mmap
+    /// views in O(runs) instead of re-decoding (or worse, rebuilding)
+    /// O(total filter bytes).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_filters(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = 0;
+        for (li, runs) in self.levels.iter().enumerate() {
+            for (ri, run) in runs.iter().enumerate() {
+                if let Some(filter) = run.filter() {
+                    std::fs::write(
+                        Self::filter_path(dir, li, ri, run),
+                        filter.to_container_bytes(),
+                    )?;
+                    written += 1;
+                }
+            }
+        }
+        Ok(written)
+    }
+
+    /// Reopens filters saved by [`Lsm::save_filters`], replacing each
+    /// run's in-memory filter with a **memory-mapped view** of its file:
+    /// probes serve straight from the page cache with zero payload-word
+    /// copies, and the first adaptation rebuild transparently promotes
+    /// the touched filter to owned words through the copy-on-write path
+    /// (the mapping is then released). Returns the number of filters
+    /// reopened.
+    ///
+    /// A file is only attached when its name's key fingerprint matches
+    /// the run's current contents (see the naming scheme on
+    /// `filter_path`); runs whose file is absent or stale — the store's
+    /// layout changed since the save — keep their current filter instead
+    /// of silently serving a filter built for different keys.
+    ///
+    /// # Errors
+    /// Propagates open/map failures and image validation errors; the
+    /// store is left with the filters swapped in so far.
+    pub fn open_filters_mmap(
+        &mut self,
+        dir: &std::path::Path,
+    ) -> Result<usize, habf_core::OpenError> {
+        let mut opened = 0;
+        for (li, runs) in self.levels.iter_mut().enumerate() {
+            for (ri, run) in runs.iter_mut().enumerate() {
+                let path = Self::filter_path(dir, li, ri, run);
+                if !path.exists() {
+                    continue;
+                }
+                let loaded = habf_core::registry::load_mmap(&path)?;
+                run.set_filter(Some(loaded.filter));
+                opened += 1;
+            }
+        }
+        Ok(opened)
+    }
 }
 
 /// Max-cost-per-key dedup, leaving the list sorted by descending cost
@@ -831,6 +918,107 @@ mod tests {
         for i in 0..3_000 {
             assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
         }
+    }
+
+    /// The warm-restart path: save every run filter, reopen them as mmap
+    /// views, serve identically, and let the adaptation rebuild promote
+    /// the views back to owned words — the full
+    /// view → serve → copy-on-write-promote lifecycle, inside the store.
+    #[test]
+    fn filters_reopen_mmap_backed_and_rebuilds_promote_them() {
+        use habf_util::Backing;
+
+        let dir = std::env::temp_dir().join(format!("habf-lsm-mmap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut db = Lsm::new(LsmConfig {
+            memtable_capacity: 512,
+            level_fanout: 3,
+            filter: Some(FilterSpec::sharded(2).bits_per_key(12.0)),
+        });
+        for i in 0..1_500 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        let run_count = db.runs().count();
+        assert!(run_count >= 2, "want multiple runs, got {run_count}");
+        let saved = db.save_filters(&dir).expect("save filters");
+        assert_eq!(saved, run_count, "every run's filter persists");
+
+        // Reopen: every filter is now a view into its file.
+        let opened = db.open_filters_mmap(&dir).expect("open mmap");
+        assert_eq!(opened, run_count);
+        let expect_view = if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            Backing::Mmap
+        } else {
+            Backing::SharedBytes
+        };
+        for (_, run) in db.runs() {
+            assert_eq!(run.filter_backing(), Some(expect_view));
+        }
+
+        // Served answers are unchanged: members found, misses pruned.
+        db.reset_io_stats();
+        for i in 0..1_500 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+        for i in 50_000..52_000 {
+            assert_eq!(db.get(&key(i)), None);
+        }
+        assert!(db.io_stats().pruned_probes > 0, "views never pruned");
+
+        // An adaptation rebuild mutates every filter, promoting the
+        // views to owned words through the copy-on-write path.
+        db.enable_adaptation(AdaptConfig::default());
+        for _ in 0..20 {
+            db.report_miss(&key(77_777), 3.0);
+        }
+        let rebuilt = db.rebuild_filters();
+        assert_eq!(rebuilt, run_count);
+        for (_, run) in db.runs() {
+            assert_eq!(
+                run.filter_backing(),
+                Some(Backing::Owned),
+                "rebuild must install owned filters"
+            );
+        }
+        for i in 0..1_500 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+
+        // Staleness guard: save, then change the store's layout (more
+        // puts trip a compaction that merges the runs) and reopen — the
+        // saved files no longer fingerprint-match any run's keys, so
+        // nothing is attached and no run can silently serve a filter
+        // built for different keys (which would prune present members).
+        let stale = std::env::temp_dir().join(format!("habf-lsm-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&stale);
+        assert!(db.save_filters(&stale).expect("save before layout change") >= 1);
+        for i in 1_500..2_100 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        assert_eq!(
+            db.open_filters_mmap(&stale).expect("stale open"),
+            0,
+            "stale filter files must never attach to reshaped runs"
+        );
+        for (_, run) in db.runs() {
+            assert_eq!(run.filter_backing(), Some(Backing::Owned));
+        }
+        for i in 0..2_100 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
+        std::fs::remove_dir_all(&stale).ok();
+
+        // Missing files are skipped, not errors.
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert_eq!(db.open_filters_mmap(&dir).expect("empty dir"), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

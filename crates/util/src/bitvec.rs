@@ -1,24 +1,84 @@
-//! A compact bit vector.
+//! A compact bit vector, generic over where its words live.
 //!
 //! All filters in this workspace store their state in a [`BitVec`]. The
-//! implementation keeps bits in `u64` words, supports clearing (needed by the
-//! TPJO optimizer, which resets Bloom bits when a positive key is re-hashed
-//! away from them) and exposes the exact heap footprint for the space
-//! accounting used in the paper's head-to-head comparisons.
+//! implementation keeps bits in `u64` words behind a pluggable word store
+//! (`S:` [`WordStore`]): the default [`Words`] store is copy-on-write —
+//! heap-owned after a build, a zero-copy view into a shared filter image
+//! after [`BitVec::from_shared`], promoted to owned at the first mutation.
+//! `BitVec<Box<[u64]>>` and `BitVec<&[u64]>` are also usable directly for
+//! purely owned or purely borrowed words.
+//!
+//! The vector supports clearing (needed by the TPJO optimizer, which
+//! resets Bloom bits when a positive key is re-hashed away from them) and
+//! exposes the exact heap footprint for the space accounting used in the
+//! paper's head-to-head comparisons.
 
-/// A fixed-length vector of bits backed by `u64` words.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct BitVec {
-    words: Vec<u64>,
+use crate::store::{Backing, SharedWords, WordStore, WordStoreMut, Words};
+
+/// A fixed-length vector of bits backed by `u64` words in a word store.
+#[derive(Clone, Debug)]
+pub struct BitVec<S = Words> {
+    words: S,
     /// Number of addressable bits; may be smaller than `words.len() * 64`.
     len: usize,
 }
 
 impl BitVec {
-    /// Creates a bit vector with `len` bits, all zero.
+    /// Creates a bit vector with `len` bits, all zero, in owned storage.
     #[must_use]
     pub fn new(len: usize) -> Self {
-        let words = vec![0u64; len.div_ceil(64)];
+        Self {
+            words: Words::from(vec![0u64; len.div_ceil(64)]),
+            len,
+        }
+    }
+
+    /// Rebuilds a bit vector from backing words and a bit length.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
+        Self {
+            words: Words::from(words),
+            len,
+        }
+    }
+
+    /// Wraps a zero-copy view of `len` bits over a shared image window.
+    /// The result serves probes straight from the image and promotes to
+    /// owned words at the first mutation.
+    ///
+    /// # Panics
+    /// Panics if the view is not exactly `len.div_ceil(64)` words long
+    /// (decoders validate frame sizes before constructing).
+    #[must_use]
+    pub fn from_shared(view: SharedWords, len: usize) -> Self {
+        assert_eq!(
+            view.as_words().len(),
+            len.div_ceil(64),
+            "word count mismatch"
+        );
+        Self {
+            words: Words::from(view),
+            len,
+        }
+    }
+}
+
+impl<S: WordStore> BitVec<S> {
+    /// Wraps an arbitrary word store as a bit vector of `len` bits.
+    ///
+    /// # Panics
+    /// Panics if the store is not exactly `len.div_ceil(64)` words long.
+    #[must_use]
+    pub fn from_store(words: S, len: usize) -> Self {
+        assert_eq!(
+            words.as_ref().len(),
+            len.div_ceil(64),
+            "word count mismatch"
+        );
         Self { words, len }
     }
 
@@ -44,14 +104,90 @@ impl BitVec {
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
         assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
-        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+        (self.words.as_ref()[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
+    /// The probe-loop variant of [`BitVec::get`]: debug-asserts the range
+    /// and masks the word index into bounds in release, so the hot query
+    /// path carries no panic branch. An out-of-range index (a caller bug)
+    /// reads as `false` instead of panicking; callers reduce indices
+    /// modulo `len()` before probing, so in-range behaviour is identical
+    /// to `get` (pinned by the equivalence proptest in
+    /// `tests/proptests.rs`).
+    #[must_use]
+    #[inline]
+    pub fn get_probe(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len, "bit probe {idx} out of range {}", self.len);
+        self.words
+            .as_ref()
+            .get(idx / 64)
+            .is_some_and(|&w| (w >> (idx % 64)) & 1 == 1)
+    }
+
+    /// Number of one-bits in the vector.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .as_ref()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Fraction of bits that are one (`0.0` for an empty vector).
+    #[must_use]
+    pub fn fill_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Exact heap footprint of the bit storage in bytes (0 while the
+    /// words are a view into a shared image).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.heap_bytes()
+    }
+
+    /// Where the words physically live (owned heap vs shared image view).
+    #[must_use]
+    pub fn backing(&self) -> Backing {
+        self.words.backing()
+    }
+
+    /// The backing words (little-endian bit order within each word) — used
+    /// by persistence.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.words.as_ref()
+    }
+
+    /// Iterates over the indices of all set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.as_ref().iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * 64;
+            let mut w = w;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+}
+
+impl<S: WordStoreMut> BitVec<S> {
     /// Sets bit `idx` to one. Returns the previous value.
     #[inline]
     pub fn set(&mut self, idx: usize) -> bool {
         assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
-        let word = &mut self.words[idx / 64];
+        let word = &mut self.words.words_mut()[idx / 64];
         let mask = 1u64 << (idx % 64);
         let old = *word & mask != 0;
         *word |= mask;
@@ -62,7 +198,7 @@ impl BitVec {
     #[inline]
     pub fn clear(&mut self, idx: usize) -> bool {
         assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
-        let word = &mut self.words[idx / 64];
+        let word = &mut self.words.words_mut()[idx / 64];
         let mask = 1u64 << (idx % 64);
         let old = *word & mask != 0;
         *word &= !mask;
@@ -81,65 +217,20 @@ impl BitVec {
 
     /// Sets all bits to zero, keeping the length.
     pub fn reset(&mut self) {
-        self.words.fill(0);
-    }
-
-    /// Number of one-bits in the vector.
-    #[must_use]
-    pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Fraction of bits that are one (`0.0` for an empty vector).
-    #[must_use]
-    pub fn fill_ratio(&self) -> f64 {
-        if self.len == 0 {
-            0.0
-        } else {
-            self.count_ones() as f64 / self.len as f64
-        }
-    }
-
-    /// Exact heap footprint of the bit storage in bytes.
-    #[must_use]
-    pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * core::mem::size_of::<u64>()
-    }
-
-    /// The backing words (little-endian bit order within each word) — used
-    /// by persistence.
-    #[must_use]
-    pub fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    /// Rebuilds a bit vector from backing words and a bit length.
-    ///
-    /// # Panics
-    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
-    #[must_use]
-    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
-        assert_eq!(words.len(), len.div_ceil(64), "word count mismatch");
-        Self { words, len }
-    }
-
-    /// Iterates over the indices of all set bits.
-    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let base = wi * 64;
-            let mut w = w;
-            core::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let tz = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(base + tz)
-                }
-            })
-        })
+        self.words.words_mut().fill(0);
     }
 }
+
+/// Equality is semantic — same length, same bit content — regardless of
+/// which store backs each side (an mmap-served filter equals its owned
+/// twin).
+impl<S: WordStore, T: WordStore> PartialEq<BitVec<T>> for BitVec<S> {
+    fn eq(&self, other: &BitVec<T>) -> bool {
+        self.len == other.len && self.words.as_ref() == other.words.as_ref()
+    }
+}
+
+impl<S: WordStore> Eq for BitVec<S> {}
 
 #[cfg(test)]
 mod tests {
@@ -228,5 +319,55 @@ mod tests {
         let small = BitVec::new(64);
         let large = BitVec::new(64 * 1000);
         assert!(large.heap_bytes() >= small.heap_bytes() * 500);
+    }
+
+    #[test]
+    fn get_probe_matches_get_in_range() {
+        let mut bv = BitVec::new(200);
+        for i in (0..200).step_by(3) {
+            bv.set(i);
+        }
+        for i in 0..200 {
+            assert_eq!(bv.get(i), bv.get_probe(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn shared_backed_bitvec_serves_and_promotes_on_write() {
+        use crate::store::ImageBytes;
+        use std::sync::Arc;
+
+        let mut owned = BitVec::new(190);
+        for i in (0..190).step_by(5) {
+            owned.set(i);
+        }
+        let mut bytes = Vec::new();
+        for w in owned.words() {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let image = Arc::new(ImageBytes::from_vec(bytes));
+        let view = SharedWords::new(image, 0, owned.words().len()).expect("aligned");
+        let mut shared = BitVec::from_shared(view, 190);
+
+        assert_eq!(shared, owned, "view answers like the owned original");
+        assert_eq!(shared.heap_bytes(), 0);
+        assert_eq!(shared.backing(), Backing::SharedBytes);
+
+        // First mutation promotes (copy-on-write) to owned words.
+        shared.set(1);
+        assert_eq!(shared.backing(), Backing::Owned);
+        assert!(shared.get(1));
+        assert!(shared.heap_bytes() > 0);
+        assert!(!owned.get(1), "original untouched");
+    }
+
+    #[test]
+    fn borrowed_store_bitvec_reads() {
+        let owned = BitVec::from_words(vec![0b1011, 0, 1], 130);
+        let view: BitVec<&[u64]> = BitVec::from_store(owned.words(), 130);
+        assert!(view.get(0) && view.get(1) && !view.get(2) && view.get(3));
+        assert!(view.get(128));
+        assert_eq!(view, owned);
+        assert_eq!(view.heap_bytes(), 0);
     }
 }

@@ -1,4 +1,4 @@
-//! A packed array of fixed-width cells.
+//! A packed array of fixed-width cells, generic over where its words live.
 //!
 //! The HashExpressor of the paper stores `ω` cells of `α` bits each
 //! (Section III-C: cell = ⟨endbit, hashindex⟩ with α ∈ {3,4,5}), and the Xor
@@ -6,17 +6,29 @@
 //! packing to honour the paper's space accounting, which this module
 //! provides. Cells are stored little-endian within a `u64`-word array and may
 //! straddle a word boundary.
+//!
+//! Like [`crate::BitVec`], the word array sits behind a pluggable word
+//! store (`S:` [`WordStore`], default the copy-on-write [`Words`]), so a
+//! cell table loaded from a filter image is *viewed* in place and promoted
+//! to owned words only when first written.
+
+use crate::store::{Backing, SharedWords, WordStore, WordStoreMut, Words};
 
 /// A fixed-length array of `len` cells, each `width` bits wide (1..=32).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct PackedCells {
-    words: Vec<u64>,
+#[derive(Clone, Debug)]
+pub struct PackedCells<S = Words> {
+    words: S,
     width: u32,
     len: usize,
 }
 
+/// Words needed for `len` cells of `width` bits.
+fn word_count(len: usize, width: u32) -> usize {
+    (len * width as usize).div_ceil(64)
+}
+
 impl PackedCells {
-    /// Creates `len` zeroed cells of `width` bits each.
+    /// Creates `len` zeroed cells of `width` bits each in owned storage.
     ///
     /// # Panics
     /// Panics if `width` is zero or greater than 32.
@@ -26,12 +38,75 @@ impl PackedCells {
             (1..=32).contains(&width),
             "cell width {width} not in 1..=32"
         );
-        let total_bits = len * width as usize;
         Self {
-            words: vec![0u64; total_bits.div_ceil(64)],
+            words: Words::from(vec![0u64; word_count(len, width)]),
             width,
             len,
         }
+    }
+
+    /// Rebuilds a cell array from backing words.
+    ///
+    /// # Panics
+    /// Panics if `width` is out of range or `words` has the wrong length.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, len: usize, width: u32) -> Self {
+        assert!(
+            (1..=32).contains(&width),
+            "cell width {width} not in 1..=32"
+        );
+        assert_eq!(words.len(), word_count(len, width), "word count mismatch");
+        Self {
+            words: Words::from(words),
+            width,
+            len,
+        }
+    }
+
+    /// Wraps a zero-copy view over a shared image window as a cell array.
+    /// Serves reads straight from the image; promotes to owned words at
+    /// the first write.
+    ///
+    /// # Panics
+    /// Panics if `width` is out of range or the view has the wrong length
+    /// (decoders validate frame sizes before constructing).
+    #[must_use]
+    pub fn from_shared(view: SharedWords, len: usize, width: u32) -> Self {
+        assert!(
+            (1..=32).contains(&width),
+            "cell width {width} not in 1..=32"
+        );
+        assert_eq!(
+            view.as_words().len(),
+            word_count(len, width),
+            "word count mismatch"
+        );
+        Self {
+            words: Words::from(view),
+            width,
+            len,
+        }
+    }
+}
+
+impl<S: WordStore> PackedCells<S> {
+    /// Wraps an arbitrary word store as a cell array.
+    ///
+    /// # Panics
+    /// Panics if `width` is out of range or the store has the wrong
+    /// length.
+    #[must_use]
+    pub fn from_store(words: S, len: usize, width: u32) -> Self {
+        assert!(
+            (1..=32).contains(&width),
+            "cell width {width} not in 1..=32"
+        );
+        assert_eq!(
+            words.as_ref().len(),
+            word_count(len, width),
+            "word count mismatch"
+        );
+        Self { words, width, len }
     }
 
     /// Number of cells.
@@ -74,21 +149,77 @@ impl PackedCells {
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
         assert!(idx < self.len, "cell index {idx} out of range {}", self.len);
+        let words = self.words.as_ref();
         let bit = idx * self.width as usize;
         let word = bit / 64;
         let off = (bit % 64) as u32;
         let mask = (self.max_value() as u64) << off;
-        let mut v = (self.words[word] & mask) >> off;
+        let mut v = (words[word] & mask) >> off;
         let taken = 64 - off;
         if taken < self.width {
             // The cell straddles into the next word.
             let rest = self.width - taken;
             let lo_mask = (1u64 << rest) - 1;
-            v |= (self.words[word + 1] & lo_mask) << taken;
+            v |= (words[word + 1] & lo_mask) << taken;
         }
         v as u32
     }
 
+    /// The probe-loop variant of [`PackedCells::get`]: debug-asserts the
+    /// range and masks the word indices into bounds in release, so the
+    /// hot query path carries no panic branch. An out-of-range index (a
+    /// caller bug) reads as `0` instead of panicking; callers reduce
+    /// indices modulo `len()` before probing, so in-range behaviour is
+    /// identical to `get` (pinned by the equivalence proptest in
+    /// `tests/proptests.rs`).
+    #[must_use]
+    #[inline]
+    pub fn get_probe(&self, idx: usize) -> u32 {
+        debug_assert!(idx < self.len, "cell probe {idx} out of range {}", self.len);
+        let words = self.words.as_ref();
+        let bit = idx * self.width as usize;
+        let word = bit / 64;
+        let off = (bit % 64) as u32;
+        let mask = (self.max_value() as u64) << off;
+        let w0 = words.get(word).copied().unwrap_or(0);
+        let mut v = (w0 & mask) >> off;
+        let taken = 64 - off;
+        if taken < self.width {
+            let rest = self.width - taken;
+            let lo_mask = (1u64 << rest) - 1;
+            let w1 = words.get(word + 1).copied().unwrap_or(0);
+            v |= (w1 & lo_mask) << taken;
+        }
+        v as u32
+    }
+
+    /// Number of cells with a non-zero value.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        (0..self.len).filter(|&i| self.get(i) != 0).count()
+    }
+
+    /// Exact heap footprint of the cell storage in bytes (0 while the
+    /// words are a view into a shared image).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.heap_bytes()
+    }
+
+    /// Where the words physically live (owned heap vs shared image view).
+    #[must_use]
+    pub fn backing(&self) -> Backing {
+        self.words.backing()
+    }
+
+    /// The backing words — used by persistence.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        self.words.as_ref()
+    }
+}
+
+impl<S: WordStoreMut> PackedCells<S> {
     /// Writes `value` into cell `idx`.
     ///
     /// # Panics
@@ -101,60 +232,39 @@ impl PackedCells {
             "value {value} exceeds cell capacity {}",
             self.max_value()
         );
-        let bit = idx * self.width as usize;
+        let max = self.max_value();
+        let width = self.width;
+        let words = self.words.words_mut();
+        let bit = idx * width as usize;
         let word = bit / 64;
         let off = (bit % 64) as u32;
-        let mask = (self.max_value() as u64) << off;
-        self.words[word] = (self.words[word] & !mask) | ((value as u64) << off);
+        let mask = (max as u64) << off;
+        words[word] = (words[word] & !mask) | ((value as u64) << off);
         let taken = 64 - off;
-        if taken < self.width {
-            let rest = self.width - taken;
+        if taken < width {
+            let rest = width - taken;
             let lo_mask = (1u64 << rest) - 1;
-            self.words[word + 1] = (self.words[word + 1] & !lo_mask) | ((value as u64) >> taken);
+            words[word + 1] = (words[word + 1] & !lo_mask) | ((value as u64) >> taken);
         }
     }
 
     /// Sets all cells to zero, keeping the length.
     pub fn reset(&mut self) {
-        self.words.fill(0);
-    }
-
-    /// Number of cells with a non-zero value.
-    #[must_use]
-    pub fn count_nonzero(&self) -> usize {
-        (0..self.len).filter(|&i| self.get(i) != 0).count()
-    }
-
-    /// Exact heap footprint of the cell storage in bytes.
-    #[must_use]
-    pub fn heap_bytes(&self) -> usize {
-        self.words.capacity() * core::mem::size_of::<u64>()
-    }
-
-    /// The backing words — used by persistence.
-    #[must_use]
-    pub fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    /// Rebuilds a cell array from backing words.
-    ///
-    /// # Panics
-    /// Panics if `width` is out of range or `words` has the wrong length.
-    #[must_use]
-    pub fn from_words(words: Vec<u64>, len: usize, width: u32) -> Self {
-        assert!(
-            (1..=32).contains(&width),
-            "cell width {width} not in 1..=32"
-        );
-        assert_eq!(
-            words.len(),
-            (len * width as usize).div_ceil(64),
-            "word count mismatch"
-        );
-        Self { words, width, len }
+        self.words.words_mut().fill(0);
     }
 }
+
+/// Equality is semantic — same shape, same cell content — regardless of
+/// which store backs each side.
+impl<S: WordStore, T: WordStore> PartialEq<PackedCells<T>> for PackedCells<S> {
+    fn eq(&self, other: &PackedCells<T>) -> bool {
+        self.len == other.len
+            && self.width == other.width
+            && self.words.as_ref() == other.words.as_ref()
+    }
+}
+
+impl<S: WordStore> Eq for PackedCells<S> {}
 
 #[cfg(test)]
 mod tests {
@@ -180,6 +290,7 @@ mod tests {
             for i in 0..77 {
                 let v = (i as u64 * 2654435761 % (max as u64 + 1)) as u32;
                 assert_eq!(cells.get(i), v, "width {width} idx {i}");
+                assert_eq!(cells.get_probe(i), v, "probe width {width} idx {i}");
             }
         }
     }
@@ -244,5 +355,32 @@ mod tests {
         cells.set(4, 123456789);
         assert_eq!(cells.get(0), u32::MAX);
         assert_eq!(cells.get(4), 123456789);
+    }
+
+    #[test]
+    fn shared_backed_cells_serve_and_promote_on_write() {
+        use crate::store::ImageBytes;
+        use std::sync::Arc;
+
+        let mut owned = PackedCells::new(50, 5);
+        for i in 0..50 {
+            owned.set(i, (i % 31) as u32);
+        }
+        let mut bytes = Vec::new();
+        for w in owned.words() {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let image = Arc::new(ImageBytes::from_vec(bytes));
+        let view = SharedWords::new(image, 0, owned.words().len()).expect("aligned");
+        let mut shared = PackedCells::from_shared(view, 50, 5);
+
+        assert_eq!(shared, owned);
+        assert_eq!(shared.heap_bytes(), 0);
+        assert_eq!(shared.backing(), Backing::SharedBytes);
+
+        shared.set(7, 30);
+        assert_eq!(shared.backing(), Backing::Owned);
+        assert_eq!(shared.get(7), 30);
+        assert_eq!(owned.get(7), 7, "original untouched");
     }
 }

@@ -3,10 +3,15 @@
 //! This crate provides the storage and measurement substrate that every other
 //! crate in the workspace builds on:
 //!
-//! * [`BitVec`] — a compact, heap-allocated bit vector used as the underlying
-//!   storage of every filter (Bloom, HABF, Weighted Bloom, …).
+//! * [`BitVec`] — a compact bit vector used as the underlying storage of
+//!   every filter (Bloom, HABF, Weighted Bloom, …), generic over a word
+//!   store: heap-owned words or a zero-copy view into a shared image.
 //! * [`PackedCells`] — a fixed-width packed cell array used by the
-//!   HashExpressor (cells of 3–5 bits) and the Xor filter (fingerprints).
+//!   HashExpressor (cells of 3–5 bits) and the Xor filter (fingerprints),
+//!   generic over the same word stores.
+//! * [`store`] — the word-store layer itself: the copy-on-write [`Words`]
+//!   store, [`SharedWords`] views, [`ImageBytes`] (an 8-aligned shared
+//!   image) and its dependency-free mmap shim.
 //! * [`rng`] — small, fast, deterministic pseudo-random generators
 //!   (SplitMix64 / xoshiro256**) so that every experiment in the repository is
 //!   reproducible from a seed without external dependencies.
@@ -23,8 +28,10 @@ pub mod bitvec;
 pub mod cells;
 pub mod rng;
 pub mod stats;
+pub mod store;
 
 pub use bitvec::BitVec;
 pub use cells::PackedCells;
 pub use rng::SplitMix64;
 pub use rng::Xoshiro256;
+pub use store::{Backing, ImageBytes, SharedWords, WordStore, WordStoreMut, Words};

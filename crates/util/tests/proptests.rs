@@ -54,6 +54,55 @@ proptest! {
         prop_assert_eq!(cells.count_nonzero(), model.iter().filter(|&&v| v != 0).count());
     }
 
+    /// The bounds-masked probe variants used by the filter query loops are
+    /// exactly equivalent to the checked accessors for every in-range
+    /// index, on owned AND shared-image-backed storage — the contract that
+    /// lets `HashExpressor`/`VIndex` probe without a panic branch.
+    #[test]
+    fn probe_variants_match_checked_accessors(
+        len in 1usize..2048,
+        width in 1u32..=32,
+        sets in prop::collection::vec((0usize..2048, any::<u64>()), 0..200),
+    ) {
+        let mut bv = BitVec::new(len);
+        let mut cells = PackedCells::new(len, width);
+        let max = cells.max_value() as u64;
+        for (idx, raw) in sets {
+            let idx = idx % len;
+            if raw % 2 == 0 { bv.set(idx); } else { bv.clear(idx); }
+            cells.set(idx, (raw % (max + 1)) as u32);
+        }
+        // Owned storage.
+        for i in 0..len {
+            prop_assert_eq!(bv.get(i), bv.get_probe(i), "bit {}", i);
+            prop_assert_eq!(cells.get(i), cells.get_probe(i), "cell {}", i);
+        }
+        // Shared-image-backed storage answers identically through the
+        // same probe path.
+        let to_image = |words: &[u64]| {
+            let mut bytes = Vec::with_capacity(words.len() * 8);
+            for w in words {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            std::sync::Arc::new(habf_util::ImageBytes::from_vec(bytes))
+        };
+        let bv_img = to_image(bv.words());
+        let shared_bv = BitVec::from_shared(
+            habf_util::SharedWords::new(bv_img, 0, bv.words().len()).expect("aligned"),
+            len,
+        );
+        let cells_img = to_image(cells.words());
+        let shared_cells = PackedCells::from_shared(
+            habf_util::SharedWords::new(cells_img, 0, cells.words().len()).expect("aligned"),
+            len,
+            width,
+        );
+        for i in 0..len {
+            prop_assert_eq!(shared_bv.get_probe(i), bv.get(i), "shared bit {}", i);
+            prop_assert_eq!(shared_cells.get_probe(i), cells.get(i), "shared cell {}", i);
+        }
+    }
+
     /// Shuffling never loses or duplicates elements.
     #[test]
     fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(any::<u32>(), 0..200)) {

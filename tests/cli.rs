@@ -190,7 +190,7 @@ fn sharded_build_query_inspect_roundtrip() {
     // Satellite: sharded images expose as much envelope + filter
     // metadata as single-filter ones.
     assert!(text.contains("filter id   : sharded-habf"), "{text}");
-    assert!(text.contains("HABC container (v1)"), "{text}");
+    assert!(text.contains("HABC container (v2)"), "{text}");
     assert!(text.contains("shards"), "{text}");
     assert!(text.contains("splitter seed"), "{text}");
 
@@ -443,12 +443,114 @@ fn every_registered_filter_id_round_trips_through_the_cli() {
             .expect("inspect");
         assert!(inspect.status.success(), "{id}");
         let text = String::from_utf8_lossy(&inspect.stdout);
-        assert!(text.contains("HABC container (v1)"), "{id}: {text}");
+        assert!(text.contains("HABC container (v2)"), "{id}: {text}");
         assert!(
             text.contains(&format!("filter id   : {id}")),
             "{id}: {text}"
         );
         assert!(text.contains("space"), "{id}: {text}");
+    }
+}
+
+/// `inspect` on a v2 image reports the mmap backing and the frame table
+/// — per-shard payload offsets, each 8-aligned — so operators can verify
+/// the alignment contract on a shipped file.
+#[test]
+fn inspect_reports_backing_and_sharded_frame_table() {
+    let dir = TempDir::new("inspect-frames");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..1200).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let out = dir.0.join("sharded.bin");
+    let build = Command::new(bin())
+        .args(["build", "--filter", "sharded-habf", "--shards", "3"])
+        .arg("--positives")
+        .arg(&pos)
+        .args(["--bits-per-key", "10", "--out"])
+        .arg(&out)
+        .output()
+        .expect("build");
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let inspect = Command::new(bin())
+        .arg("inspect")
+        .arg(&out)
+        .output()
+        .expect("inspect");
+    assert!(inspect.status.success());
+    let text = String::from_utf8_lossy(&inspect.stdout);
+    assert!(text.contains("backing     : mmap"), "{text}");
+    // 3 shards × (bloom + cells) = 6 frames, labelled per shard.
+    assert!(text.contains("frames      : 6"), "{text}");
+    for shard in 0..3 {
+        assert!(text.contains(&format!("shard {shard} bloom")), "{text}");
+        assert!(text.contains(&format!("shard {shard} cells")), "{text}");
+    }
+    assert!(!text.contains("NOT 8-aligned"), "{text}");
+}
+
+/// `migrate` rewrites any loadable image as a current v2 container that
+/// answers identically and serves mmap-backed.
+#[test]
+fn migrate_upgrades_legacy_and_v1_images_to_v2() {
+    let dir = TempDir::new("migrate");
+    // The checked-in legacy fixture and its golden workload (see
+    // tests/golden_persist.rs) — plus the v1 container fixture.
+    let golden = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for (fixture, id) in [
+        ("habf_v1.bin", "habf"),
+        ("container_habf_v1.bin", "habf"),
+        ("container_sharded-fhabf_v1.bin", "sharded-fhabf"),
+    ] {
+        let input = dir.0.join(fixture);
+        std::fs::copy(golden.join(fixture), &input).expect("copy fixture");
+        let out = dir.0.join(format!("{fixture}.migrated"));
+        let migrate = Command::new(bin())
+            .arg("migrate")
+            .arg(&input)
+            .arg("--out")
+            .arg(&out)
+            .output()
+            .expect("migrate");
+        assert!(
+            migrate.status.success(),
+            "{fixture}: {}",
+            String::from_utf8_lossy(&migrate.stderr)
+        );
+        let text = String::from_utf8_lossy(&migrate.stdout);
+        assert!(text.contains("HABC container (v2)"), "{fixture}: {text}");
+
+        let inspect = Command::new(bin())
+            .arg("inspect")
+            .arg(&out)
+            .output()
+            .expect("inspect migrated");
+        let text = String::from_utf8_lossy(&inspect.stdout);
+        assert!(text.contains("HABC container (v2)"), "{fixture}: {text}");
+        assert!(
+            text.contains(&format!("filter id   : {id}")),
+            "{fixture}: {text}"
+        );
+        assert!(text.contains("backing     : mmap"), "{fixture}: {text}");
+
+        // The golden members still answer "maybe" through the migrated
+        // image.
+        let query = Command::new(bin())
+            .arg("query")
+            .arg(&out)
+            .args(["golden:pos:0", "golden:pos:63"])
+            .output()
+            .expect("query migrated");
+        assert!(
+            query.status.success(),
+            "{fixture}: member lost in migration: {}",
+            String::from_utf8_lossy(&query.stdout)
+        );
     }
 }
 
@@ -508,6 +610,64 @@ fn adapt_preserves_the_legacy_image_format() {
     } else {
         // Below threshold (no FPs in the replay): nothing was written,
         // which also cannot have migrated the format.
+        let text = String::from_utf8_lossy(&adapt.stdout);
+        assert!(text.contains("no adaptation needed"), "{text}");
+    }
+}
+
+/// `adapt` on a **v1 container** writes a v1 container back (pre-v2
+/// readers keep loading it); only v2 inputs re-wrap as v2.
+#[test]
+fn adapt_preserves_the_v1_container_version() {
+    let dir = TempDir::new("adapt-v1");
+    let fixture = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/container_habf_v1.bin");
+    let filter = dir.0.join("v1.bin");
+    std::fs::copy(&fixture, &filter).expect("copy fixture");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..64)
+            .map(|i| format!("golden:pos:{i}"))
+            .collect::<Vec<_>>(),
+    );
+    let queries = write_file(
+        &dir.0,
+        "queries.txt",
+        &(0..64)
+            .map(|i| format!("golden:neg:{i}"))
+            .collect::<Vec<_>>(),
+    );
+    let adapted = dir.0.join("adapted.bin");
+    let adapt = Command::new(bin())
+        .arg("adapt")
+        .arg(&filter)
+        .arg("--positives")
+        .arg(&pos)
+        .arg("--queries")
+        .arg(&queries)
+        .args(["--threshold", "0.5"])
+        .arg("--out")
+        .arg(&adapted)
+        .output()
+        .expect("adapt v1 container");
+    assert!(
+        adapt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&adapt.stderr)
+    );
+    if adapted.exists() {
+        let bytes = std::fs::read(&adapted).expect("adapted image");
+        assert_eq!(&bytes[..4], b"HABC", "container input stays a container");
+        assert_eq!(bytes[4], 1, "v1 container input must stay v1");
+        let inspect = Command::new(bin())
+            .arg("inspect")
+            .arg(&adapted)
+            .output()
+            .expect("inspect adapted");
+        let text = String::from_utf8_lossy(&inspect.stdout);
+        assert!(text.contains("HABC container (v1)"), "{text}");
+    } else {
         let text = String::from_utf8_lossy(&adapt.stdout);
         assert!(text.contains("no adaptation needed"), "{text}");
     }

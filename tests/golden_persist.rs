@@ -121,9 +121,12 @@ fn sharded_container_is_byte_stable() {
     }
 }
 
-/// One container fixture per registered filter id: the container
-/// envelope *and* every payload codec (including the baselines, which
-/// gained persistence with the container) are byte-pinned.
+/// One container fixture **per envelope version** per registered filter
+/// id: the v1 envelope (opaque payload, still written by
+/// `to_container_bytes_v1` for pre-v2 readers), the current v2 envelope
+/// (aligned word frames), and every payload codec (including the
+/// baselines, which gained persistence with the container) are
+/// byte-pinned.
 #[test]
 fn container_images_are_byte_stable_for_every_registered_id() {
     let (pos, neg) = workload();
@@ -135,18 +138,54 @@ fn container_images_are_byte_stable_for_every_registered_id() {
             .shards(2)
             .build(&input)
             .unwrap_or_else(|e| panic!("{id}: {e}"));
-        let image = filter.to_container_bytes();
-        assert_matches_fixture(&format!("container_{id}_v1.bin"), &image);
 
-        let loaded = registry::load(&image).unwrap_or_else(|e| panic!("{id}: {e}"));
-        assert_eq!(loaded.format, ImageFormat::Container, "{id}");
-        assert_eq!(loaded.filter.filter_id(), id);
-        assert_eq!(loaded.filter.to_container_bytes(), image, "{id}: re-encode");
-        for k in &pos {
-            assert!(loaded.filter.contains(k), "{id}: member dropped");
+        // The previous envelope stays writable and byte-identical, so
+        // images shipped to pre-v2 readers never drift.
+        let image_v1 = filter.to_container_bytes_v1();
+        assert_matches_fixture(&format!("container_{id}_v1.bin"), &image_v1);
+
+        // The current aligned envelope.
+        let image = filter.to_container_bytes();
+        assert_matches_fixture(&format!("container_{id}_v2.bin"), &image);
+
+        for (version, bytes) in [(1u8, &image_v1), (2u8, &image)] {
+            let loaded = registry::load(bytes).unwrap_or_else(|e| panic!("{id} v{version}: {e}"));
+            assert_eq!(loaded.format, ImageFormat::Container, "{id} v{version}");
+            assert_eq!(loaded.version, version, "{id}");
+            assert_eq!(loaded.filter.filter_id(), id);
+            // Re-encoding through the current writer is stable and lands
+            // on the v2 bytes regardless of which version was loaded.
+            assert_eq!(
+                loaded.filter.to_container_bytes(),
+                image,
+                "{id} v{version}: re-encode"
+            );
+            for k in &pos {
+                assert!(loaded.filter.contains(k), "{id} v{version}: member dropped");
+            }
+            for (k, _) in &neg {
+                assert_eq!(
+                    filter.contains(k),
+                    loaded.filter.contains(k),
+                    "{id} v{version}"
+                );
+            }
         }
-        for (k, _) in &neg {
-            assert_eq!(filter.contains(k), loaded.filter.contains(k), "{id}");
+
+        // The v2 image loads zero-copy through the shared-image path with
+        // identical answers.
+        let shared = registry::load_bytes(image.clone())
+            .unwrap_or_else(|e| panic!("{id}: shared load: {e}"));
+        assert_ne!(
+            shared.filter.backing(),
+            habf::util::Backing::Owned,
+            "{id}: v2 shared load must be view-backed"
+        );
+        for k in pos.iter().take(16) {
+            assert!(
+                shared.filter.contains(k),
+                "{id}: shared view dropped member"
+            );
         }
     }
 }

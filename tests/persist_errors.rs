@@ -1,7 +1,9 @@
 //! Persistence error paths: untrusted bytes must produce *typed* errors,
-//! never panics — truncation, bad magic, wrong container version, unknown
-//! filter ids, and arbitrary byte mutations, across every registered
-//! filter id and both legacy formats.
+//! never panics — truncation, bad magic, wrong container version,
+//! unknown filter ids, frame misalignment, and arbitrary byte mutations,
+//! across every registered filter id in **both** container versions (the
+//! aligned v2 and the opaque v1) and both legacy formats, through the
+//! copying loader *and* the zero-copy shared-image loader.
 
 use habf::core::registry;
 use habf::core::{BuildInput, FilterSpec, PersistError};
@@ -23,14 +25,20 @@ fn build_corpus() -> Vec<(String, Vec<u8>)> {
     let input = BuildInput::from_members(&members).with_costed_negatives(&negatives);
     let mut images: Vec<(String, Vec<u8>)> = registry::ids()
         .into_iter()
-        .map(|id| {
+        .flat_map(|id| {
             let filter = FilterSpec::by_id(id)
                 .expect("registered")
                 .bits_per_key(12.0)
                 .shards(2)
                 .build(&input)
                 .unwrap_or_else(|e| panic!("{id}: {e}"));
-            (format!("container:{id}"), filter.to_container_bytes())
+            [
+                // The current aligned envelope (word frames, zero-copy
+                // loadable) and the previous opaque envelope: both must
+                // be equally hardened against mutation.
+                (format!("container-v2:{id}"), filter.to_container_bytes()),
+                (format!("container-v1:{id}"), filter.to_container_bytes_v1()),
+            ]
         })
         .collect();
     // Legacy formats go through the same loader and must be as hardened.
@@ -50,8 +58,17 @@ fn truncations_at_every_prefix_error_not_panic() {
         for cut in 0..image.len() {
             let result = registry::load(&image[..cut]);
             assert!(result.is_err(), "{name}: cut at {cut} loaded");
+            // The zero-copy shared-image loader must be exactly as
+            // hardened: truncated frames are typed errors, never a
+            // mis-sliced view.
+            let result = registry::load_bytes(image[..cut].to_vec());
+            assert!(result.is_err(), "{name}: cut at {cut} loaded shared");
         }
         assert!(registry::load(image).is_ok(), "{name}: pristine image");
+        assert!(
+            registry::load_bytes(image.clone()).is_ok(),
+            "{name}: pristine shared image"
+        );
     }
 }
 
@@ -82,9 +99,9 @@ fn bad_magic_wrong_version_and_unknown_id_are_typed() {
 
     // A well-formed container naming an id the registry does not serve.
     let (_, image) = &corpus()[0];
-    let (_, payload) = habf::core::persist::decode_container(image).expect("container");
+    let decoded = habf::core::persist::decode_container(image).expect("container");
     let mut unknown = Vec::new();
-    habf::core::persist::encode_container("future-filter", payload, &mut unknown);
+    habf::core::persist::encode_container("future-filter", decoded.payload, &mut unknown);
     assert_eq!(
         registry::load(&unknown).err(),
         Some(PersistError::UnknownFilterId("future-filter".into()))
@@ -117,6 +134,13 @@ proptest! {
             let _ = loaded.filter.space_bits();
             let _ = loaded.filter.to_container_bytes();
             let _ = name;
+        }
+        // The zero-copy loader sees the same mutant: a corrupt frame
+        // table must come back as a typed error (e.g. Misaligned), and a
+        // loadable mutant must serve through its views without panicking.
+        if let Ok(loaded) = registry::load_bytes(mutated) {
+            let _ = loaded.filter.contains(b"probe:key");
+            let _ = loaded.filter.to_container_bytes();
         }
     }
 

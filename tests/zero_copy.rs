@@ -1,0 +1,82 @@
+//! The zero-copy acceptance criterion, asserted with the tracking
+//! allocator: `registry::load_mmap` of a v2 container performs **zero
+//! payload-word copies** — the heap it allocates while opening is bounded
+//! by header/scaffolding size and does not scale with the image's word
+//! payload, for every registered filter id.
+//!
+//! This test binary installs [`TrackingAllocator`] globally (kept out of
+//! the other test binaries, where it would tax every allocation), builds
+//! a large-enough filter per id that scaffolding noise cannot hide a
+//! payload copy, and measures the bytes allocated inside the load call.
+
+use habf::core::registry;
+use habf::core::{BuildInput, FilterSpec};
+use habf::util::alloc::TrackingAllocator;
+use habf::util::Backing;
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+#[test]
+fn load_mmap_performs_zero_payload_word_copies_for_every_registered_id() {
+    // 40k members at 12 bits/key ≈ 60 KB of payload words per filter —
+    // three orders of magnitude above the meta/scaffolding allocations a
+    // zero-copy open legitimately makes.
+    let members: Vec<Vec<u8>> = (0..40_000)
+        .map(|i| format!("member:{i:08}").into_bytes())
+        .collect();
+    let negatives: Vec<(Vec<u8>, f64)> = (0..10_000)
+        .map(|i| (format!("absent:{i:08}").into_bytes(), 1.0 + (i % 5) as f64))
+        .collect();
+    let input = BuildInput::from_members(&members).with_costed_negatives(&negatives);
+    let dir = std::env::temp_dir().join(format!("habf-zero-copy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    for id in registry::ids() {
+        let filter = FilterSpec::by_id(id)
+            .expect("registered")
+            .bits_per_key(12.0)
+            .shards(4)
+            .build(&input)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let image = filter.to_container_bytes();
+        let payload_bytes = image.len();
+        let path = dir.join(format!("{id}.habc"));
+        std::fs::write(&path, &image).expect("write image");
+
+        let (loaded, allocated) = TrackingAllocator::measure(|| {
+            registry::load_mmap(&path).unwrap_or_else(|e| panic!("{id}: {e}"))
+        });
+        assert_ne!(
+            loaded.filter.backing(),
+            Backing::Owned,
+            "{id}: load_mmap must serve a view"
+        );
+        // The open may allocate headers, the id string, shard Arcs, the
+        // frame table — all O(shards), none O(payload). A single copied
+        // word frame would blow straight through this bound.
+        assert!(
+            allocated < payload_bytes / 4,
+            "{id}: load_mmap allocated {allocated} bytes against a \
+             {payload_bytes}-byte image — a payload copy slipped in"
+        );
+
+        // The view must actually serve.
+        for k in members.iter().step_by(997) {
+            assert!(loaded.filter.contains(k), "{id}: view dropped a member");
+        }
+
+        // Contrast: the copying load necessarily allocates at least the
+        // payload words.
+        let bytes = std::fs::read(&path).expect("read image");
+        let (owned, allocated_owned) =
+            TrackingAllocator::measure(|| registry::load(&bytes).expect("owned load"));
+        assert_eq!(owned.filter.backing(), Backing::Owned, "{id}");
+        assert!(
+            allocated_owned > allocated,
+            "{id}: owned decode ({allocated_owned} B) should out-allocate \
+             the view open ({allocated} B)"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
