@@ -1,0 +1,56 @@
+//! Probe suite: batch-probe throughput of every batchable filter id at
+//! equal bits per key — scalar loop vs prefetch pipeline vs parallel
+//! fan-out.
+//!
+//! Prints the comparison table and writes a machine-readable summary
+//! (default `BENCH_probe.json`; `--out PATH` overrides) that CI uploads
+//! as the probe-trajectory artifact. The committed `BENCH_probe.json` at
+//! the repo root archives a full-scale release run.
+//!
+//! Flags: `--out PATH`, `--keys N`, `--bits-per-key F`, `--threads N`,
+//! `--seed N`.
+
+fn main() {
+    let mut out = "BENCH_probe.json".to_string();
+    let mut keys = 1_000_000usize;
+    let mut bits_per_key = 10.0f64;
+    let mut threads = 0usize;
+    let mut seed = 0xBEEFu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = value("--out"),
+            "--keys" => keys = value("--keys").parse().expect("--keys: integer"),
+            "--bits-per-key" => {
+                bits_per_key = value("--bits-per-key")
+                    .parse()
+                    .expect("--bits-per-key: float");
+            }
+            "--threads" => threads = value("--threads").parse().expect("--threads: integer"),
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --out PATH | --keys N | --bits-per-key F | --threads N | --seed N"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let r = habf_bench::probe::run_probe(keys, bits_per_key, threads, seed);
+    r.table().print();
+    println!(
+        "\n{} keys at {} bits/key, {} probes: best batch pipeline {:.1} Mops",
+        r.keys,
+        r.bits_per_key,
+        r.probes,
+        r.best_batch_mops()
+    );
+    std::fs::write(&out, r.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -329,6 +329,27 @@ impl FilterSpec {
         Self::with_id("xor")
     }
 
+    /// The cache-line-blocked Bloom filter: every key's probes land in
+    /// one 512-bit block, with a build-time-calibrated base hash.
+    #[must_use]
+    pub fn blocked_bloom() -> Self {
+        Self::with_id("blocked-bloom")
+    }
+
+    /// HABF over a cache-line-blocked bit layer: one memory line per
+    /// Bloom round, same two-round zero-FN query.
+    #[must_use]
+    pub fn blocked_habf() -> Self {
+        Self::with_id("blocked-habf")
+    }
+
+    /// The 3-wise binary fuse filter (Graf & Lemire): static like xor,
+    /// denser fingerprint packing.
+    #[must_use]
+    pub fn binary_fuse() -> Self {
+        Self::with_id("binary-fuse")
+    }
+
     /// A spec for any registered filter id — the string-keyed entry point
     /// the CLI's `--filter <id>` flag uses. Returns `None` for ids absent
     /// from the [`crate::registry`].

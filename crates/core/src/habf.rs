@@ -274,6 +274,47 @@ impl Habf {
             .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
     }
 
+    /// The round-2 re-test: retrieve the customized hash subset from the
+    /// HashExpressor and probe it (the rare path — round 1 answers most
+    /// keys).
+    fn round2(&self, key: &[u8]) -> bool {
+        match self.he.query(key, &self.family) {
+            Some(phi) => {
+                let m = self.bloom.len();
+                phi.iter()
+                    .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
+            }
+            None => false,
+        }
+    }
+
+    /// Phase 1 of the batch pipeline: computes `key`'s round-1 probe
+    /// positions **once**, appends them to `plan`, and (when `prefetch`)
+    /// hints their cache lines. Phase 2 ([`Habf::contains_planned`])
+    /// probes the same positions, so the pipeline never re-derives them —
+    /// an earlier prefetch design that re-hashed at test time cost more
+    /// than the hidden latency repaid.
+    #[inline]
+    pub fn plan_round1(&self, key: &[u8], plan: &mut Vec<usize>, prefetch: bool) {
+        let m = self.bloom.len();
+        for &id in &self.h0 {
+            let pos = self.family.position(id, key, m);
+            if prefetch {
+                self.bloom.prefetch_bit(pos);
+            }
+            plan.push(pos);
+        }
+    }
+
+    /// Phase 2 of the batch pipeline: finishes the two-round query given
+    /// the round-1 positions [`Habf::plan_round1`] derived for this key.
+    /// Round 2 still hashes, but it only runs for round-1 misses.
+    #[inline]
+    #[must_use]
+    pub fn contains_planned(&self, key: &[u8], plan: &[usize]) -> bool {
+        self.bloom.all_set(plan) || self.round2(key)
+    }
+
     /// Where this filter's payload words live: `owned` after a build or a
     /// copying load, a shared/mmap view after a zero-copy load — until
     /// the first mutation promotes the touched part to owned words.
@@ -400,17 +441,7 @@ impl Filter for Habf {
     /// The two-round query (paper Fig 1): test with `H0`; on a miss,
     /// retrieve the customized subset from the HashExpressor and re-test.
     fn contains(&self, key: &[u8]) -> bool {
-        if self.round1(key) {
-            return true;
-        }
-        match self.he.query(key, &self.family) {
-            Some(phi) => {
-                let m = self.bloom.len();
-                phi.iter()
-                    .all(|&id| self.bloom.get_probe(self.family.position(id, key, m)))
-            }
-            None => false,
-        }
+        self.round1(key) || self.round2(key)
     }
 
     fn space_bits(&self) -> usize {
@@ -503,6 +534,41 @@ impl FHabf {
     #[must_use]
     pub fn backing(&self) -> Backing {
         self.bloom.backing().combine(self.he.cells().backing())
+    }
+
+    /// Phase 1 of the batch pipeline (see [`Habf::plan_round1`]): one
+    /// xxh128 evaluation derives all round-1 positions, which are
+    /// appended to `plan` and (when `prefetch`) hinted. Only round-1
+    /// misses pay a second base-hash evaluation, in
+    /// [`FHabf::contains_planned`]'s round 2.
+    #[inline]
+    pub fn plan_round1(&self, key: &[u8], plan: &mut Vec<usize>, prefetch: bool) {
+        let bound = habf_hashing::double::KeyBoundSimulated::new(&self.family, key);
+        let m = self.bloom.len();
+        for &id in &self.h0 {
+            let pos = bound.position(id, key, m);
+            if prefetch {
+                self.bloom.prefetch_bit(pos);
+            }
+            plan.push(pos);
+        }
+    }
+
+    /// Phase 2 of the batch pipeline (see [`Habf::contains_planned`]).
+    #[inline]
+    #[must_use]
+    pub fn contains_planned(&self, key: &[u8], plan: &[usize]) -> bool {
+        if self.bloom.all_set(plan) {
+            return true;
+        }
+        let bound = habf_hashing::double::KeyBoundSimulated::new(&self.family, key);
+        let m = self.bloom.len();
+        match self.he.query(key, &bound) {
+            Some(phi) => phi
+                .iter()
+                .all(|&id| self.bloom.get_probe(bound.position(id, key, m))),
+            None => false,
+        }
     }
 
     /// The persist image of this filter (see [`Habf::image`]).

@@ -43,6 +43,8 @@
 //! | §III-C/E two-round zero-FNR query | [`habf`] |
 //! | §III-G f-HABF (double hashing, Γ off) | [`habf::FHabf`] |
 //! | §IV theoretical analysis (Eqs 3, 11, 12, 19) | [`theory`] |
+//! | — block-partitioned bit layer (post-paper) | [`blocked`] |
+//! | — batch-probe prefetch pipeline (post-paper) | [`probe`] |
 //! | — sharded concurrent serving (post-paper) | [`sharded`] |
 //! | — FP-feedback adaptation loop (post-paper) | [`adapt`] |
 //! | — unified object-safe filter API (post-paper) | [`filter_api`], [`registry`] |
@@ -51,11 +53,13 @@
 #![deny(unsafe_code)]
 
 pub mod adapt;
+pub mod blocked;
 pub mod filter_api;
 pub mod gamma;
 pub mod habf;
 pub mod hash_expressor;
 pub mod persist;
+pub mod probe;
 pub mod registry;
 pub mod sharded;
 pub mod theory;
@@ -63,6 +67,7 @@ pub mod tpjo;
 pub mod vindex;
 
 pub use adapt::{AdaptPolicy, FpLog};
+pub use blocked::{BlockedFamily, BlockedHabf};
 pub use filter_api::{
     BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, FilterSpec, Rebuildable,
     SpaceBudget,

@@ -12,11 +12,16 @@
 //! pre-container image remains loadable byte-for-byte through the same
 //! entry point.
 
+use crate::blocked::BlockedHabf;
 use crate::filter_api::{BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, Rebuildable};
 use crate::habf::{FHabf, Habf};
 use crate::persist::{self, FrameSource, FrameWriter, PersistError, Reader, V2Shard};
 use crate::sharded::{ShardFilter, ShardedHabf};
-use habf_filters::{BloomFilter, BloomHashStrategy, WeightedBloomFilter, XorFilter};
+use habf_filters::{
+    BinaryFuseFilter, BlockedBloomFilter, BloomFilter, BloomHashStrategy, WeightedBloomFilter,
+    XorFilter,
+};
+use habf_hashing::HashFunction;
 use habf_util::{Backing, BitVec, ImageBytes, PackedCells};
 use std::sync::Arc;
 
@@ -107,6 +112,27 @@ pub fn entries() -> &'static [FilterEntry] {
             build: build_xor,
             load_payload: load_xor,
             load_v2: load_xor_v2,
+        },
+        FilterEntry {
+            id: "blocked-bloom",
+            summary: "cache-line-blocked Bloom filter (calibrated base hash)",
+            build: build_blocked_bloom,
+            load_payload: load_blocked_bloom,
+            load_v2: load_blocked_bloom_v2,
+        },
+        FilterEntry {
+            id: "blocked-habf",
+            summary: "HABF over a cache-line-blocked bit layer",
+            build: build_blocked_habf,
+            load_payload: load_blocked_habf,
+            load_v2: load_blocked_habf_v2,
+        },
+        FilterEntry {
+            id: "binary-fuse",
+            summary: "3-wise binary fuse filter (static, denser than xor)",
+            build: build_binary_fuse,
+            load_payload: load_binary_fuse,
+            load_v2: load_binary_fuse_v2,
         },
     ]
 }
@@ -236,6 +262,7 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
             let id = match (sharded, kind) {
                 (false, 0) => "habf",
                 (false, 1) => "fhabf",
+                (false, 2) => "blocked-habf",
                 (true, 0) => "sharded-habf",
                 (true, 1) => "sharded-fhabf",
                 _ => return Err(PersistError::Corrupt("unknown legacy kind byte")),
@@ -672,6 +699,10 @@ impl DynFilter for BloomFilter {
             ("fill ratio", format!("{:.4}", self.fill_ratio())),
         ]
     }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
+    }
 }
 
 fn build_bloom(p: &FilterParams, input: &BuildInput<'_>) -> Result<Box<dyn DynFilter>, BuildError> {
@@ -809,6 +840,10 @@ impl DynFilter for WeightedBloomFilter {
             ("cost-cache entries", self.cache_len().to_string()),
             ("items", self.items().to_string()),
         ]
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
     }
 }
 
@@ -1009,6 +1044,329 @@ fn load_xor_v2(
     let cells = PackedCells::from_store(frames.next_words(word_count)?, slots, fp_bits);
     Ok(Box::new(XorFilter::from_parts(
         cells, seg_len, seed, fp_bits, items,
+    )))
+}
+
+// ---------------------------------------------------------------------
+// Probe-pipeline filters: blocked layouts and the binary-fuse baseline.
+// ---------------------------------------------------------------------
+
+const BLOCKED_BLOOM_PAYLOAD_VERSION: u8 = 1;
+const BINARY_FUSE_PAYLOAD_VERSION: u8 = 1;
+
+impl DynFilter for BlockedBloomFilter {
+    fn filter_id(&self) -> &'static str {
+        "blocked-bloom"
+    }
+
+    /// ```text
+    /// version u8 | k u16 | base u8 (hash registry index) | seed u64
+    /// items u64 | m u64 | words…
+    /// ```
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.push(BLOCKED_BLOOM_PAYLOAD_VERSION);
+        encode_blocked_bloom_meta(self, out);
+        for w in self.bits().words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// v2: the same fields minus the version byte as metadata, the bit
+    /// array as one aligned word frame.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        encode_blocked_bloom_meta(self, out.meta());
+        out.frame(self.bits().words());
+    }
+
+    fn backing(&self) -> Backing {
+        self.bits().backing()
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("hashes per key (k)", self.k().to_string()),
+            ("blocks (512-bit)", self.blocks().to_string()),
+            ("base hash", self.base().name().to_string()),
+            ("items", self.items().to_string()),
+            ("fill ratio", format!("{:.4}", self.fill_ratio())),
+        ]
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
+    }
+}
+
+fn build_blocked_bloom(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let total = p.total_bits(input.members.len());
+    Ok(Box::new(BlockedBloomFilter::build(&input.members, total)))
+}
+
+/// The blocked-Bloom fields shared by the v1 payload (after its version
+/// byte) and the v2 metadata blob.
+fn encode_blocked_bloom_meta(f: &BlockedBloomFilter, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(f.k() as u16).to_le_bytes());
+    out.push(f.base().registry_index() as u8);
+    out.extend_from_slice(&f.seed().to_le_bytes());
+    out.extend_from_slice(&(f.items() as u64).to_le_bytes());
+    out.extend_from_slice(&(f.bits().len() as u64).to_le_bytes());
+}
+
+type BlockedBloomMeta = (usize, HashFunction, u64, usize, usize);
+
+/// Decodes the shared blocked-Bloom fields, returning
+/// `(k, base, seed, items, m)`; `m` is validated to span whole blocks.
+fn decode_blocked_bloom_meta(r: &mut Reader<'_>) -> Result<BlockedBloomMeta, PersistError> {
+    let k = decode_k(r)?;
+    let base = HashFunction::from_registry_index(usize::from(r.u8()?))
+        .ok_or(PersistError::Corrupt("unknown base-hash index"))?;
+    let seed = r.u64()?;
+    let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let m = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    if m == 0 || m % habf_filters::blocked_bloom::BLOCK_BITS != 0 {
+        return Err(PersistError::Corrupt(
+            "blocked Bloom array not whole 512-bit blocks",
+        ));
+    }
+    Ok((k, base, seed, items, m))
+}
+
+fn load_blocked_bloom(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != BLOCKED_BLOOM_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let (k, base, seed, items, m) = decode_blocked_bloom_meta(&mut r)?;
+    let bits = BitVec::from_words(r.words(m.div_ceil(64))?, m);
+    r.finish()?;
+    Ok(Box::new(BlockedBloomFilter::from_parts(
+        bits, k, base, seed, items,
+    )))
+}
+
+fn load_blocked_bloom_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (k, base, seed, items, m) = decode_blocked_bloom_meta(&mut r)?;
+    r.finish()?;
+    let bits = BitVec::from_store(frames.next_words(m.div_ceil(64))?, m);
+    Ok(Box::new(BlockedBloomFilter::from_parts(
+        bits, k, base, seed, items,
+    )))
+}
+
+impl DynFilter for BlockedHabf {
+    fn filter_id(&self) -> &'static str {
+        "blocked-habf"
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        let img = self.image();
+        persist::encode_v2_meta(&img, out.meta());
+        persist::push_v2_frames(&img, out);
+    }
+
+    fn backing(&self) -> Backing {
+        BlockedHabf::backing(self)
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("hashes per key (k)", self.h0().len().to_string()),
+            ("blocks (512-bit)", self.blocks().to_string()),
+            (
+                "block selector",
+                self.family().selector().name().to_string(),
+            ),
+            ("expressor entries", self.expressor_entries().to_string()),
+            ("bloom fill ratio", format!("{:.4}", self.fill_ratio())),
+            ("fpr envelope", format!("{:.6}", self.fpr_envelope())),
+        ]
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
+    }
+
+    fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        Some(self)
+    }
+}
+
+impl Rebuildable for BlockedHabf {
+    fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError> {
+        input.validate_costs()?;
+        BlockedHabf::rebuild(self, &input.members, &input.merged_negatives(), seed);
+        Ok(())
+    }
+}
+
+fn build_blocked_habf(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.habf_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(BlockedHabf::build(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn load_blocked_habf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    BlockedHabf::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+fn load_blocked_habf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let d = persist::decode_v2_meta(&mut r, 2, frames)?;
+    r.finish()?;
+    Ok(Box::new(BlockedHabf::try_from_decoded(d)?))
+}
+
+impl DynFilter for BinaryFuseFilter {
+    fn filter_id(&self) -> &'static str {
+        "binary-fuse"
+    }
+
+    /// ```text
+    /// version u8 | fp_bits u8 | seg_len u64 | seg_count u64 | seed u64
+    /// items u64 | fingerprint words…
+    /// ```
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.push(BINARY_FUSE_PAYLOAD_VERSION);
+        encode_binary_fuse_meta(self, out);
+        for w in self.fingerprints().words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// v2: the same fields minus the version byte as metadata, the
+    /// fingerprint table as one aligned word frame.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        encode_binary_fuse_meta(self, out.meta());
+        out.frame(self.fingerprints().words());
+    }
+
+    fn backing(&self) -> Backing {
+        self.fingerprints().backing()
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("fingerprint bits", self.fp_bits().to_string()),
+            ("segments", self.seg_count().to_string()),
+            ("segment length", self.seg_len().to_string()),
+            ("items", self.items().to_string()),
+            ("theoretical fpr", format!("{:.6}", self.theoretical_fpr())),
+        ]
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchQuery> {
+        Some(self)
+    }
+}
+
+fn build_binary_fuse(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let n = input.members.len();
+    if n == 0 {
+        return Err(BuildError::EmptyMembers { id: "binary-fuse" });
+    }
+    let total = p.total_bits(n);
+    if total / BinaryFuseFilter::slots_for(n) < 1 {
+        return Err(BuildError::BadBudget {
+            id: "binary-fuse",
+            detail: "below one fingerprint bit per fuse slot",
+        });
+    }
+    Ok(Box::new(BinaryFuseFilter::build(&input.members, total)))
+}
+
+/// The binary-fuse fields shared by the v1 payload (after its version
+/// byte) and the v2 metadata blob.
+fn encode_binary_fuse_meta(f: &BinaryFuseFilter, out: &mut Vec<u8>) {
+    out.push(f.fp_bits() as u8);
+    out.extend_from_slice(&(f.seg_len() as u64).to_le_bytes());
+    out.extend_from_slice(&(f.seg_count() as u64).to_le_bytes());
+    out.extend_from_slice(&f.seed().to_le_bytes());
+    out.extend_from_slice(&(f.items() as u64).to_le_bytes());
+}
+
+type BinaryFuseMeta = (u32, usize, usize, u64, usize, usize, usize);
+
+/// Decodes the shared binary-fuse fields, returning
+/// `(fp_bits, seg_len, seg_count, seed, items, slots, word_count)`.
+fn decode_binary_fuse_meta(r: &mut Reader<'_>) -> Result<BinaryFuseMeta, PersistError> {
+    let fp_bits = u32::from(r.u8()?);
+    if !(1..=32).contains(&fp_bits) {
+        return Err(PersistError::Corrupt("fingerprint width out of range"));
+    }
+    let seg_len = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    if seg_len == 0 || !seg_len.is_power_of_two() {
+        return Err(PersistError::Corrupt(
+            "segment length not a nonzero power of two",
+        ));
+    }
+    let seg_count = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    if seg_count == 0 {
+        return Err(PersistError::Corrupt("empty segment table"));
+    }
+    let slots = seg_count
+        .checked_add(2)
+        .and_then(|w| w.checked_mul(seg_len))
+        .ok_or(PersistError::Truncated)?;
+    let seed = r.u64()?;
+    let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
+    let word_count = slots
+        .checked_mul(fp_bits as usize)
+        .ok_or(PersistError::Truncated)?
+        .div_ceil(64);
+    Ok((fp_bits, seg_len, seg_count, seed, items, slots, word_count))
+}
+
+fn load_binary_fuse(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != BINARY_FUSE_PAYLOAD_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let (fp_bits, seg_len, seg_count, seed, items, slots, word_count) =
+        decode_binary_fuse_meta(&mut r)?;
+    let cells = PackedCells::from_words(r.words(word_count)?, slots, fp_bits);
+    r.finish()?;
+    Ok(Box::new(BinaryFuseFilter::from_parts(
+        cells, seg_len, seg_count, seed, fp_bits, items,
+    )))
+}
+
+fn load_binary_fuse_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (fp_bits, seg_len, seg_count, seed, items, slots, word_count) =
+        decode_binary_fuse_meta(&mut r)?;
+    r.finish()?;
+    let cells = PackedCells::from_store(frames.next_words(word_count)?, slots, fp_bits);
+    Ok(Box::new(BinaryFuseFilter::from_parts(
+        cells, seg_len, seg_count, seed, fp_bits, items,
     )))
 }
 
@@ -1252,7 +1610,15 @@ mod tests {
 
         let mut bloom = FilterSpec::bloom().build(&input).expect("bloom");
         assert!(bloom.as_rebuildable().is_none(), "bloom is static");
-        assert!(bloom.as_batch().is_none());
+        assert!(bloom.as_batch().is_some(), "bloom has a batch pipeline");
+
+        let mut blocked = FilterSpec::blocked_habf().build(&input).expect("blocked");
+        assert!(blocked.as_batch().is_some(), "blocked HABF must batch");
+        assert!(blocked.as_rebuildable().is_some());
+
+        let mut fuse = FilterSpec::binary_fuse().build(&input).expect("fuse");
+        assert!(fuse.as_rebuildable().is_none(), "binary fuse is static");
+        assert!(fuse.as_batch().is_some(), "binary fuse must batch");
     }
 
     #[test]

@@ -50,6 +50,7 @@
 use crate::habf::{ConfigError, FHabf, Habf, HabfConfig};
 use crate::persist::{self, PersistError};
 use habf_filters::Filter;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Seed tag mixed into the splitter hash so shard routing can never
@@ -93,6 +94,21 @@ pub trait ShardFilter: Filter + Sized + Send + Sync {
     /// Where this shard's payload words live (owned heap vs a shared or
     /// mmap'ed image view).
     fn shard_backing(&self) -> habf_util::Backing;
+
+    /// Phase 1 of the batch pipeline: derive (and, when `prefetch`,
+    /// cache-hint) the probe positions this shard will test first for
+    /// `key`, appending them to `plan`. Default: plans nothing, for
+    /// shard types without a plannable probe phase.
+    #[inline]
+    fn plan_probe(&self, _key: &[u8], _plan: &mut Vec<usize>, _prefetch: bool) {}
+
+    /// Phase 2 of the batch pipeline: answer membership given the
+    /// positions [`ShardFilter::plan_probe`] appended for this key.
+    /// Default: ignores the plan and runs the scalar query.
+    #[inline]
+    fn contains_planned(&self, key: &[u8], _plan: &[usize]) -> bool {
+        self.contains(key)
+    }
 }
 
 impl ShardFilter for Habf {
@@ -117,6 +133,14 @@ impl ShardFilter for Habf {
     fn shard_backing(&self) -> habf_util::Backing {
         self.backing()
     }
+
+    fn plan_probe(&self, key: &[u8], plan: &mut Vec<usize>, prefetch: bool) {
+        self.plan_round1(key, plan, prefetch);
+    }
+
+    fn contains_planned(&self, key: &[u8], plan: &[usize]) -> bool {
+        Habf::contains_planned(self, key, plan)
+    }
 }
 
 impl ShardFilter for FHabf {
@@ -140,6 +164,14 @@ impl ShardFilter for FHabf {
 
     fn shard_backing(&self) -> habf_util::Backing {
         self.backing()
+    }
+
+    fn plan_probe(&self, key: &[u8], plan: &mut Vec<usize>, prefetch: bool) {
+        self.plan_round1(key, plan, prefetch);
+    }
+
+    fn contains_planned(&self, key: &[u8], plan: &[usize]) -> bool {
+        FHabf::contains_planned(self, key, plan)
     }
 }
 
@@ -382,35 +414,93 @@ impl<F: ShardFilter> ShardedHabf<F> {
 
     /// Queries a batch in input order, grouped by shard so each shard's
     /// Bloom array and HashExpressor stay cache-resident while their keys
-    /// drain.
+    /// drain. Each group runs the chunked plan→prefetch→test pipeline:
+    /// phase 1 hints the key bytes of the chunk, derives every key's
+    /// first-round probe positions **once** ([`ShardFilter::plan_probe`])
+    /// and hints their cache lines; phase 2 tests the planned positions
+    /// with the lines (likely) resident. Positions are never re-derived —
+    /// hashing each key twice costs more than the hidden latency repays.
+    ///
+    /// All scratch (per-key shard ids, group offsets, the grouped order,
+    /// the probe plan and its per-key bounds) lives in a thread-local and
+    /// is reused across calls, so a serving thread pays the grouping
+    /// allocations once, not per batch.
     #[must_use]
     pub fn contains_batch(&self, keys: &[impl AsRef<[u8]>]) -> Vec<bool> {
         let n = self.shards.len();
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (idx, key) in keys.iter().enumerate() {
-            by_shard[shard_of(key.as_ref(), self.splitter_seed, n)].push(idx);
-        }
+        let prefetch = habf_util::prefetch::enabled();
         let mut out = vec![false; keys.len()];
-        for (shard, indices) in self.shards.iter().zip(&by_shard) {
-            for &idx in indices {
-                out[idx] = shard.contains(keys[idx].as_ref());
+        BATCH_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let (shard_ids, starts, order) = (
+                &mut scratch.shard_ids,
+                &mut scratch.starts,
+                &mut scratch.order,
+            );
+            shard_ids.clear();
+            shard_ids.extend(
+                keys.iter()
+                    .map(|k| shard_of(k.as_ref(), self.splitter_seed, n) as u32),
+            );
+            // Counting sort: group starts, then scatter indices in order.
+            starts.clear();
+            starts.resize(n + 1, 0);
+            for &s in shard_ids.iter() {
+                starts[s as usize + 1] += 1;
             }
-        }
+            for i in 1..=n {
+                starts[i] += starts[i - 1];
+            }
+            order.clear();
+            order.resize(keys.len(), 0);
+            // `starts[s]` doubles as shard `s`'s write cursor; after the
+            // scatter it has advanced to group `s`'s end offset.
+            for (idx, &s) in shard_ids.iter().enumerate() {
+                order[starts[s as usize]] = idx as u32;
+                starts[s as usize] += 1;
+            }
+            let (plan, plan_ends) = (&mut scratch.plan, &mut scratch.plan_ends);
+            let mut begin = 0;
+            for (s, shard) in self.shards.iter().enumerate() {
+                let end = starts[s];
+                for chunk in order[begin..end].chunks(habf_filters::PROBE_CHUNK) {
+                    if prefetch {
+                        for &idx in chunk {
+                            habf_util::prefetch::prefetch_bytes(keys[idx as usize].as_ref());
+                        }
+                    }
+                    plan.clear();
+                    plan_ends.clear();
+                    for &idx in chunk {
+                        shard.plan_probe(keys[idx as usize].as_ref(), plan, prefetch);
+                        plan_ends.push(plan.len());
+                    }
+                    let mut from = 0;
+                    for (&idx, &to) in chunk.iter().zip(plan_ends.iter()) {
+                        out[idx as usize] =
+                            shard.contains_planned(keys[idx as usize].as_ref(), &plan[from..to]);
+                        from = to;
+                    }
+                }
+                begin = end;
+            }
+        });
         out
     }
 
     /// [`ShardedHabf::contains_batch`] fanned out over `threads` scoped
     /// worker threads (`0` = automatic). Reads share the immutable shards
-    /// through `&self`; no locks are taken.
+    /// through `&self`; no locks are taken. Batches too small to amortize
+    /// a spawn ([`crate::probe::MIN_KEYS_PER_THREAD`] keys per worker)
+    /// run serially no matter how many threads were requested.
     #[must_use]
     pub fn contains_batch_par(
         &self,
         keys: &[impl AsRef<[u8]> + Sync],
         threads: usize,
     ) -> Vec<bool> {
-        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        let threads = if threads == 0 { auto } else { threads }.max(1);
-        if threads == 1 || keys.len() < 2 {
+        let threads = crate::probe::effective_threads(threads, keys.len());
+        if threads <= 1 {
             return self.contains_batch(keys);
         }
         let chunk = keys.len().div_ceil(threads);
@@ -645,6 +735,28 @@ impl<F: ShardFilter> Filter for ShardedHabf<F> {
     }
 }
 
+/// Reusable scratch of [`ShardedHabf::contains_batch`] — grouping state
+/// plus the per-chunk probe plan.
+#[derive(Default)]
+struct BatchScratch {
+    /// Per-key shard id.
+    shard_ids: Vec<u32>,
+    /// Group start offsets (counting-sort cursors during the scatter).
+    starts: Vec<usize>,
+    /// Key indices grouped by shard.
+    order: Vec<u32>,
+    /// Flat first-round probe positions of one chunk.
+    plan: Vec<usize>,
+    /// Per-key end offsets into `plan`.
+    plan_ends: Vec<usize>,
+}
+
+thread_local! {
+    /// Reusable batch scratch, so a serving thread pays the grouping and
+    /// plan allocations once, not per `contains_batch` call.
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+}
+
 /// The dedicated splitter: seeded xxHash-64 over the key bytes, reduced
 /// modulo the shard count. Stable across versions (the seed and count are
 /// persisted), independent of every in-filter hash.
@@ -736,6 +848,25 @@ mod tests {
             assert_eq!(batch[i], f.contains(key), "batch diverged at {i}");
             assert_eq!(par[i], batch[i], "parallel batch diverged at {i}");
         }
+    }
+
+    #[test]
+    fn batch_agrees_with_and_without_prefetch_and_tiny_batches_stay_serial() {
+        let (pos, neg) = workload(1_200);
+        let f = ShardedHabf::<Habf>::build_par(&pos, &neg, &config(4, 1_200 * 10));
+        let mut probe = pos.clone();
+        probe.extend(keys(1_200, "fresh"));
+
+        habf_util::prefetch::set_enabled(false);
+        let cold = f.contains_batch(&probe);
+        habf_util::prefetch::set_enabled(true);
+        let warm = f.contains_batch(&probe);
+        assert_eq!(cold, warm, "prefetch must not change answers");
+
+        // Under MIN_KEYS_PER_THREAD per worker the parallel path runs
+        // serially and must still answer identically.
+        let tiny: Vec<&Vec<u8>> = probe.iter().take(100).collect();
+        assert_eq!(f.contains_batch_par(&tiny, 8), f.contains_batch(&tiny));
     }
 
     #[test]

@@ -22,12 +22,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod binary_fuse;
+pub mod blocked_bloom;
 pub mod bloom;
 pub mod classifier;
 pub mod learned;
 pub mod weighted_bloom;
 pub mod xor_filter;
 
+pub use binary_fuse::BinaryFuseFilter;
+pub use blocked_bloom::BlockedBloomFilter;
 pub use bloom::{BloomFilter, BloomHashStrategy};
 pub use classifier::{Classifier, LogisticRegression, MlpClassifier};
 pub use learned::{AdaptiveLearnedBloomFilter, LearnedBloomFilter, SandwichedLearnedBloomFilter};
@@ -55,6 +59,11 @@ pub trait Filter: Send + Sync {
     /// Short display name used by the benchmark tables.
     fn name(&self) -> &'static str;
 }
+
+/// Keys hashed-and-prefetched ahead of the test phase per batch-probe
+/// chunk. 64 keys give the prefetcher enough outstanding lines to hide
+/// DRAM latency while the chunk's hashes stay in L1.
+pub const PROBE_CHUNK: usize = 64;
 
 /// Returns the paper's default hash count for a bits-per-key budget:
 /// `k = ln 2 · b` (Section II, "Bloom filter"), clamped to `1..=30`.

@@ -185,6 +185,48 @@ impl WeightedBloomFilter {
     pub fn cache_bytes(&self) -> usize {
         self.cache.capacity() * core::mem::size_of::<(u64, u16)>()
     }
+
+    /// Batch membership with the prefetch pipeline. Per-key `k` varies
+    /// (that is the point of WBF), so the chunk records each key's probe
+    /// count alongside the flat position list; the cost-cache walk and
+    /// double-hash derivation happen in the prefetch phase, hiding the
+    /// bit-array latency behind them.
+    pub fn contains_batch_into(&self, keys: &[&[u8]], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(keys.len());
+        let prefetch = habf_util::prefetch::enabled();
+        let m = self.bits.len();
+        let mut flat: Vec<usize> = Vec::with_capacity(crate::PROBE_CHUNK * self.k_default);
+        let mut ks: Vec<usize> = Vec::with_capacity(crate::PROBE_CHUNK);
+        for chunk in keys.chunks(crate::PROBE_CHUNK) {
+            flat.clear();
+            ks.clear();
+            if prefetch {
+                // Pull the key bytes in first: on a large shuffled batch
+                // the keys themselves are heap-random reads.
+                for key in chunk {
+                    habf_util::prefetch::prefetch_bytes(key);
+                }
+            }
+            for key in chunk {
+                let k = self.k_for_key(key);
+                let h = habf_hashing::DoubleHasher::new(key, 0xB10F);
+                for i in 0..k as u64 {
+                    let p = h.position(i, m);
+                    if prefetch {
+                        self.bits.prefetch_bit(p);
+                    }
+                    flat.push(p);
+                }
+                ks.push(k);
+            }
+            let mut off = 0;
+            for &k in &ks {
+                out.push(self.bits.all_set(&flat[off..off + k]));
+                off += k;
+            }
+        }
+    }
 }
 
 impl Filter for WeightedBloomFilter {
@@ -271,6 +313,25 @@ mod tests {
         let f = WeightedBloomFilter::build(&pos, &neg, 1_000, 64);
         assert!(f.cache_len() <= 64);
         assert!(f.cache_bytes() >= f.cache_len() * 10);
+    }
+
+    #[test]
+    fn batch_agrees_with_scalar_including_cached_keys() {
+        let pos = keys(2_000, "pos");
+        let neg = skewed_negatives(2_000);
+        let f = WeightedBloomFilter::build(&pos, &neg, 20_000, 200);
+        // Mix members, cached costly negatives, and uncached strangers so
+        // the batch path exercises every k-resolution branch.
+        let mixed: Vec<Vec<u8>> = keys(300, "pos")
+            .into_iter()
+            .chain(neg.iter().take(300).map(|(k, _)| k.clone()))
+            .chain(keys(300, "stranger"))
+            .collect();
+        let refs: Vec<&[u8]> = mixed.iter().map(Vec::as_slice).collect();
+        let scalar: Vec<bool> = refs.iter().map(|k| f.contains(k)).collect();
+        let mut batch = Vec::new();
+        f.contains_batch_into(&refs, &mut batch);
+        assert_eq!(scalar, batch);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Build-time hash specialization (Adaptive Hashing).
+//!
+//! The blocked filters derive *all* of a key's probe positions from one
+//! base hash, so the base function's cost dominates the probe path. A
+//! fixed strong hash (xxHash) is the safe default, but on most live key
+//! distributions a much cheaper family member distributes just as well —
+//! the adaptive-hashing observation. This module measures that at build
+//! time: it samples the key set, walks the family's candidates in
+//! cheapest-first order, and picks the first whose *raw 64-bit collision
+//! count* on the sample is no worse than the strongest candidate's.
+//!
+//! Raw collisions are the right metric here because every consumer
+//! post-mixes the base hash with [`crate::classic::wang_mix64`] before
+//! deriving block and bit positions: once the 64-bit outputs are
+//! distinct, the mixer makes them uniform, so the only way a cheap hash
+//! can hurt is by mapping distinct keys to identical words — exactly
+//! what the sample measures. Comparing against the strongest candidate
+//! (rather than zero) makes duplicate keys in the input cancel out.
+//!
+//! The choice is a pure function of the sampled keys — no timing, no
+//! randomness — so a rebuilt or reloaded filter reproduces it, and the
+//! chosen function is persisted in filter metadata regardless.
+
+use crate::family::HashFunction;
+
+/// Calibration samples at most this many keys, evenly strided.
+pub const MAX_SAMPLE: usize = 2048;
+
+/// Candidate functions in measured cheapest-first order (short-key cost
+/// on the Table II implementations; simple byte loops have no setup
+/// cost, block hashes pay theirs back only on longer keys). The last
+/// entry is the strongest and doubles as the collision baseline and the
+/// fallback.
+pub const CANDIDATES: [HashFunction; 8] = [
+    HashFunction::Djb,
+    HashFunction::Bkdr,
+    HashFunction::Sdbm,
+    HashFunction::Fnv,
+    HashFunction::Dek,
+    HashFunction::SuperFast,
+    HashFunction::MurmurHash,
+    HashFunction::XxHash,
+];
+
+/// The outcome of a calibration run (surfaced in filter metadata).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Calibration {
+    /// The selected base hash function.
+    pub chosen: HashFunction,
+    /// Keys actually hashed (≤ [`MAX_SAMPLE`]).
+    pub sampled: usize,
+    /// Raw 64-bit collisions of the chosen function on the sample.
+    pub collisions: usize,
+    /// Cheaper candidates rejected before the choice.
+    pub rejected: usize,
+}
+
+/// Counts colliding hash outputs: `sample size − distinct outputs`.
+fn collision_count(hashes: &mut Vec<u64>) -> usize {
+    let n = hashes.len();
+    hashes.sort_unstable();
+    hashes.dedup();
+    n - hashes.len()
+}
+
+/// Picks the cheapest [`CANDIDATES`] member whose measured collision
+/// count on a sample of `keys` is within `tolerance` extra collisions of
+/// the strongest candidate's. Empty input (nothing to measure) returns
+/// the strongest candidate.
+pub fn calibrate<K: AsRef<[u8]>>(keys: &[K], tolerance: usize) -> Calibration {
+    let strongest = *CANDIDATES.last().expect("non-empty candidate list");
+    if keys.is_empty() {
+        return Calibration {
+            chosen: strongest,
+            sampled: 0,
+            collisions: 0,
+            rejected: 0,
+        };
+    }
+    let stride = keys.len().div_ceil(MAX_SAMPLE).max(1);
+    let sample: Vec<&[u8]> = keys.iter().step_by(stride).map(AsRef::as_ref).collect();
+    let mut hashes = Vec::with_capacity(sample.len());
+
+    hashes.extend(sample.iter().map(|k| strongest.hash(k)));
+    let baseline = collision_count(&mut hashes);
+    let budget = baseline + tolerance;
+
+    for (rejected, &cand) in CANDIDATES.iter().enumerate() {
+        hashes.clear();
+        hashes.extend(sample.iter().map(|k| cand.hash(k)));
+        let collisions = collision_count(&mut hashes);
+        if collisions <= budget {
+            return Calibration {
+                chosen: cand,
+                sampled: sample.len(),
+                collisions,
+                rejected,
+            };
+        }
+    }
+    // Unreachable in practice: the last candidate meets its own baseline.
+    Calibration {
+        chosen: strongest,
+        sampled: sample.len(),
+        collisions: baseline,
+        rejected: CANDIDATES.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, tag: &str) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("{tag}:{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn well_distributed_keys_pick_the_cheapest_candidate() {
+        let cal = calibrate(&keys(4_000, "user"), 0);
+        assert_eq!(cal.chosen, CANDIDATES[0], "cheapest should measure fine");
+        assert_eq!(cal.rejected, 0);
+        assert!(cal.sampled <= MAX_SAMPLE);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let ks = keys(1_000, "det");
+        assert_eq!(calibrate(&ks, 0), calibrate(&ks, 0));
+    }
+
+    #[test]
+    fn adversarial_djb_collisions_force_a_stronger_choice() {
+        // djb2 is h ↦ 33·h + byte, so the two-byte keys [a, b] and
+        // [a+1, b−33] collide exactly. A set dominated by such pairs
+        // must push the calibrator past Djb.
+        let mut ks: Vec<Vec<u8>> = Vec::new();
+        for i in 0..500u32 {
+            let a = (i % 100) as u8;
+            let b = 200u8.wrapping_sub((i % 50) as u8);
+            ks.push(vec![a, b]);
+            ks.push(vec![a + 1, b - 33]);
+        }
+        let cal = calibrate(&ks, 0);
+        assert_ne!(cal.chosen, HashFunction::Djb, "colliding set kept djb2");
+        assert!(cal.rejected >= 1);
+    }
+
+    #[test]
+    fn duplicate_keys_cancel_against_the_baseline() {
+        // 100 distinct keys, each duplicated: every hash sees ≥100
+        // collisions, including the baseline — the cheap pick survives.
+        let mut ks = keys(100, "dup");
+        ks.extend(keys(100, "dup"));
+        let cal = calibrate(&ks, 0);
+        assert_eq!(cal.chosen, CANDIDATES[0]);
+        assert!(cal.collisions >= 100);
+    }
+
+    #[test]
+    fn empty_input_falls_back_to_the_strongest() {
+        let cal = calibrate::<&[u8]>(&[], 0);
+        assert_eq!(cal.chosen, HashFunction::XxHash);
+        assert_eq!(cal.sampled, 0);
+    }
+
+    #[test]
+    fn large_inputs_are_strided_not_truncated() {
+        // With striding the sample spans the whole set: a pathological
+        // tail (djb2-colliding pairs) must still be seen.
+        let mut ks = keys(4_000, "head");
+        for i in 0..200u8 {
+            ks.push(vec![i % 100, 180]);
+            ks.push(vec![i % 100 + 1, 180 - 33]);
+        }
+        let cal = calibrate(&ks, 0);
+        assert!(cal.sampled <= MAX_SAMPLE);
+        // The strided sample catches at least some colliding pairs only
+        // if it covers the tail; djb2 must be rejected or collide.
+        assert!(cal.chosen != HashFunction::Djb || cal.collisions == 0);
+    }
+}

@@ -77,6 +77,23 @@ impl HashFunction {
         HashFunction::Elf,
     ];
 
+    /// Position of this function in [`HashFunction::ALL`] — the stable
+    /// integer persisted when a filter records a calibrated hash choice.
+    #[must_use]
+    pub fn registry_index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("every function is registered")
+    }
+
+    /// Inverse of [`HashFunction::registry_index`]; `None` for an index
+    /// outside the registry (a corrupt persisted image).
+    #[must_use]
+    pub fn from_registry_index(idx: usize) -> Option<Self> {
+        Self::ALL.get(idx).copied()
+    }
+
     /// Human-readable name matching Table II.
     #[must_use]
     pub fn name(self) -> &'static str {

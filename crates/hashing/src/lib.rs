@@ -28,10 +28,14 @@
 //!   by the seeded Bloom-filter baselines of Fig 14.
 //! * Seeded single functions ([`xxhash::xxh64`], [`city::city64_seeded`],
 //!   [`xxhash::xxh128`]) for `BF(City64)` / `BF(XXH128)`.
+//! * [`mod@calibrate`] — build-time hash specialization: sample the live key
+//!   distribution and pick the cheapest family member that measures as
+//!   collision-free as the strongest (adaptive hashing).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod calibrate;
 pub mod city;
 pub mod classic;
 pub mod crc32;
@@ -42,5 +46,6 @@ pub mod murmur;
 pub mod superfast;
 pub mod xxhash;
 
+pub use calibrate::{calibrate, Calibration};
 pub use double::DoubleHasher;
 pub use family::{HashFamily, HashFunction, HashId, HashProvider, EMPTY_HASH_ID, FAMILY_SIZE};

@@ -124,6 +124,32 @@ impl<S: WordStore> BitVec<S> {
             .is_some_and(|&w| (w >> (idx % 64)) & 1 == 1)
     }
 
+    /// Hints the cache that the word holding bit `idx` is about to be
+    /// probed. Out-of-range indices are ignored (hint only).
+    #[inline]
+    pub fn prefetch_bit(&self, idx: usize) {
+        crate::prefetch::prefetch_words(self.words.as_ref(), idx / 64);
+    }
+
+    /// Tests whether every position in `positions` is a set bit — the
+    /// probe loop of a Bloom-style membership test. Resolves the
+    /// copy-on-write word store once for the whole run instead of per
+    /// probe, which is what makes it faster than mapping
+    /// [`BitVec::get_probe`] over the slice; out-of-range positions read
+    /// as `false` exactly like `get_probe`. Early-exits on the first
+    /// zero bit.
+    #[must_use]
+    #[inline]
+    pub fn all_set(&self, positions: &[usize]) -> bool {
+        let words = self.words.as_ref();
+        positions.iter().all(|&idx| {
+            debug_assert!(idx < self.len, "bit probe {idx} out of range {}", self.len);
+            words
+                .get(idx / 64)
+                .is_some_and(|&w| (w >> (idx % 64)) & 1 == 1)
+        })
+    }
+
     /// Number of one-bits in the vector.
     #[must_use]
     pub fn count_ones(&self) -> usize {

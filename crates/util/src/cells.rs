@@ -130,6 +130,13 @@ impl<S: WordStore> PackedCells<S> {
         self.width
     }
 
+    /// Hints the cache that the word holding cell `idx` is about to be
+    /// probed. Out-of-range indices are ignored (hint only).
+    #[inline]
+    pub fn prefetch_cell(&self, idx: usize) {
+        crate::prefetch::prefetch_words(self.words.as_ref(), idx * self.width as usize / 64);
+    }
+
     /// Maximum storable value, `2^width - 1`.
     #[must_use]
     #[inline]
@@ -176,21 +183,7 @@ impl<S: WordStore> PackedCells<S> {
     #[inline]
     pub fn get_probe(&self, idx: usize) -> u32 {
         debug_assert!(idx < self.len, "cell probe {idx} out of range {}", self.len);
-        let words = self.words.as_ref();
-        let bit = idx * self.width as usize;
-        let word = bit / 64;
-        let off = (bit % 64) as u32;
-        let mask = (self.max_value() as u64) << off;
-        let w0 = words.get(word).copied().unwrap_or(0);
-        let mut v = (w0 & mask) >> off;
-        let taken = 64 - off;
-        if taken < self.width {
-            let rest = self.width - taken;
-            let lo_mask = (1u64 << rest) - 1;
-            let w1 = words.get(word + 1).copied().unwrap_or(0);
-            v |= (w1 & lo_mask) << taken;
-        }
-        v as u32
+        probe_cell_in(self.words.as_ref(), idx, self.width)
     }
 
     /// Number of cells with a non-zero value.
@@ -265,6 +258,35 @@ impl<S: WordStore, T: WordStore> PartialEq<PackedCells<T>> for PackedCells<S> {
 }
 
 impl<S: WordStore> Eq for PackedCells<S> {}
+
+/// Reads cell `idx` of `width` bits from a hoisted word slice (see
+/// [`PackedCells::words`]) with [`PackedCells::get_probe`]'s exact
+/// out-of-range semantics: a position past the slice reads as `0`.
+/// Batch probe loops hoist the slice once per chunk and call this per
+/// probe, skipping the per-call word-store resolution `get_probe` pays.
+#[must_use]
+#[inline]
+pub fn probe_cell_in(words: &[u64], idx: usize, width: u32) -> u32 {
+    let max_value = if width == 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    };
+    let bit = idx * width as usize;
+    let word = bit / 64;
+    let off = (bit % 64) as u32;
+    let mask = (max_value as u64) << off;
+    let w0 = words.get(word).copied().unwrap_or(0);
+    let mut v = (w0 & mask) >> off;
+    let taken = 64 - off;
+    if taken < width {
+        let rest = width - taken;
+        let lo_mask = (1u64 << rest) - 1;
+        let w1 = words.get(word + 1).copied().unwrap_or(0);
+        v |= (w1 & lo_mask) << taken;
+    }
+    v as u32
+}
 
 #[cfg(test)]
 mod tests {

@@ -12,6 +12,9 @@
 //! * [`store`] — the word-store layer itself: the copy-on-write [`Words`]
 //!   store, [`SharedWords`] views, [`ImageBytes`] (an 8-aligned shared
 //!   image) and its dependency-free mmap shim.
+//! * [`prefetch`] — safe software-prefetch wrappers used by the batch
+//!   probe pipeline (the filter crates deny `unsafe_code`; the intrinsics
+//!   live here behind hint-only safe functions).
 //! * [`rng`] — small, fast, deterministic pseudo-random generators
 //!   (SplitMix64 / xoshiro256**) so that every experiment in the repository is
 //!   reproducible from a seed without external dependencies.
@@ -26,12 +29,13 @@
 pub mod alloc;
 pub mod bitvec;
 pub mod cells;
+pub mod prefetch;
 pub mod rng;
 pub mod stats;
 pub mod store;
 
 pub use bitvec::BitVec;
-pub use cells::PackedCells;
+pub use cells::{probe_cell_in, PackedCells};
 pub use rng::SplitMix64;
 pub use rng::Xoshiro256;
 pub use store::{Backing, ImageBytes, SharedWords, WordStore, WordStoreMut, Words};

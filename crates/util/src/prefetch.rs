@@ -1,0 +1,114 @@
+//! Software prefetch for the batch probe pipeline.
+//!
+//! Filter probes are cache-random by construction: a good hash scatters
+//! the k bit positions of every key across the whole array, so a scalar
+//! query pays one full DRAM round-trip per probe. The batch pipeline
+//! hides that latency by splitting each batch into two passes — hash all
+//! keys and *prefetch* the target cache lines, then run the tests once
+//! the lines are (likely) resident.
+//!
+//! This module is the only place the prefetch instructions live: the
+//! filter crates deny `unsafe_code`, so they call these safe wrappers.
+//! A prefetch is architecturally a hint — it cannot fault, cannot trap,
+//! and has no observable effect on memory — which is why a safe wrapper
+//! over a raw address is sound. The wrappers still take slices and
+//! indices (not raw pointers) so misuse degrades to a wasted hint, never
+//! a wild address.
+//!
+//! On targets without a stable prefetch path the wrappers compile to
+//! nothing, and [`set_enabled`] can disable prefetching at runtime so
+//! tests and benchmarks can pin prefetch-on == prefetch-off answers and
+//! measure the pipeline's contribution in isolation.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+/// Runtime switch for the whole pipeline (default on). Relaxed ordering
+/// is enough: the flag only gates a hint.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables prefetch hints (A/B testing; the probe
+/// benchmark measures both sides).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether prefetch hints are currently enabled. Batch pipelines read
+/// this once per batch, not per key.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Issues a read prefetch (to all cache levels) for the line holding `t`.
+#[inline]
+pub fn prefetch_read<T>(t: &T) {
+    let ptr: *const T = t;
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is a hint with no architectural side effects;
+    // it cannot fault even on an invalid address, and `ptr` comes from a
+    // live reference anyway.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr.cast::<i8>(), core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM PLDL1KEEP is a hint: no memory access, no flags, no
+    // faults; the operand register is only read.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr,
+            options(readonly, nostack, preserves_flags)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = ptr;
+}
+
+/// Prefetches the word `words[word_idx]` if it exists. Out-of-range
+/// indices are ignored — a stale hint is harmless.
+#[inline]
+pub fn prefetch_words(words: &[u64], word_idx: usize) {
+    if let Some(w) = words.get(word_idx) {
+        prefetch_read(w);
+    }
+}
+
+/// Prefetches the cache line(s) holding a small byte slice. The batch
+/// pipelines use this on the *key bytes* of upcoming probes: a large
+/// shuffled batch reads its keys in heap-random order, so the key fetch
+/// misses cache exactly like the filter words do. One hint covers the
+/// line of the first byte; slices past one line get a second hint for
+/// their tail.
+#[inline]
+pub fn prefetch_bytes(bytes: &[u8]) {
+    if let Some(first) = bytes.first() {
+        prefetch_read(first);
+        if bytes.len() > 64 {
+            prefetch_read(&bytes[bytes.len() - 1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_observably_inert() {
+        let words = vec![0xDEAD_BEEFu64; 64];
+        prefetch_words(&words, 0);
+        prefetch_words(&words, 63);
+        prefetch_words(&words, 64); // out of range: ignored
+        prefetch_words(&[], 0);
+        assert!(words.iter().all(|&w| w == 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn enable_flag_round_trips() {
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

@@ -366,15 +366,30 @@ fn cmd_query(args: &[String]) -> ExitCode {
         }
     };
     // Filters exposing the batch capability answer the whole replay in
-    // one shard-grouped pass; the rest take the scalar path.
+    // one prefetch-pipelined pass; the rest take the scalar path.
     let key_slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
-    let answers: Vec<bool> = match loaded.filter.as_batch() {
-        Some(batch) => batch.contains_batch(&key_slices),
-        None => key_slices
-            .iter()
-            .map(|k| loaded.filter.contains(k))
-            .collect(),
+    let probe_start = std::time::Instant::now();
+    let (answers, path_name): (Vec<bool>, &str) = match loaded.filter.as_batch() {
+        Some(batch) => (batch.contains_batch(&key_slices), "batch pipeline"),
+        None => (
+            key_slices
+                .iter()
+                .map(|k| loaded.filter.contains(k))
+                .collect(),
+            "scalar",
+        ),
     };
+    let probe_elapsed = probe_start.elapsed();
+    // Replays are throughput runs: report the probe rate on stderr so
+    // stdout stays a clean per-key answer stream for scripts.
+    if replay.is_some() {
+        let mops = keys.len() as f64 / probe_elapsed.as_secs_f64() / 1e6;
+        eprintln!(
+            "probed {} keys in {:.1} ms ({mops:.1} Mops, {path_name})",
+            keys.len(),
+            probe_elapsed.as_secs_f64() * 1e3
+        );
+    }
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();
     let mut all_present = true;

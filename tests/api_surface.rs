@@ -27,6 +27,9 @@ fn registry_ids_are_pinned() {
             "bloom",
             "weighted-bloom",
             "xor",
+            "blocked-bloom",
+            "blocked-habf",
+            "binary-fuse",
         ],
         "registry ids are a persistence contract; append, never rename"
     );
@@ -44,6 +47,9 @@ fn typed_spec_constructors_match_their_ids() {
         (FilterSpec::bloom(), "bloom"),
         (FilterSpec::weighted_bloom(), "weighted-bloom"),
         (FilterSpec::xor(), "xor"),
+        (FilterSpec::blocked_bloom(), "blocked-bloom"),
+        (FilterSpec::blocked_habf(), "blocked-habf"),
+        (FilterSpec::binary_fuse(), "binary-fuse"),
     ] {
         assert_eq!(spec.id(), id);
         assert!(
