@@ -22,6 +22,7 @@ pub mod adaptation;
 pub mod args;
 pub mod figures;
 pub mod load_serve;
+pub mod netserve;
 pub mod probe;
 pub mod report;
 pub mod sharded;

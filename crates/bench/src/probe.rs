@@ -208,9 +208,10 @@ pub fn run_probe(keys: usize, bits_per_key: f64, threads: usize, seed: u64) -> P
             });
             scalar_ns = scalar_ns.min(ns);
 
-            habf_util::prefetch::set_enabled(false);
-            let (cold, ns) = time_ns(|| batch.contains_batch(&slices));
-            habf_util::prefetch::set_enabled(true);
+            let (cold, ns) = {
+                let _prefetch_off = habf_util::prefetch::scoped(false);
+                time_ns(|| batch.contains_batch(&slices))
+            };
             cold_ns = cold_ns.min(ns);
             let (warm, ns) = time_ns(|| batch.contains_batch(&slices));
             warm_ns = warm_ns.min(ns);

@@ -94,6 +94,12 @@ impl FpLog {
         self.window_lookups += 1;
     }
 
+    /// Notes `n` lookups at once — the batch-query entry point, where
+    /// incrementing per key inside a lock would be pure overhead.
+    pub fn note_lookups(&mut self, n: u64) {
+        self.window_lookups += n;
+    }
+
     /// Records one false positive: `key` passed a filter but the read
     /// found nothing, wasting `cost` units (level-weighted in the LSM).
     ///
@@ -134,6 +140,12 @@ impl FpLog {
     #[must_use]
     pub fn window_fp_events(&self) -> u64 {
         self.window_fps
+    }
+
+    /// Lookups noted since the last window reset.
+    #[must_use]
+    pub fn window_lookups(&self) -> u64 {
+        self.window_lookups
     }
 
     /// Observed FP rate in the current window: recorded FP events over

@@ -560,9 +560,10 @@ mod tests {
         let mut on = Vec::new();
         let mut off = Vec::new();
         f.contains_batch_into(&refs, &mut on);
-        habf_util::prefetch::set_enabled(false);
-        f.contains_batch_into(&refs, &mut off);
-        habf_util::prefetch::set_enabled(true);
+        {
+            let _prefetch_off = habf_util::prefetch::scoped(false);
+            f.contains_batch_into(&refs, &mut off);
+        }
         assert_eq!(scalar, on);
         assert_eq!(scalar, off);
     }

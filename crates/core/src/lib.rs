@@ -47,6 +47,7 @@
 //! | — batch-probe prefetch pipeline (post-paper) | [`probe`] |
 //! | — sharded concurrent serving (post-paper) | [`sharded`] |
 //! | — FP-feedback adaptation loop (post-paper) | [`adapt`] |
+//! | — multi-tenant serving state (post-paper) | [`tenant`] |
 //! | — unified object-safe filter API (post-paper) | [`filter_api`], [`registry`] |
 
 #![warn(missing_docs)]
@@ -62,6 +63,7 @@ pub mod persist;
 pub mod probe;
 pub mod registry;
 pub mod sharded;
+pub mod tenant;
 pub mod theory;
 pub mod tpjo;
 pub mod vindex;
@@ -79,6 +81,7 @@ pub use persist::{
 };
 pub use registry::{FilterEntry, ImageFormat, LoadedFilter, OpenError};
 pub use sharded::{InsertOutcome, InsertableShard, ShardFilter, ShardedConfig, ShardedHabf};
+pub use tenant::{RebuildError, RebuildOutcome, TenantStats, TenantStore};
 pub use tpjo::{BuildStats, TpjoConfig};
 
 /// Upper bound on the supported chain length `k` (the paper evaluates

@@ -857,9 +857,10 @@ mod tests {
         let mut probe = pos.clone();
         probe.extend(keys(1_200, "fresh"));
 
-        habf_util::prefetch::set_enabled(false);
-        let cold = f.contains_batch(&probe);
-        habf_util::prefetch::set_enabled(true);
+        let cold = {
+            let _prefetch_off = habf_util::prefetch::scoped(false);
+            f.contains_batch(&probe)
+        };
         let warm = f.contains_batch(&probe);
         assert_eq!(cold, warm, "prefetch must not change answers");
 

@@ -1,0 +1,434 @@
+//! Multi-tenant filter serving: one [`TenantStore`] per named tenant,
+//! bundling the tenant's filter, its FP-feedback log, and its adaptation
+//! policy behind interior mutability so a server can share one store
+//! across every connection thread.
+//!
+//! ## Hot swap
+//!
+//! The filter lives behind `RwLock<Arc<dyn DynFilter>>`. Queries clone
+//! the `Arc` under the read lock ([`TenantStore::snapshot`]) and probe
+//! outside it, so an in-flight batch keeps one consistent filter for its
+//! whole run even while a rebuild swaps the tenant to a new generation.
+//! [`TenantStore::rebuild_now`] re-encodes the current snapshot,
+//! reloads it as a private copy (the copy-on-write word store means the
+//! reload shares payload words until the rebuild's first mutation
+//! promotes them to owned), rebuilds at the same geometry with hints
+//! mined from the FP log, and swaps the `Arc` under the write lock.
+//! Readers never observe a half-rebuilt filter; they hold either the old
+//! generation or the new one.
+//!
+//! ## Feedback
+//!
+//! Feedback ([`TenantStore::record_fp`]) and lookup accounting go to a
+//! mutex-guarded [`FpLog`]; [`TenantStore::wants_rebuild`] asks the
+//! tenant's [`AdaptPolicy`] whether the logged waste justifies paying
+//! for a rebuild. The serving layer (`habf-serve`) maps protocol frames
+//! onto exactly these entry points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::adapt::{AdaptPolicy, FpLog};
+use crate::filter_api::{BuildError, BuildInput, DynFilter};
+use crate::registry::{self, OpenError};
+
+/// Default FP-log capacity per tenant: enough to mine a meaningful hint
+/// set without unbounded memory per tenant.
+pub const DEFAULT_FP_LOG_CAPACITY: usize = 65_536;
+
+/// Default per-event geometric decay of the tenant FP log.
+pub const DEFAULT_FP_DECAY: f64 = 0.999;
+
+/// Why a tenant rebuild could not run or failed.
+#[derive(Debug)]
+pub enum RebuildError {
+    /// The tenant was opened without its positive key set; a rebuild
+    /// would have no member list to preserve zero false negatives over.
+    NoMembers,
+    /// The tenant's filter does not expose the rebuild capability.
+    NotRebuildable,
+    /// Re-loading the snapshot image for the private rebuild copy failed
+    /// (this indicates a serialization bug, not bad input).
+    Reload(crate::persist::PersistError),
+    /// The rebuild itself failed.
+    Build(BuildError),
+}
+
+impl core::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoMembers => write!(f, "tenant has no positive set; rebuild unavailable"),
+            Self::NotRebuildable => write!(f, "filter does not support rebuild"),
+            Self::Reload(e) => write!(f, "snapshot reload failed: {e}"),
+            Self::Build(e) => write!(f, "rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
+
+/// Outcome of a completed [`TenantStore::rebuild_now`].
+#[derive(Clone, Debug)]
+pub struct RebuildOutcome {
+    /// Mined hints the rebuild optimized against.
+    pub hints: usize,
+    /// Filter generation now serving (increments on every swap).
+    pub generation: u64,
+}
+
+/// A point-in-time view of one tenant, for stats frames and operators.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Registry id of the serving filter.
+    pub filter_id: &'static str,
+    /// Space of the serving filter, bits.
+    pub space_bits: usize,
+    /// Filter generation (swap count since open).
+    pub generation: u64,
+    /// Lookups answered since the last window reset.
+    pub lookups: u64,
+    /// FP events recorded since the last window reset.
+    pub fp_events: u64,
+    /// Decayed wasted cost currently in the FP window.
+    pub wasted_cost: f64,
+    /// Whether the adaptation policy currently wants a rebuild.
+    pub wants_rebuild: bool,
+}
+
+impl TenantStats {
+    /// The stats as a one-line JSON object (the wire stats payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"filter_id\":\"{}\",\
+             \"space_bits\":{},\
+             \"generation\":{},\
+             \"lookups\":{},\
+             \"fp_events\":{},\
+             \"wasted_cost\":{:.3},\
+             \"wants_rebuild\":{}}}",
+            self.filter_id,
+            self.space_bits,
+            self.generation,
+            self.lookups,
+            self.fp_events,
+            self.wasted_cost,
+            self.wants_rebuild
+        )
+    }
+}
+
+/// One tenant's serving state: filter + FP log + adaptation policy.
+///
+/// All entry points take `&self`; a server wraps each store in an `Arc`
+/// and shares it across connection threads.
+pub struct TenantStore {
+    name: String,
+    filter: RwLock<Arc<dyn DynFilter>>,
+    log: Mutex<FpLog>,
+    policy: AdaptPolicy,
+    /// Positive keys the tenant's filter must keep answering `true`;
+    /// `None` when opened filter-only, which disables rebuilds.
+    members: Option<Vec<Vec<u8>>>,
+    /// Serializes rebuilds: concurrent triggers must not both snapshot
+    /// the same generation and double-spend the rebuild work.
+    rebuild_gate: Mutex<()>,
+    generation: AtomicU64,
+}
+
+impl TenantStore {
+    /// Wraps an already-built (or loaded) filter as a tenant.
+    #[must_use]
+    pub fn new(name: impl Into<String>, filter: Box<dyn DynFilter>, policy: AdaptPolicy) -> Self {
+        Self {
+            name: name.into(),
+            filter: RwLock::new(Arc::from(filter)),
+            log: Mutex::new(FpLog::new(DEFAULT_FP_LOG_CAPACITY, DEFAULT_FP_DECAY)),
+            policy,
+            members: None,
+            rebuild_gate: Mutex::new(()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a tenant from a filter image on disk via the zero-copy
+    /// mmap loader ([`registry::load_mmap`]).
+    ///
+    /// # Errors
+    /// Propagates the loader's I/O and typed persistence errors.
+    pub fn open(
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        policy: AdaptPolicy,
+    ) -> Result<Self, OpenError> {
+        let loaded = registry::load_mmap(path)?;
+        Ok(Self::new(name, loaded.filter, policy))
+    }
+
+    /// Attaches the tenant's positive key set, enabling rebuilds.
+    #[must_use]
+    pub fn with_members(mut self, members: Vec<Vec<u8>>) -> Self {
+        self.members = Some(members);
+        self
+    }
+
+    /// The tenant's name (the wire routing key).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this tenant can serve a rebuild request.
+    #[must_use]
+    pub fn can_rebuild(&self) -> bool {
+        self.members.is_some()
+    }
+
+    /// The current filter generation, starting at 0 and incrementing on
+    /// every hot swap.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones the current filter `Arc` under the read lock. Probe
+    /// through the snapshot, not through repeated `snapshot()` calls, so
+    /// one logical operation sees one filter generation.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<dyn DynFilter> {
+        self.filter
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Answers a batch of keys against one consistent snapshot, through
+    /// the prefetch-pipelined batch capability when the filter has one
+    /// and the scalar loop otherwise. Notes `keys.len()` lookups in the
+    /// FP log (the adaptation denominator).
+    #[must_use]
+    pub fn contains_batch(&self, keys: &[&[u8]]) -> Vec<bool> {
+        let snapshot = self.snapshot();
+        let answers = match snapshot.as_batch() {
+            Some(batch) => batch.contains_batch(keys),
+            None => keys.iter().map(|k| snapshot.contains(k)).collect(),
+        };
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .note_lookups(keys.len() as u64);
+        answers
+    }
+
+    /// Records one false-positive (or costed-miss) feedback event.
+    /// Non-finite and non-positive costs are rejected inside [`FpLog`];
+    /// feedback is untrusted wire input.
+    pub fn record_fp(&self, key: &[u8], cost: f64) {
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record(key, cost);
+    }
+
+    /// Whether the tenant's policy currently wants a rebuild.
+    #[must_use]
+    pub fn wants_rebuild(&self) -> bool {
+        let log = self
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.policy.should_rebuild(&log)
+    }
+
+    /// A point-in-time stats view of the tenant.
+    #[must_use]
+    pub fn stats(&self) -> TenantStats {
+        let snapshot = self.snapshot();
+        let (lookups, fp_events, wasted_cost, wants) = {
+            let log = self
+                .log
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (
+                log.window_lookups(),
+                log.window_fp_events(),
+                log.decayed_wasted_cost(),
+                self.policy.should_rebuild(&log),
+            )
+        };
+        TenantStats {
+            filter_id: snapshot.filter_id(),
+            space_bits: snapshot.space_bits(),
+            generation: self.generation(),
+            lookups,
+            fp_events,
+            wasted_cost,
+            wants_rebuild: wants,
+        }
+    }
+
+    /// Rebuilds the tenant's filter against hints mined from the FP log
+    /// and hot-swaps it in, leaving in-flight snapshot holders on the
+    /// old generation.
+    ///
+    /// The rebuild runs on a private copy (snapshot bytes → fresh
+    /// filter), so queries keep flowing on the serving filter for the
+    /// whole rebuild; only the final `Arc` swap takes the write lock.
+    /// The FP window resets on success, so the same events cannot
+    /// immediately re-trigger the policy against the new generation.
+    ///
+    /// # Errors
+    /// [`RebuildError::NoMembers`] without a positive set,
+    /// [`RebuildError::NotRebuildable`] when the filter lacks the
+    /// capability, and the underlying build error otherwise.
+    pub fn rebuild_now(&self, seed: u64, max_hints: usize) -> Result<RebuildOutcome, RebuildError> {
+        let members = self.members.as_ref().ok_or(RebuildError::NoMembers)?;
+        let _gate = self
+            .rebuild_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        let snapshot = self.snapshot();
+        let mut fresh = registry::load_bytes(snapshot.to_container_bytes())
+            .map_err(RebuildError::Reload)?
+            .filter;
+        let hints = self
+            .log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .mine_hints(max_hints);
+        let input = BuildInput::from_members(members).with_hints(&hints);
+        fresh
+            .as_rebuildable()
+            .ok_or(RebuildError::NotRebuildable)?
+            .rebuild(&input, seed)
+            .map_err(RebuildError::Build)?;
+
+        *self
+            .filter
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::from(fresh);
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .reset_window();
+        Ok(RebuildOutcome {
+            hints: hints.len(),
+            generation,
+        })
+    }
+}
+
+impl core::fmt::Debug for TenantStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TenantStore")
+            .field("name", &self.name)
+            .field("generation", &self.generation())
+            .field("can_rebuild", &self.can_rebuild())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter_api::FilterSpec;
+
+    fn members(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("user:{i}").into_bytes()).collect()
+    }
+
+    fn store(n: usize) -> TenantStore {
+        let keys = members(n);
+        let input = BuildInput::from_members(&keys);
+        let filter = FilterSpec::habf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("build");
+        TenantStore::new("t", filter, AdaptPolicy::cost_threshold(5.0)).with_members(keys)
+    }
+
+    #[test]
+    fn batch_answers_match_scalar_and_note_lookups() {
+        let s = store(500);
+        let keys = members(500);
+        let probe: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let got = s.contains_batch(&probe);
+        assert!(got.iter().all(|&b| b), "zero FN over members");
+        let snap = s.snapshot();
+        let scalar: Vec<bool> = probe.iter().map(|k| snap.contains(k)).collect();
+        assert_eq!(got, scalar);
+    }
+
+    #[test]
+    fn feedback_drives_policy_and_rebuild_swaps_generation() {
+        let s = store(400);
+        assert_eq!(s.generation(), 0);
+        assert!(!s.wants_rebuild());
+        for i in 0..64 {
+            s.record_fp(format!("ghost:{}", i % 4).as_bytes(), 3.0);
+        }
+        assert!(s.wants_rebuild(), "64×3.0 cost crosses threshold 5.0");
+
+        let before = s.snapshot();
+        let outcome = s.rebuild_now(7, 1024).expect("rebuild");
+        assert_eq!(outcome.generation, 1);
+        assert!(
+            outcome.hints >= 1 && outcome.hints <= 4,
+            "{}",
+            outcome.hints
+        );
+        assert_eq!(s.generation(), 1);
+        // The old snapshot stays servable (readers keep their Arc), the
+        // new generation still has zero FN, and the window reset.
+        let keys = members(400);
+        for k in &keys {
+            assert!(before.contains(k));
+            assert!(s.snapshot().contains(k));
+        }
+        assert!(!s.wants_rebuild());
+    }
+
+    #[test]
+    fn rebuild_without_members_is_a_typed_error() {
+        let keys = members(64);
+        let input = BuildInput::from_members(&keys);
+        let filter = FilterSpec::habf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("build");
+        let s = TenantStore::new("t", filter, AdaptPolicy::cost_threshold(1.0));
+        assert!(!s.can_rebuild());
+        assert!(matches!(s.rebuild_now(0, 16), Err(RebuildError::NoMembers)));
+    }
+
+    #[test]
+    fn non_rebuildable_filter_is_a_typed_error() {
+        let keys = members(64);
+        let input = BuildInput::from_members(&keys);
+        let filter = FilterSpec::xor().build(&input).expect("build");
+        let s = TenantStore::new("t", filter, AdaptPolicy::cost_threshold(1.0)).with_members(keys);
+        assert!(matches!(
+            s.rebuild_now(0, 16),
+            Err(RebuildError::NotRebuildable)
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let s = store(100);
+        let keys = members(100);
+        let probe: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let _ = s.contains_batch(&probe);
+        s.record_fp(b"ghost", 2.0);
+        let stats = s.stats();
+        assert_eq!(stats.filter_id, "habf");
+        assert_eq!(stats.lookups, 100);
+        assert_eq!(stats.fp_events, 1);
+        assert!(stats.space_bits > 0);
+        let json = stats.to_json();
+        assert!(json.contains("\"filter_id\":\"habf\""), "{json}");
+        assert!(json.contains("\"lookups\":100"), "{json}");
+    }
+}

@@ -145,4 +145,63 @@ proptest! {
             prop_assert!(restored.contains(key));
         }
     }
+
+    /// `contains_batch_par` agrees with the scalar loop for any batch
+    /// size × thread count — in particular tiny batches probed with far
+    /// more threads than keys, where the `div_ceil` chunking must
+    /// neither compute a zero chunk (`chunks(0)` panics) nor spawn an
+    /// empty-range worker nor drop the tail.
+    #[test]
+    fn par_batch_agrees_on_tiny_batches_with_huge_thread_counts(
+        keys in keys_strategy(),
+        seed in any::<u32>(),
+        take in 0usize..24,
+        threads in 0usize..=256,
+    ) {
+        let negatives = negatives_for(keys.len(), seed);
+        let cfg = sharded_config(4, (keys.len() * 10).max(256), u64::from(seed));
+        let f = ShardedHabf::<Habf>::build_par(&keys, &negatives, &cfg);
+
+        // Members interleaved with guaranteed misses, cut to a tiny
+        // batch so every requested thread count dwarfs the key count.
+        let mut probe: Vec<Vec<u8>> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            probe.push(key.clone());
+            probe.push(format!("MISS:{seed}:{i}").into_bytes());
+        }
+        probe.truncate(take);
+
+        let serial: Vec<bool> = probe.iter().map(|k| f.contains(k)).collect();
+        for t in [threads, probe.len() + 1, probe.len().saturating_mul(8)] {
+            let par = f.contains_batch_par(&probe, t);
+            prop_assert_eq!(&par, &serial, "threads={}", t);
+        }
+    }
+}
+
+/// The genuinely parallel path with an uneven tail chunk: 1501 probes
+/// split across 2..=5 effective workers leaves a shorter final chunk
+/// that must still be probed and written back.
+#[test]
+fn par_batch_covers_the_uneven_tail_chunk() {
+    let keys: Vec<Vec<u8>> = (0..900).map(|i| format!("k:{i}").into_bytes()).collect();
+    let negatives = negatives_for(300, 9);
+    let cfg = sharded_config(4, keys.len() * 10, 9);
+    let f = ShardedHabf::<Habf>::build_par(&keys, &negatives, &cfg);
+
+    let probe: Vec<Vec<u8>> = (0..1501)
+        .map(|i| {
+            if i % 2 == 0 {
+                keys[i % keys.len()].clone()
+            } else {
+                format!("MISS:{i}").into_bytes()
+            }
+        })
+        .collect();
+    let serial: Vec<bool> = probe.iter().map(|k| f.contains(k)).collect();
+    for threads in [2, 3, 4, 5, 64, 1502] {
+        let par = f.contains_batch_par(&probe, threads);
+        assert_eq!(par.len(), probe.len(), "threads={threads}: length");
+        assert_eq!(par, serial, "threads={threads}: answers diverged");
+    }
 }

@@ -1,0 +1,671 @@
+//! The wire protocol: length-framed binary frames over a byte stream.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----+----+-----+------+-------------+=========+
+//! | 'H'| 'F'| ver | type | len u32 LE  | payload |
+//! +----+----+-----+------+-------------+=========+
+//!   0    1    2     3      4..8          8..8+len
+//! ```
+//!
+//! Every frame — request or reply — carries the 8-byte header: a 2-byte
+//! magic, the protocol version ([`VERSION`]), the frame type, and the
+//! payload length, capped at [`MAX_PAYLOAD`]. Integers are always
+//! little-endian; costs are `f64` LE bits.
+//!
+//! ## Error discipline
+//!
+//! Decoding follows the persistence layer's rule: untrusted bytes
+//! produce *typed* errors, never panics. Header-level damage (bad
+//! magic, wrong version, oversized length, EOF mid-frame) desynchronizes
+//! the stream — the server answers with one [`frame_type::ERROR`] frame
+//! and closes. Payload-level damage (a request body that does not parse,
+//! an unknown frame type) leaves the framing intact — the server answers
+//! with an error frame and keeps serving the connection.
+//!
+//! ## Request payloads
+//!
+//! | type | payload |
+//! |---|---|
+//! | `PING` | opaque bytes, echoed back in `PONG` |
+//! | `QUERY` | tenant, `count u32`, then `count` keys |
+//! | `FEEDBACK` | tenant, `count u32`, then `count` × (key, `cost f64`) |
+//! | `STATS` | tenant |
+//! | `REBUILD` | tenant, `seed u64`, `max_hints u32` |
+//! | `SHUTDOWN` | empty (admin stop; refused unless the server opts in) |
+//!
+//! where *tenant* and *key* are `len u16` + bytes (tenants must be
+//! UTF-8). Replies: `ANSWERS` is `count u32` + a packed LSB-first
+//! bitset; `ACK` is the accepted event count; `STATS_OK` is a UTF-8
+//! JSON line; `REBUILT` is `hints u32` + `generation u64`; `ERROR` is
+//! a [`error_code`] byte + a UTF-8 message.
+
+use std::io::{Read, Write};
+
+/// First two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"HF";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame header length: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard payload cap (16 MiB): a length field above this is a typed
+/// error, not an allocation — byte soup must never size a buffer.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Frame type bytes. Requests are `0x0*`; replies set the high bit.
+pub mod frame_type {
+    /// Batched membership query → [`ANSWERS`].
+    pub const QUERY: u8 = 0x01;
+    /// FP/miss feedback events → [`ACK`].
+    pub const FEEDBACK: u8 = 0x02;
+    /// Tenant stats request → [`STATS_OK`].
+    pub const STATS: u8 = 0x03;
+    /// Explicit adaptation rebuild → [`REBUILT`].
+    pub const REBUILD: u8 = 0x04;
+    /// Liveness probe → [`PONG`] echoing the payload.
+    pub const PING: u8 = 0x05;
+    /// Clean server stop (honored only when the server enables it) →
+    /// [`SHUTDOWN_OK`].
+    pub const SHUTDOWN: u8 = 0x06;
+    /// Reply to [`QUERY`]: packed answer bitset.
+    pub const ANSWERS: u8 = 0x81;
+    /// Reply to [`FEEDBACK`]: accepted event count.
+    pub const ACK: u8 = 0x82;
+    /// Reply to [`STATS`]: JSON stats line.
+    pub const STATS_OK: u8 = 0x83;
+    /// Reply to [`REBUILD`]: hints used + new generation.
+    pub const REBUILT: u8 = 0x84;
+    /// Reply to [`PING`].
+    pub const PONG: u8 = 0x85;
+    /// Reply to [`SHUTDOWN`]: the server stops accepting after this.
+    pub const SHUTDOWN_OK: u8 = 0x86;
+    /// Typed failure reply to any request.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// First payload byte of an [`frame_type::ERROR`] frame.
+pub mod error_code {
+    /// The request payload did not parse.
+    pub const BAD_FRAME: u8 = 1;
+    /// The frame type byte is not a known request.
+    pub const UNKNOWN_TYPE: u8 = 2;
+    /// The named tenant is not served.
+    pub const UNKNOWN_TENANT: u8 = 3;
+    /// A rebuild was refused or failed.
+    pub const REBUILD_FAILED: u8 = 4;
+    /// The declared payload length exceeds [`super::MAX_PAYLOAD`].
+    pub const OVERSIZED: u8 = 5;
+    /// The server is at its connection limit.
+    pub const BUSY: u8 = 6;
+    /// The frame did not start with the protocol magic.
+    pub const BAD_MAGIC: u8 = 7;
+    /// The frame declared an unsupported protocol version.
+    pub const BAD_VERSION: u8 = 8;
+    /// The stream ended mid-frame.
+    pub const TRUNCATED: u8 = 9;
+    /// A shutdown was requested but the server does not allow it.
+    pub const SHUTDOWN_REFUSED: u8 = 10;
+}
+
+/// A typed failure while reading or decoding wire bytes.
+#[derive(Debug)]
+pub enum WireError {
+    /// Reading or writing the socket failed (includes read timeouts).
+    Io(std::io::Error),
+    /// The header did not start with [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The header declared a version this build does not speak.
+    BadVersion(u8),
+    /// The header declared a payload longer than [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The stream ended inside a header or payload.
+    Truncated,
+    /// A payload field did not decode.
+    BadPayload(&'static str),
+    /// The peer answered with an error frame.
+    Server {
+        /// One of [`error_code`].
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
+            Self::Truncated => write!(f, "stream ended mid-frame"),
+            Self::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            Self::Server { code, message } => write!(f, "server error {code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl WireError {
+    /// The [`error_code`] the server reports this decode failure as.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            Self::Io(_) | Self::Truncated => error_code::TRUNCATED,
+            Self::BadMagic(_) => error_code::BAD_MAGIC,
+            Self::BadVersion(_) => error_code::BAD_VERSION,
+            Self::Oversized(_) => error_code::OVERSIZED,
+            Self::BadPayload(_) => error_code::BAD_FRAME,
+            Self::Server { code, .. } => *code,
+        }
+    }
+}
+
+/// One decoded frame: the type byte and its raw payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// One of [`frame_type`].
+    pub kind: u8,
+    /// The raw payload bytes (decoded per-type by [`Request::parse`]).
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame: header + payload.
+///
+/// # Errors
+/// Propagates socket write errors; an over-cap payload is an error
+/// here too, so a buggy caller cannot emit a frame no peer will accept.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload.len() as u32));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..2].copy_from_slice(&MAGIC);
+    header[2] = VERSION;
+    header[3] = kind;
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean close: EOF exactly at a frame
+/// boundary. Any other short read is [`WireError::Truncated`].
+///
+/// # Errors
+/// Typed errors for every way untrusted bytes can fail to be a frame;
+/// no input panics and — because the length field is capped before any
+/// allocation — no input sizes a buffer.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    if header[..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let kind = header[3];
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len as usize > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// A bounds-checked little-endian payload reader. Every `take_*` is a
+/// typed error past the end — the decoding face of the "byte soup never
+/// panics" rule.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts reading `buf` from offset 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::BadPayload("field past payload end"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// One byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// `u16` LE.
+    pub fn take_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// `u32` LE.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// `u64` LE.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `f64` from LE bits.
+    pub fn take_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    /// A `len u16` + bytes field (keys, tenant names).
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.take_u16()? as usize;
+        self.take(len)
+    }
+
+    /// Asserts the payload was consumed exactly; trailing bytes are a
+    /// framing bug on the peer, not padding.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload("trailing bytes after payload"))
+        }
+    }
+}
+
+fn take_tenant(c: &mut Cursor<'_>) -> Result<String, WireError> {
+    let raw = c.take_bytes()?;
+    if raw.is_empty() {
+        return Err(WireError::BadPayload("empty tenant name"));
+    }
+    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadPayload("tenant name not UTF-8"))
+}
+
+/// A fully decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; the payload is echoed back.
+    Ping(Vec<u8>),
+    /// Batched membership query against one tenant.
+    Query {
+        /// Tenant routing key.
+        tenant: String,
+        /// Probe keys, answered in order.
+        keys: Vec<Vec<u8>>,
+    },
+    /// FP/miss feedback events for one tenant's adaptation log.
+    Feedback {
+        /// Tenant routing key.
+        tenant: String,
+        /// `(key, wasted cost)` events.
+        events: Vec<(Vec<u8>, f64)>,
+    },
+    /// Stats snapshot request.
+    Stats {
+        /// Tenant routing key.
+        tenant: String,
+    },
+    /// Explicit adaptation rebuild + hot swap.
+    Rebuild {
+        /// Tenant routing key.
+        tenant: String,
+        /// Build seed for the rebuild.
+        seed: u64,
+        /// Cap on mined hints.
+        max_hints: u32,
+    },
+    /// Clean server stop (refused unless the server opted in).
+    Shutdown,
+}
+
+impl Request {
+    /// Decodes a frame into a typed request.
+    ///
+    /// # Errors
+    /// [`WireError::BadPayload`] on any malformed body and
+    /// [`WireError::Server`] with [`error_code::UNKNOWN_TYPE`] for a
+    /// type byte that is not a request.
+    pub fn parse(frame: &Frame) -> Result<Self, WireError> {
+        let mut c = Cursor::new(&frame.payload);
+        match frame.kind {
+            frame_type::PING => Ok(Self::Ping(frame.payload.clone())),
+            frame_type::QUERY => {
+                let tenant = take_tenant(&mut c)?;
+                let count = c.take_u32()? as usize;
+                let mut keys = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    keys.push(c.take_bytes()?.to_vec());
+                }
+                c.finish()?;
+                Ok(Self::Query { tenant, keys })
+            }
+            frame_type::FEEDBACK => {
+                let tenant = take_tenant(&mut c)?;
+                let count = c.take_u32()? as usize;
+                let mut events = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    let key = c.take_bytes()?.to_vec();
+                    let cost = c.take_f64()?;
+                    events.push((key, cost));
+                }
+                c.finish()?;
+                Ok(Self::Feedback { tenant, events })
+            }
+            frame_type::STATS => {
+                let tenant = take_tenant(&mut c)?;
+                c.finish()?;
+                Ok(Self::Stats { tenant })
+            }
+            frame_type::REBUILD => {
+                let tenant = take_tenant(&mut c)?;
+                let seed = c.take_u64()?;
+                let max_hints = c.take_u32()?;
+                c.finish()?;
+                Ok(Self::Rebuild {
+                    tenant,
+                    seed,
+                    max_hints,
+                })
+            }
+            frame_type::SHUTDOWN => {
+                c.finish()?;
+                Ok(Self::Shutdown)
+            }
+            other => Err(WireError::Server {
+                code: error_code::UNKNOWN_TYPE,
+                message: format!("unknown request type 0x{other:02x}"),
+            }),
+        }
+    }
+}
+
+/// Encodes a query payload: tenant + count + keys.
+#[must_use]
+pub fn encode_query(tenant: &str, keys: &[impl AsRef<[u8]>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, tenant.as_bytes());
+    out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+    for key in keys {
+        put_bytes(&mut out, key.as_ref());
+    }
+    out
+}
+
+/// Encodes a feedback payload: tenant + count + (key, cost) events.
+#[must_use]
+pub fn encode_feedback(tenant: &str, events: &[(impl AsRef<[u8]>, f64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, tenant.as_bytes());
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for (key, cost) in events {
+        put_bytes(&mut out, key.as_ref());
+        out.extend_from_slice(&cost.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Encodes a stats payload: the tenant name.
+#[must_use]
+pub fn encode_stats(tenant: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, tenant.as_bytes());
+    out
+}
+
+/// Encodes a rebuild payload: tenant + seed + hint cap.
+#[must_use]
+pub fn encode_rebuild(tenant: &str, seed: u64, max_hints: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, tenant.as_bytes());
+    out.extend_from_slice(&seed.to_le_bytes());
+    out.extend_from_slice(&max_hints.to_le_bytes());
+    out
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u16::MAX as usize, "field too long for u16");
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Packs answers as count + LSB-first bitset (the `ANSWERS` payload).
+#[must_use]
+pub fn encode_answers(answers: &[bool]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + answers.len().div_ceil(8));
+    out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+    out.resize(4 + answers.len().div_ceil(8), 0);
+    for (i, &hit) in answers.iter().enumerate() {
+        if hit {
+            out[4 + i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks an `ANSWERS` payload.
+///
+/// # Errors
+/// [`WireError::BadPayload`] when the bitset does not match the count.
+pub fn decode_answers(payload: &[u8]) -> Result<Vec<bool>, WireError> {
+    let mut c = Cursor::new(payload);
+    let count = c.take_u32()? as usize;
+    let bits = c.take(count.div_ceil(8))?;
+    c.finish()?;
+    Ok((0..count)
+        .map(|i| bits[i / 8] >> (i % 8) & 1 == 1)
+        .collect())
+}
+
+/// Encodes an `ERROR` payload: code byte + UTF-8 message.
+#[must_use]
+pub fn encode_error(code: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(code);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes an `ERROR` payload into `(code, message)`.
+///
+/// # Errors
+/// [`WireError::BadPayload`] when the payload is empty.
+pub fn decode_error(payload: &[u8]) -> Result<(u8, String), WireError> {
+    let (&code, rest) = payload
+        .split_first()
+        .ok_or(WireError::BadPayload("empty error payload"))?;
+    Ok((code, String::from_utf8_lossy(rest).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame_type::QUERY, b"payload").expect("write");
+        write_frame(&mut wire, frame_type::PING, b"").expect("write");
+        let mut r = &wire[..];
+        let f1 = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!(
+            (f1.kind, f1.payload.as_slice()),
+            (frame_type::QUERY, &b"payload"[..])
+        );
+        let f2 = read_frame(&mut r).expect("read").expect("frame");
+        assert_eq!((f2.kind, f2.payload.len()), (frame_type::PING, 0));
+        assert!(read_frame(&mut r).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn header_damage_is_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame_type::PING, b"x").expect("write");
+
+        let mut bad = wire.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = wire.clone();
+        bad[2] = 9;
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::BadVersion(9))
+        ));
+
+        let mut bad = wire.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Oversized(_))
+        ));
+
+        for cut in 1..wire.len() {
+            assert!(
+                matches!(read_frame(&mut &wire[..cut]), Err(WireError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let keys = [b"alpha".to_vec(), b"beta".to_vec(), Vec::new()];
+        let frame = Frame {
+            kind: frame_type::QUERY,
+            payload: encode_query("t1", &keys),
+        };
+        assert_eq!(
+            Request::parse(&frame).expect("parse"),
+            Request::Query {
+                tenant: "t1".into(),
+                keys: keys.to_vec(),
+            }
+        );
+
+        let events = [(b"miss".to_vec(), 2.5)];
+        let frame = Frame {
+            kind: frame_type::FEEDBACK,
+            payload: encode_feedback("t1", &events),
+        };
+        assert_eq!(
+            Request::parse(&frame).expect("parse"),
+            Request::Feedback {
+                tenant: "t1".into(),
+                events: events.to_vec(),
+            }
+        );
+
+        let frame = Frame {
+            kind: frame_type::REBUILD,
+            payload: encode_rebuild("t1", 42, 128),
+        };
+        assert_eq!(
+            Request::parse(&frame).expect("parse"),
+            Request::Rebuild {
+                tenant: "t1".into(),
+                seed: 42,
+                max_hints: 128,
+            }
+        );
+    }
+
+    #[test]
+    fn payload_damage_is_typed_not_a_panic() {
+        // Truncations at every prefix of a valid query payload.
+        let payload = encode_query("tenant", &[b"key".to_vec()]);
+        for cut in 0..payload.len() {
+            let frame = Frame {
+                kind: frame_type::QUERY,
+                payload: payload[..cut].to_vec(),
+            };
+            assert!(Request::parse(&frame).is_err(), "cut at {cut} parsed");
+        }
+        // Trailing garbage.
+        let mut long = payload.clone();
+        long.push(0);
+        let frame = Frame {
+            kind: frame_type::QUERY,
+            payload: long,
+        };
+        assert!(matches!(
+            Request::parse(&frame),
+            Err(WireError::BadPayload("trailing bytes after payload"))
+        ));
+        // A count field promising more keys than the payload holds must
+        // not pre-allocate unboundedly or panic.
+        let mut lying = encode_query("tenant", &[b"key".to_vec()]);
+        let tenant_len = 2 + "tenant".len();
+        lying[tenant_len..tenant_len + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let frame = Frame {
+            kind: frame_type::QUERY,
+            payload: lying,
+        };
+        assert!(Request::parse(&frame).is_err());
+    }
+
+    #[test]
+    fn answer_bitset_round_trips() {
+        for n in [0usize, 1, 7, 8, 9, 64, 1000] {
+            let answers: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let payload = encode_answers(&answers);
+            assert_eq!(payload.len(), 4 + n.div_ceil(8));
+            assert_eq!(decode_answers(&payload).expect("decode"), answers);
+        }
+        assert!(
+            decode_answers(&[1, 0, 0, 0]).is_err(),
+            "missing bitset byte"
+        );
+    }
+
+    #[test]
+    fn error_frames_round_trip() {
+        let payload = encode_error(error_code::UNKNOWN_TENANT, "no such tenant: x");
+        let (code, message) = decode_error(&payload).expect("decode");
+        assert_eq!(code, error_code::UNKNOWN_TENANT);
+        assert_eq!(message, "no such tenant: x");
+        assert!(decode_error(&[]).is_err());
+    }
+}

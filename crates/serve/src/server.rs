@@ -1,0 +1,381 @@
+//! The server: a thread-per-connection TCP front end routing protocol
+//! frames onto per-tenant [`TenantStore`]s.
+//!
+//! One accept loop hands each connection to its own thread, bounded by
+//! [`ServerConfig::max_connections`]: over the limit, the connection is
+//! accepted just long enough to send a typed `BUSY` error frame and
+//! close — a bounded queue that fails loudly instead of stalling the
+//! listener. Connection threads share the [`TenantTable`] and never
+//! take a lock while probing: queries clone the tenant's filter `Arc`
+//! snapshot and run through the batch pipeline outside all locks, so a
+//! rebuild hot-swapping a tenant mid-batch leaves in-flight answers on
+//! the old generation.
+//!
+//! A client may pipeline: frames are answered in order, one reply per
+//! request, so a burst of `QUERY` frames behaves as one long stream.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use habf_core::tenant::TenantStore;
+
+use crate::protocol::{self, error_code, frame_type, Frame, Request, WireError};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent connections served; further connections get a typed
+    /// `BUSY` error frame and a close.
+    pub max_connections: usize,
+    /// Per-read socket timeout: a peer that stops mid-frame cannot
+    /// wedge its connection thread forever.
+    pub read_timeout: Duration,
+    /// Whether a `SHUTDOWN` frame stops the server. Off by default —
+    /// any client could stop the server otherwise; the CLI turns it on
+    /// for operator-driven and CI-scripted servers.
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// The tenant routing table: name → serving state, shared across every
+/// connection thread.
+#[derive(Default)]
+pub struct TenantTable {
+    map: RwLock<HashMap<String, Arc<TenantStore>>>,
+}
+
+impl TenantTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a tenant under its own name.
+    pub fn add(&self, store: TenantStore) {
+        self.add_shared(Arc::new(store));
+    }
+
+    /// Adds (or replaces) an already-shared tenant.
+    pub fn add_shared(&self, store: Arc<TenantStore>) {
+        self.map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(store.name().to_string(), store);
+    }
+
+    /// Looks a tenant up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<TenantStore>> {
+        self.map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// The served tenant names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    tenants: Arc<TenantTable>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+}
+
+/// Handle to a server running on a background thread; dropping it
+/// without [`ServerHandle::shutdown`] leaves the server running
+/// detached until process exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listening address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection threads finish their current frame and exit on the
+    /// next read (their sockets are not torn down mid-reply).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept call is blocking; a throwaway connection wakes it
+        // so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener. `addr` may be `"127.0.0.1:0"` to let the OS
+    /// pick a port (see [`Server::local_addr`]).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        tenants: Arc<TenantTable>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            tenants,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on this thread until the stop flag is
+    /// raised (see [`Server::spawn`], or a permitted `SHUTDOWN` frame)
+    /// or the listener dies.
+    pub fn run(self) {
+        let Server {
+            listener,
+            tenants,
+            config,
+            stop,
+            active,
+        } = self;
+        let ctl = Arc::new(ServerCtl {
+            stop: Arc::clone(&stop),
+            addr: listener.local_addr().ok(),
+            allow_shutdown: config.allow_shutdown,
+        });
+        for conn in listener.incoming() {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Bounded fan-out: at the cap, answer with a typed BUSY
+            // frame instead of queueing the connection invisibly.
+            if active.load(Ordering::Acquire) >= config.max_connections {
+                let mut stream = stream;
+                let _ = protocol::write_frame(
+                    &mut stream,
+                    frame_type::ERROR,
+                    &protocol::encode_error(error_code::BUSY, "connection limit reached"),
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            active.fetch_add(1, Ordering::AcqRel);
+            let tenants = Arc::clone(&tenants);
+            let active = Arc::clone(&active);
+            let ctl = Arc::clone(&ctl);
+            let timeout = config.read_timeout;
+            std::thread::spawn(move || {
+                let _ = stream.set_read_timeout(Some(timeout));
+                let _ = stream.set_nodelay(true);
+                serve_connection(stream, &tenants, &ctl);
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+    }
+
+    /// Runs the server on a background thread, returning the handle
+    /// used to address and stop it.
+    ///
+    /// # Errors
+    /// Propagates the local-address query failure.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let join = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+/// Connection-thread view of server-level controls: the stop flag a
+/// permitted `SHUTDOWN` frame raises, and the listener address used to
+/// wake the blocking accept so it observes the flag.
+struct ServerCtl {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+    allow_shutdown: bool,
+}
+
+/// Serves one connection until clean close, framing damage, or timeout.
+fn serve_connection(mut stream: TcpStream, tenants: &TenantTable, ctl: &ServerCtl) {
+    loop {
+        match protocol::read_frame(&mut stream) {
+            Ok(None) => break, // clean close at a frame boundary
+            Ok(Some(frame)) => {
+                if frame.kind == frame_type::SHUTDOWN {
+                    let reply = if ctl.allow_shutdown && frame.payload.is_empty() {
+                        Frame {
+                            kind: frame_type::SHUTDOWN_OK,
+                            payload: Vec::new(),
+                        }
+                    } else if !ctl.allow_shutdown {
+                        error_frame(
+                            error_code::SHUTDOWN_REFUSED,
+                            "server does not allow remote shutdown",
+                        )
+                    } else {
+                        error_frame(error_code::BAD_FRAME, "shutdown payload must be empty")
+                    };
+                    let stopping = reply.kind == frame_type::SHUTDOWN_OK;
+                    let _ = protocol::write_frame(&mut stream, reply.kind, &reply.payload);
+                    let _ = stream.flush();
+                    if stopping {
+                        ctl.stop.store(true, Ordering::Release);
+                        // Wake the blocking accept so it sees the flag.
+                        if let Some(addr) = ctl.addr {
+                            let _ = TcpStream::connect(addr);
+                        }
+                        break;
+                    }
+                    continue;
+                }
+                let reply = handle_frame(&frame, tenants);
+                if protocol::write_frame(&mut stream, reply.kind, &reply.payload).is_err() {
+                    break;
+                }
+                let _ = stream.flush();
+            }
+            Err(e) => {
+                // Header-level damage desynchronizes the stream: send
+                // one typed error frame (best effort) and close.
+                let _ = protocol::write_frame(
+                    &mut stream,
+                    frame_type::ERROR,
+                    &protocol::encode_error(e.code(), &e.to_string()),
+                );
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn error_frame(code: u8, message: &str) -> Frame {
+    Frame {
+        kind: frame_type::ERROR,
+        payload: protocol::encode_error(code, message),
+    }
+}
+
+/// Maps one request frame to its reply frame. Payload-level damage
+/// keeps the connection: the framing is still in sync, so the error is
+/// a reply, not a hangup.
+fn handle_frame(frame: &Frame, tenants: &TenantTable) -> Frame {
+    let request = match Request::parse(frame) {
+        Ok(request) => request,
+        Err(e @ WireError::Server { .. }) => return error_frame(e.code(), &e.to_string()),
+        Err(e) => return error_frame(error_code::BAD_FRAME, &e.to_string()),
+    };
+    match request {
+        Request::Ping(payload) => Frame {
+            kind: frame_type::PONG,
+            payload,
+        },
+        Request::Query { tenant, keys } => {
+            let Some(store) = tenants.get(&tenant) else {
+                return error_frame(error_code::UNKNOWN_TENANT, &format!("no tenant {tenant:?}"));
+            };
+            let slices: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+            let answers = store.contains_batch(&slices);
+            Frame {
+                kind: frame_type::ANSWERS,
+                payload: protocol::encode_answers(&answers),
+            }
+        }
+        Request::Feedback { tenant, events } => {
+            let Some(store) = tenants.get(&tenant) else {
+                return error_frame(error_code::UNKNOWN_TENANT, &format!("no tenant {tenant:?}"));
+            };
+            for (key, cost) in &events {
+                store.record_fp(key, *cost);
+            }
+            Frame {
+                kind: frame_type::ACK,
+                payload: (events.len() as u32).to_le_bytes().to_vec(),
+            }
+        }
+        Request::Stats { tenant } => {
+            let Some(store) = tenants.get(&tenant) else {
+                return error_frame(error_code::UNKNOWN_TENANT, &format!("no tenant {tenant:?}"));
+            };
+            Frame {
+                kind: frame_type::STATS_OK,
+                payload: store.stats().to_json().into_bytes(),
+            }
+        }
+        Request::Rebuild {
+            tenant,
+            seed,
+            max_hints,
+        } => {
+            let Some(store) = tenants.get(&tenant) else {
+                return error_frame(error_code::UNKNOWN_TENANT, &format!("no tenant {tenant:?}"));
+            };
+            match store.rebuild_now(seed, max_hints as usize) {
+                Ok(outcome) => {
+                    let mut payload = Vec::with_capacity(12);
+                    payload.extend_from_slice(&(outcome.hints as u32).to_le_bytes());
+                    payload.extend_from_slice(&outcome.generation.to_le_bytes());
+                    Frame {
+                        kind: frame_type::REBUILT,
+                        payload,
+                    }
+                }
+                Err(e) => error_frame(error_code::REBUILD_FAILED, &e.to_string()),
+            }
+        }
+        // Shutdown is intercepted in `serve_connection` (it needs the
+        // server controls); reaching here means it was not permitted.
+        Request::Shutdown => error_frame(
+            error_code::SHUTDOWN_REFUSED,
+            "server does not allow remote shutdown",
+        ),
+    }
+}

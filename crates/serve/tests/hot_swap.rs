@@ -1,0 +1,90 @@
+//! Hot swap under load: clients stream query batches while feedback
+//! crosses the adaptation threshold and rebuilds swap the tenant's
+//! filter. The zero-false-negative contract must hold on every batch,
+//! before, during, and after every swap — a batch that straddles a
+//! swap answers consistently from whichever generation it snapshotted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use habf_core::tenant::TenantStore;
+use habf_core::{AdaptPolicy, BuildInput, FilterSpec};
+use habf_serve::{Client, Server, ServerConfig, TenantTable};
+
+#[test]
+fn rebuilds_under_query_load_never_drop_a_member() {
+    let keys: Vec<Vec<u8>> = (0..2000)
+        .map(|i| format!("user:{i}").into_bytes())
+        .collect();
+    let input = BuildInput::from_members(&keys);
+    let filter = FilterSpec::sharded(4)
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    let tenants = Arc::new(TenantTable::new());
+    tenants.add(
+        TenantStore::new("hot", filter, AdaptPolicy::cost_threshold(10.0))
+            .with_members(keys.clone()),
+    );
+    let handle = Server::bind("127.0.0.1:0", tenants, ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|reader| {
+            let keys = keys.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                let mut batches = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let answers = client
+                        .query_pipelined("hot", &keys, 256)
+                        .expect("query under swap");
+                    assert!(
+                        answers.iter().all(|&b| b),
+                        "reader {reader}: member dropped during hot swap (batch {batches})"
+                    );
+                    batches += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    // Drive the adaptation loop from a separate connection: feedback
+    // past the threshold, then an explicit rebuild, five generations.
+    let mut driver = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+    for round in 0..5u64 {
+        let events: Vec<(Vec<u8>, f64)> = (0..32)
+            .map(|i| (format!("hot-miss:{round}:{}", i % 8).into_bytes(), 2.0))
+            .collect();
+        driver.feedback("hot", &events).expect("feedback");
+        let stats = driver.stats("hot").expect("stats");
+        assert!(stats.contains("\"wants_rebuild\":true"), "{stats}");
+        let (hints, generation) = driver.rebuild("hot", round, 512).expect("rebuild");
+        assert!(hints >= 1, "round {round}: no hints mined");
+        assert_eq!(generation, round + 1, "round {round}");
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total_batches = 0;
+    for reader in readers {
+        total_batches += reader.join().expect("reader thread");
+    }
+    assert!(total_batches > 0, "readers never ran a batch");
+
+    // After five swaps the tenant still holds zero FN and reports the
+    // final generation.
+    let answers = driver.query("hot", &keys).expect("final query");
+    assert!(answers.iter().all(|&b| b));
+    assert!(driver
+        .stats("hot")
+        .expect("stats")
+        .contains("\"generation\":5"));
+    handle.shutdown();
+}

@@ -1,0 +1,161 @@
+//! Protocol fuzzing against a live server socket: arbitrary byte soup,
+//! truncated frames, and single-byte mutations of valid frames must
+//! each produce a typed error frame or a clean close — never a panic,
+//! never a wedged connection — and must leave the server serving
+//! well-formed clients afterwards.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use habf_core::tenant::TenantStore;
+use habf_core::{AdaptPolicy, BuildInput, FilterSpec};
+use habf_serve::protocol::{self, frame_type};
+use habf_serve::{Client, Server, ServerConfig, TenantTable};
+use proptest::prelude::*;
+
+/// One shared server for the whole fuzz run; every case opens its own
+/// connection, so damage cannot leak between cases.
+fn server_addr() -> std::net::SocketAddr {
+    static ADDR: OnceLock<std::net::SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let keys: Vec<Vec<u8>> = (0..500).map(|i| format!("user:{i}").into_bytes()).collect();
+        let input = BuildInput::from_members(&keys);
+        let filter = FilterSpec::habf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("build");
+        let tenants = Arc::new(TenantTable::new());
+        tenants.add(
+            TenantStore::new("fuzz", filter, AdaptPolicy::cost_threshold(1e9)).with_members(keys),
+        );
+        let config = ServerConfig {
+            // Short enough that a soup-stalled connection resolves
+            // within the test, long enough to never race a healthy one.
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", tenants, config)
+            .expect("bind")
+            .spawn()
+            .expect("spawn");
+        // The fuzz server stays up for the whole test binary; leaking
+        // the handle (not shutting down) is deliberate.
+        let addr = handle.addr();
+        std::mem::forget(handle);
+        addr
+    })
+}
+
+/// Sends raw bytes, half-closes the write side, then drains the reply:
+/// the server must answer with frames (the last one possibly a typed
+/// error) and close — within the read timeout, so a wedge fails the
+/// test by timing out the client read.
+fn fire(bytes: &[u8]) -> Vec<protocol::Frame> {
+    let mut stream = TcpStream::connect(server_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(bytes).expect("write");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut replies = Vec::new();
+    loop {
+        match protocol::read_frame(&mut stream) {
+            Ok(Some(frame)) => replies.push(frame),
+            Ok(None) => break, // clean close
+            Err(_) => break,   // reset mid-frame still counts as a close
+        }
+    }
+    replies
+}
+
+/// A valid query frame image to mutate.
+fn valid_query_bytes() -> Vec<u8> {
+    let keys = [b"user:1".to_vec(), b"ghost".to_vec()];
+    let mut out = Vec::new();
+    protocol::write_frame(
+        &mut out,
+        frame_type::QUERY,
+        &protocol::encode_query("fuzz", &keys),
+    )
+    .expect("encode");
+    out
+}
+
+/// After any adversarial input, a fresh well-formed client must work —
+/// the per-case proof the server neither crashed nor wedged its loop.
+fn assert_server_alive() {
+    let mut client = Client::connect(server_addr(), Duration::from_secs(10)).expect("connect");
+    client.ping(b"alive").expect("ping");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure byte soup, including soup forced to start with the frame
+    /// magic so the header parser sees adversarial lengths and types.
+    #[test]
+    fn byte_soup_gets_a_typed_error_or_clean_close(
+        mut bytes in prop::collection::vec(any::<u8>(), 0..512),
+        force_magic in any::<bool>(),
+    ) {
+        if force_magic && bytes.len() >= 3 {
+            bytes[0] = b'H';
+            bytes[1] = b'F';
+            bytes[2] = protocol::VERSION;
+        }
+        let replies = fire(&bytes);
+        for reply in &replies[..replies.len().saturating_sub(1)] {
+            // Anything before the final frame must be a real reply
+            // (soup can legitimately contain a valid PING frame).
+            prop_assert!(reply.kind & 0x80 != 0, "non-reply frame type {:#x}", reply.kind);
+        }
+        if let Some(last) = replies.last() {
+            if last.kind == frame_type::ERROR {
+                let (code, _) = protocol::decode_error(&last.payload)
+                    .expect("server error frames are well-formed");
+                prop_assert!(code >= 1, "error code must be typed");
+            }
+        }
+        assert_server_alive();
+    }
+
+    /// Truncations of a valid frame at every length, and single-byte
+    /// mutations at every offset: typed error or clean close, server
+    /// stays up.
+    #[test]
+    fn truncated_and_mutated_valid_frames_never_wedge(
+        cut_frac in 0.0f64..1.0,
+        offset_frac in 0.0f64..1.0,
+        xor_with in 1u8..=255,
+    ) {
+        let image = valid_query_bytes();
+
+        let cut = ((image.len() - 1) as f64 * cut_frac) as usize;
+        let replies = fire(&image[..cut]);
+        // A truncated frame gets at most one reply: the typed error
+        // (cut == 0 is a clean immediate close with no reply owed).
+        prop_assert!(replies.len() <= 1, "{} replies to a truncated frame", replies.len());
+        if let Some(reply) = replies.first() {
+            prop_assert_eq!(reply.kind, frame_type::ERROR);
+        }
+        assert_server_alive();
+
+        let mut mutated = image.clone();
+        let offset = ((mutated.len() - 1) as f64 * offset_frac) as usize;
+        mutated[offset] ^= xor_with;
+        let replies = fire(&mutated);
+        for reply in &replies {
+            // A mutated query either still parses (ANSWERS) or draws a
+            // typed error; a length mutation may also read as a clean
+            // truncation (no frames).
+            prop_assert!(
+                reply.kind == frame_type::ANSWERS || reply.kind == frame_type::ERROR,
+                "unexpected reply {:#x}",
+                reply.kind
+            );
+        }
+        assert_server_alive();
+    }
+}

@@ -19,17 +19,80 @@
 //! nothing, and [`set_enabled`] can disable prefetching at runtime so
 //! tests and benchmarks can pin prefetch-on == prefetch-off answers and
 //! measure the pipeline's contribution in isolation.
+//!
+//! ## Concurrency contract
+//!
+//! The switch is **process-global**: toggling it affects every thread's
+//! batch pipelines at once. That is harmless for correctness (the flag
+//! only gates a cache hint; answers are identical either way) but it
+//! makes A/B measurements and prefetch-off assertions racy under a
+//! parallel test runner — another test flipping the flag mid-batch
+//! silently turns an "off" measurement into a mixed one. Tests and
+//! benchmarks must therefore toggle through [`scoped`], which serializes
+//! all togglers behind one process-wide lock and restores the previous
+//! state on drop; bare [`set_enabled`] is for single-threaded tools that
+//! own the whole process (the CLI, a bench binary's `main`).
 
 use core::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Runtime switch for the whole pipeline (default on). Relaxed ordering
 /// is enough: the flag only gates a hint.
 static ENABLED: AtomicBool = AtomicBool::new(true);
 
+/// Serializes [`scoped`] togglers. Separate from the flag itself so the
+/// hot-path read stays a bare atomic load.
+static TOGGLE_LOCK: Mutex<()> = Mutex::new(());
+
 /// Globally enables or disables prefetch hints (A/B testing; the probe
-/// benchmark measures both sides).
+/// benchmark measures both sides). Process-global — see the module docs;
+/// concurrent togglers (tests under a parallel runner) must use
+/// [`scoped`] instead.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Sets the prefetch switch for the lifetime of the returned guard,
+/// holding a process-wide lock so concurrent scoped togglers serialize
+/// instead of racing each other's measurements. On drop the previous
+/// state is restored and the lock released. The lock is not reentrant:
+/// nesting `scoped` calls on one thread deadlocks — toggle with
+/// [`set_enabled`] inside an existing scope instead.
+///
+/// ```
+/// let scalar_answers = [true, false];
+/// let off = {
+///     let _guard = habf_util::prefetch::scoped(false);
+///     // batch pipelines in this scope run without prefetch hints
+///     scalar_answers
+/// };
+/// assert_eq!(off, scalar_answers);
+/// assert!(habf_util::prefetch::enabled(), "restored on drop");
+/// ```
+#[must_use = "the switch reverts when the guard drops"]
+pub fn scoped(on: bool) -> ScopedPrefetch {
+    // A test that panicked while holding the lock cannot have left the
+    // flag in a torn state (it is a single atomic), so poisoning carries
+    // no information here — take the lock either way.
+    let lock = TOGGLE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let previous = ENABLED.swap(on, Ordering::Relaxed);
+    ScopedPrefetch {
+        previous,
+        _lock: lock,
+    }
+}
+
+/// Guard returned by [`scoped`]: restores the previous switch state and
+/// releases the toggle lock on drop.
+pub struct ScopedPrefetch {
+    previous: bool,
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedPrefetch {
+    fn drop(&mut self) {
+        ENABLED.store(self.previous, Ordering::Relaxed);
+    }
 }
 
 /// Whether prefetch hints are currently enabled. Batch pipelines read
@@ -105,10 +168,39 @@ mod tests {
 
     #[test]
     fn enable_flag_round_trips() {
-        assert!(enabled());
+        let _guard = scoped(true); // serialize against the scoped tests
         set_enabled(false);
         assert!(!enabled());
         set_enabled(true);
+        assert!(enabled());
+    }
+
+    #[test]
+    fn scoped_restores_previous_state() {
+        let outer = scoped(false);
+        assert!(!enabled());
+        drop(outer);
+        assert!(enabled(), "previous state restored on drop");
+    }
+
+    #[test]
+    fn scoped_serializes_concurrent_togglers() {
+        // Two threads each hold an exclusive off-scope; whenever either
+        // observes the flag inside its scope it must read its own value,
+        // never the other thread's.
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..50 {
+                        let _guard = scoped(false);
+                        assert!(!enabled(), "another toggler raced inside the scope");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("toggler thread");
+        }
         assert!(enabled());
     }
 }

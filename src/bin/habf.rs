@@ -10,6 +10,8 @@
 //! habf adapt filter.bin --positives pos.txt --queries queries.txt --out adapted.bin
 //! habf inspect filter.bin
 //! habf migrate old.bin --out new.bin          # any format -> aligned v2 container
+//! habf serve --listen 127.0.0.1:7700 --tenant users=filter.bin,pos.txt
+//! habf client 127.0.0.1:7700 query users key1 key2
 //! ```
 //!
 //! Every subcommand dispatches through the filter registry
@@ -40,7 +42,16 @@
 //!
 //! `--negatives` and `--queries` lines are either `key` (cost 1) or
 //! `key<TAB>cost`. Keys are one per line, newline-delimited, matched as
-//! raw bytes.
+//! raw bytes; `#`-prefixed lines are comments.
+//!
+//! `serve` runs the multi-tenant filter server (`habf::serve`): each
+//! `--tenant NAME=FILTER[,POSITIVES]` opens a filter image mmap'd as
+//! one tenant (with `POSITIVES` attached, the tenant accepts `rebuild`
+//! requests that hot-swap an adaptation-rebuilt filter in place).
+//! `client` speaks the length-framed wire protocol: batched `query`
+//! (one `maybe`/`no` line per key, like the offline `query`), `feedback`
+//! FP events, `stats`, `rebuild`, `ping`, and `shutdown` (honored only
+//! by servers started with `--allow-shutdown`).
 
 use habf::core::registry::{self, LoadedFilter};
 use habf::core::{AdaptPolicy, BuildInput, DynFilter, FilterSpec, FpLog};
@@ -51,13 +62,21 @@ const USAGE: &str = "usage:\n  habf filters\n  habf build --positives FILE [--ne
 [--filter ID] [--bits-per-key F]\n         [--fast] [--seed N] [--shards N] [--threads N] \
 [--out FILE]\n  habf query FILTER [KEY…] [--replay FILE] [--adapt --positives FILE [--out FILE]]\n  \
 habf adapt FILTER --positives FILE --queries FILE [--out FILE] [--threshold F] \
-[--max-hints N] [--seed N]\n  habf inspect FILTER\n  habf migrate FILTER [--out FILE]";
+[--max-hints N] [--seed N]\n  habf inspect FILTER\n  habf migrate FILTER [--out FILE]\n  \
+habf serve --listen ADDR --tenant NAME=FILTER[,POSITIVES] [--tenant …]\n         \
+[--threshold F] [--max-connections N] [--allow-shutdown]\n  \
+habf client ADDR ping\n  habf client ADDR query TENANT [KEY…] [--replay FILE]\n  \
+habf client ADDR feedback TENANT (--queries FILE | KEY COST)\n  \
+habf client ADDR stats TENANT\n  habf client ADDR rebuild TENANT [--seed N] [--max-hints N]\n  \
+habf client ADDR shutdown";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
+/// Reads one key per line, skipping blank lines and `#` comments, so
+/// replay/positive files can carry annotations without becoming keys.
 fn read_lines(path: &str) -> Vec<Vec<u8>> {
     let file = std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("habf: cannot open {path}: {e}");
@@ -66,7 +85,7 @@ fn read_lines(path: &str) -> Vec<Vec<u8>> {
     std::io::BufReader::new(file)
         .split(b'\n')
         .map(|l| l.expect("read line"))
-        .filter(|l| !l.is_empty())
+        .filter(|l| !l.is_empty() && l[0] != b'#')
         .collect()
 }
 
@@ -356,6 +375,13 @@ fn cmd_query(args: &[String]) -> ExitCode {
         keys.extend(read_lines(replay));
     }
     if keys.is_empty() {
+        // An empty (or all-comment) replay file is a valid no-op run,
+        // not a usage error — and a rate over zero keys and ~zero
+        // elapsed time would print as NaN/inf Mops.
+        if replay.is_some() {
+            eprintln!("0 keys replayed");
+            return ExitCode::SUCCESS;
+        }
         usage();
     }
     let loaded = match load_filter(path) {
@@ -383,7 +409,8 @@ fn cmd_query(args: &[String]) -> ExitCode {
     // Replays are throughput runs: report the probe rate on stderr so
     // stdout stays a clean per-key answer stream for scripts.
     if replay.is_some() {
-        let mops = keys.len() as f64 / probe_elapsed.as_secs_f64() / 1e6;
+        // Clamp the divisor: sub-nanosecond replays must not print inf.
+        let mops = keys.len() as f64 / probe_elapsed.as_secs_f64().max(1e-9) / 1e6;
         eprintln!(
             "probed {} keys in {:.1} ms ({mops:.1} Mops, {path_name})",
             keys.len(),
@@ -556,6 +583,197 @@ fn cmd_migrate(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Starts the multi-tenant filter server: every `--tenant
+/// NAME=FILTER[,POSITIVES]` opens a filter image through the zero-copy
+/// mmap loader as one served tenant. Blocks until a permitted
+/// `shutdown` frame (or the process is killed).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use habf::core::TenantStore;
+    use habf::serve::{Server, ServerConfig, TenantTable};
+
+    let mut listen = "127.0.0.1:7700".to_string();
+    let mut tenant_specs: Vec<String> = Vec::new();
+    let mut threshold = 100.0f64;
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--listen" => listen = val(),
+            "--tenant" => tenant_specs.push(val()),
+            "--threshold" => threshold = val().parse().unwrap_or_else(|_| usage()),
+            "--max-connections" => {
+                config.max_connections = val().parse().unwrap_or_else(|_| usage());
+            }
+            "--allow-shutdown" => config.allow_shutdown = true,
+            _ => usage(),
+        }
+    }
+    if tenant_specs.is_empty() {
+        usage();
+    }
+    let tenants = std::sync::Arc::new(TenantTable::new());
+    for spec in &tenant_specs {
+        // NAME=FILTER[,POSITIVES]
+        let Some((name, paths)) = spec.split_once('=') else {
+            eprintln!("habf: --tenant wants NAME=FILTER[,POSITIVES], got {spec:?}");
+            return ExitCode::FAILURE;
+        };
+        let (filter_path, positives_path) = match paths.split_once(',') {
+            Some((f, p)) => (f, Some(p)),
+            None => (paths, None),
+        };
+        let policy = AdaptPolicy::cost_threshold(threshold);
+        let store = match TenantStore::open(name, filter_path, policy) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("habf: tenant {name}: cannot open {filter_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let store = match positives_path {
+            Some(pp) => store.with_members(read_lines(pp)),
+            None => store,
+        };
+        let rebuilds = if store.can_rebuild() {
+            "rebuildable"
+        } else {
+            "query-only"
+        };
+        println!("tenant {name}: {filter_path} ({rebuilds})");
+        tenants.add(store);
+    }
+    let server = match Server::bind(&listen[..], tenants, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("habf: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("serving {} tenants on {addr}", tenant_specs.len()),
+        Err(_) => println!("serving {} tenants on {listen}", tenant_specs.len()),
+    }
+    server.run();
+    println!("server stopped");
+    ExitCode::SUCCESS
+}
+
+/// Speaks the wire protocol to a running `habf serve`.
+fn cmd_client(args: &[String]) -> ExitCode {
+    use habf::serve::Client;
+
+    let [addr, cmd, rest @ ..] = args else {
+        usage()
+    };
+    let mut client = match Client::connect(&addr[..], std::time::Duration::from_secs(10)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("habf: cannot connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "ping" => client.ping(b"habf").map(|()| {
+            println!("pong");
+            ExitCode::SUCCESS
+        }),
+        "query" => {
+            let [tenant, key_args @ ..] = rest else {
+                usage()
+            };
+            let mut keys: Vec<Vec<u8>> = Vec::new();
+            let mut it = key_args.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--replay" => {
+                        let path = it.next().cloned().unwrap_or_else(|| usage());
+                        keys.extend(read_lines(&path));
+                    }
+                    s if s.starts_with("--") => usage(),
+                    _ => keys.push(arg.clone().into_bytes()),
+                }
+            }
+            if keys.is_empty() {
+                eprintln!("0 keys queried");
+                return ExitCode::SUCCESS;
+            }
+            client.query_pipelined(tenant, &keys, 4096).map(|answers| {
+                let stdout = std::io::stdout();
+                let mut lock = stdout.lock();
+                let mut all_present = true;
+                for (key, &hit) in keys.iter().zip(&answers) {
+                    all_present &= hit;
+                    let _ = writeln!(
+                        lock,
+                        "{}\t{}",
+                        if hit { "maybe" } else { "no" },
+                        String::from_utf8_lossy(key)
+                    );
+                }
+                if all_present {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            })
+        }
+        "feedback" => {
+            let (tenant, events): (&String, Vec<(Vec<u8>, f64)>) = match rest {
+                [tenant, flag, path] if flag == "--queries" => (tenant, parse_negatives(path)),
+                [tenant, key, cost] => {
+                    let cost: f64 = cost.parse().unwrap_or_else(|_| usage());
+                    (tenant, vec![(key.clone().into_bytes(), cost)])
+                }
+                _ => usage(),
+            };
+            client.feedback(tenant, &events).map(|accepted| {
+                println!("accepted {accepted} feedback events");
+                ExitCode::SUCCESS
+            })
+        }
+        "stats" => {
+            let [tenant] = rest else { usage() };
+            client.stats(tenant).map(|stats| {
+                println!("{stats}");
+                ExitCode::SUCCESS
+            })
+        }
+        "rebuild" => {
+            let [tenant, flags @ ..] = rest else { usage() };
+            let mut seed = 0x4841_4246u64;
+            let mut max_hints = 65_536u32;
+            let mut it = flags.iter();
+            while let Some(flag) = it.next() {
+                let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+                match flag.as_str() {
+                    "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+                    "--max-hints" => max_hints = val().parse().unwrap_or_else(|_| usage()),
+                    _ => usage(),
+                }
+            }
+            client
+                .rebuild(tenant, seed, max_hints)
+                .map(|(hints, generation)| {
+                    println!("rebuilt with {hints} mined hints; now generation {generation}");
+                    ExitCode::SUCCESS
+                })
+        }
+        "shutdown" => client.shutdown().map(|()| {
+            println!("server stopping");
+            ExitCode::SUCCESS
+        }),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("habf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--help` anywhere (including `habf build --help`) prints usage and
@@ -576,6 +794,8 @@ fn main() -> ExitCode {
         "adapt" => cmd_adapt(rest),
         "inspect" => cmd_inspect(rest),
         "migrate" => cmd_migrate(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         _ => usage(),
     }
 }

@@ -57,6 +57,7 @@ pub use habf_core as core;
 pub use habf_filters as filters;
 pub use habf_hashing as hashing;
 pub use habf_lsm as lsm;
+pub use habf_serve as serve;
 pub use habf_util as util;
 pub use habf_workloads as workloads;
 

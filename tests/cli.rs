@@ -375,6 +375,196 @@ fn query_replay_and_adapt_flag() {
     assert!(String::from_utf8_lossy(&bad.stderr).contains("--positives"));
 }
 
+/// Replaying an empty or all-comment file is a valid no-op run: exit 0,
+/// "0 keys replayed" on stderr, and no NaN/inf Mops rate from dividing
+/// zero keys by a ~zero probe duration.
+#[test]
+fn query_replay_of_empty_file_reports_zero_keys() {
+    let dir = TempDir::new("replay-empty");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..1000).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let filter = dir.0.join("filter.bin");
+    let build = Command::new(bin())
+        .args(["build", "--positives"])
+        .arg(&pos)
+        .args(["--bits-per-key", "8", "--out"])
+        .arg(&filter)
+        .output()
+        .expect("run build");
+    assert!(build.status.success());
+
+    let empty = write_file(&dir.0, "empty.txt", &[]);
+    let comments = write_file(
+        &dir.0,
+        "comments.txt",
+        &[
+            "# replay log rotated 2026-08-07".to_string(),
+            "#user:1".to_string(),
+            String::new(),
+        ],
+    );
+    for replay in [&empty, &comments] {
+        let run = Command::new(bin())
+            .arg("query")
+            .arg(&filter)
+            .arg("--replay")
+            .arg(replay)
+            .output()
+            .expect("run query --replay on empty file");
+        let stderr = String::from_utf8_lossy(&run.stderr);
+        assert!(run.status.success(), "{stderr}");
+        assert!(run.stdout.is_empty());
+        assert!(stderr.contains("0 keys replayed"), "{stderr}");
+        assert!(
+            !stderr.contains("NaN") && !stderr.contains("inf"),
+            "{stderr}"
+        );
+    }
+
+    // Comment lines never leak into a real replay as probe keys.
+    let mixed = write_file(
+        &dir.0,
+        "mixed.txt",
+        &["# header".to_string(), "user:7".to_string()],
+    );
+    let run = Command::new(bin())
+        .arg("query")
+        .arg(&filter)
+        .arg("--replay")
+        .arg(&mixed)
+        .output()
+        .expect("run query --replay with comments");
+    assert!(run.status.success());
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+    assert!(stdout.contains("maybe\tuser:7"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("probed 1 keys"), "{stderr}");
+}
+
+/// `habf serve` + `habf client` end to end over a real socket: batched
+/// query (exit codes mirror the offline `query`), feedback, stats,
+/// rebuild hot-swapping a generation, and a clean `shutdown`.
+#[test]
+fn serve_and_client_round_trip_over_the_wire() {
+    use std::io::BufRead as _;
+
+    let dir = TempDir::new("serve");
+    let pos = write_file(
+        &dir.0,
+        "pos.txt",
+        &(0..1200).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let filter = dir.0.join("users.bin");
+    let build = Command::new(bin())
+        .args(["build", "--positives"])
+        .arg(&pos)
+        .args(["--bits-per-key", "10", "--out"])
+        .arg(&filter)
+        .output()
+        .expect("run build");
+    assert!(build.status.success());
+
+    let mut server = Command::new(bin())
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--allow-shutdown",
+            "--tenant",
+        ])
+        .arg(format!("users={},{}", filter.display(), pos.display()))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    // The server prints its resolved address once every tenant is open.
+    let mut stdout = std::io::BufReader::new(server.stdout.take().expect("stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stdout.read_line(&mut line).expect("read"),
+            0,
+            "server exited early"
+        );
+        if let Some(addr) = line.trim().strip_prefix("serving 1 tenants on ") {
+            break addr.to_string();
+        }
+    };
+
+    let client = |args: &[&str]| {
+        Command::new(bin())
+            .arg("client")
+            .arg(&addr)
+            .args(args)
+            .output()
+            .expect("run client")
+    };
+
+    let ping = client(&["ping"]);
+    assert!(
+        ping.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ping.stderr)
+    );
+
+    let hit = client(&["query", "users", "user:0", "user:1199"]);
+    assert!(hit.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&hit.stdout)
+            .matches("maybe\t")
+            .count(),
+        2
+    );
+
+    let replay = write_file(
+        &dir.0,
+        "replay.txt",
+        &(0..300).map(|i| format!("user:{i}")).collect::<Vec<_>>(),
+    );
+    let replayed = client(&["query", "users", "--replay", replay.to_str().expect("utf8")]);
+    assert!(replayed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&replayed.stdout).lines().count(),
+        300
+    );
+
+    let miss = client(&["query", "users", "ghost:1"]);
+    assert!(
+        !miss.status.success(),
+        "a miss exits non-zero, like offline query"
+    );
+
+    let fed = client(&["feedback", "users", "ghost:1", "4.0"]);
+    assert!(fed.status.success());
+    assert!(String::from_utf8_lossy(&fed.stdout).contains("accepted 1"));
+
+    let stats = client(&["stats", "users"]);
+    let text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(text.contains("\"filter_id\":\"habf\""), "{text}");
+    assert!(text.contains("\"fp_events\":1"), "{text}");
+
+    let rebuilt = client(&["rebuild", "users", "--seed", "3"]);
+    assert!(
+        rebuilt.status.success(),
+        "{}",
+        String::from_utf8_lossy(&rebuilt.stderr)
+    );
+    assert!(String::from_utf8_lossy(&rebuilt.stdout).contains("generation 1"));
+
+    // Unknown tenants are typed errors, not hangs.
+    let unknown = client(&["stats", "nope"]);
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("error"));
+
+    let stop = client(&["shutdown"]);
+    assert!(stop.status.success());
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server must exit cleanly after shutdown");
+}
+
 /// The registry is the CLI's dispatch surface: every id `habf filters`
 /// lists must build, persist, query, and inspect with the same flags —
 /// the CI matrix runs this same loop through the shell.

@@ -72,6 +72,48 @@ fn truncations_at_every_prefix_error_not_panic() {
     }
 }
 
+/// Zero-length and sub-header (1..8-byte) filter files are the on-disk
+/// face of truncation: a crashed writer or an empty `touch`ed path. The
+/// mmap loader must hand back `PersistError::Truncated` for every such
+/// image of every registered id — never a panic, never a mis-sliced
+/// view over a too-short mapping.
+#[test]
+fn sub_header_files_are_typed_truncations_through_mmap() {
+    use habf::core::registry::OpenError;
+
+    let dir = std::env::temp_dir().join(format!("habf-persist-tiny-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for (name, image) in corpus() {
+        let path = dir.join(name.replace(':', "_"));
+        for cut in 0..=8.min(image.len() - 1) {
+            std::fs::write(&path, &image[..cut]).expect("write prefix");
+            let err = registry::load_mmap(&path)
+                .err()
+                .unwrap_or_else(|| panic!("{name}: {cut}-byte file loaded"));
+            assert!(
+                matches!(err, OpenError::Persist(PersistError::Truncated)),
+                "{name}: {cut}-byte file gave {err:?}, want Truncated"
+            );
+            // The in-memory loaders agree byte for byte with the file path.
+            assert_eq!(
+                registry::load(&image[..cut]).err(),
+                Some(PersistError::Truncated),
+                "{name}: cut {cut}"
+            );
+            assert_eq!(
+                registry::load_bytes(image[..cut].to_vec()).err(),
+                Some(PersistError::Truncated),
+                "{name}: cut {cut} shared"
+            );
+        }
+        // The same path with the full image mmaps clean — the errors
+        // above were about the bytes, not the file plumbing.
+        std::fs::write(&path, image).expect("write image");
+        assert!(registry::load_mmap(&path).is_ok(), "{name}: pristine mmap");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_magic_wrong_version_and_unknown_id_are_typed() {
     for (name, image) in corpus() {

@@ -67,10 +67,17 @@ proptest! {
             };
 
             let scalar: Vec<bool> = slices.iter().map(|k| filter.contains(k)).collect();
-            habf::util::prefetch::set_enabled(false);
-            let off = batch.contains_batch(&slices);
-            habf::util::prefetch::set_enabled(true);
-            let on = batch.contains_batch(&slices);
+            // The prefetch switch is process-global; `scoped` serializes
+            // this toggle against any other test toggling it in parallel
+            // and restores the prior state when the guard drops.
+            let off = {
+                let _prefetch_off = habf::util::prefetch::scoped(false);
+                batch.contains_batch(&slices)
+            };
+            let on = {
+                let _prefetch_on = habf::util::prefetch::scoped(true);
+                batch.contains_batch(&slices)
+            };
             let par = batch.contains_batch_par(&slices, 3);
 
             prop_assert_eq!(&scalar, &off, "{}: batch(-prefetch) diverged from scalar", id);
