@@ -1,0 +1,55 @@
+//! Elastic suite: probe cost and effective FPR vs generation count, plus
+//! the fold-back vs stop-the-world recovery comparison at equal bits.
+//!
+//! Prints the growth-curve and recovery tables and writes a
+//! machine-readable summary (default `BENCH_elastic.json`; `--out PATH`
+//! overrides) that CI uploads as the perf-trajectory artifact.
+//!
+//! Flags: `--out PATH`, `--capacity N` (base tier design capacity),
+//! `--generations N`, `--probes N`, `--seed N`.
+
+fn main() {
+    let mut out = "BENCH_elastic.json".to_string();
+    let mut capacity = 4_000usize;
+    let mut generations = 5usize;
+    let mut probes = 20_000usize;
+    let mut seed = 0xE1A5_71C5u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = value("--out"),
+            "--capacity" => {
+                capacity = value("--capacity").parse().expect("--capacity: integer");
+            }
+            "--generations" => {
+                generations = value("--generations")
+                    .parse()
+                    .expect("--generations: integer");
+            }
+            "--probes" => probes = value("--probes").parse().expect("--probes: integer"),
+            "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --out PATH | --capacity N | --generations N | --probes N | --seed N"
+                );
+                return;
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let cmp = habf_bench::elastic::run_elastic(capacity, 12.0, generations, probes, seed);
+    cmp.table().print();
+    println!();
+    cmp.fold_table().print();
+    println!(
+        "\nfold-back weighted-FPR ratio (fold/scratch): {:.4}",
+        cmp.fold_fpr_ratio()
+    );
+    std::fs::write(&out, cmp.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -20,6 +20,7 @@
 
 pub mod adaptation;
 pub mod args;
+pub mod elastic;
 pub mod figures;
 pub mod load_serve;
 pub mod netserve;

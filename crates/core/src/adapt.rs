@@ -215,8 +215,47 @@ impl FpLog {
     }
 }
 
-/// When to pay for a rebuild: either aggregate decayed waste crosses a
-/// threshold, or the windowed FP rate breaches an envelope. Both checks
+/// What kind of rebuild an adaptation trigger asks for. Until elastic
+/// filters existed there was only one answer — re-run TPJO at the built
+/// geometry — but a filter that grows past its design capacity needs the
+/// loop to distinguish *why* it is rebuilding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildKind {
+    /// Re-run the construction at the **existing** geometry against fresh
+    /// mined hints (the classic adaptation rebuild; observed FPs stay
+    /// valid evidence because no bit positions move).
+    Rehash,
+    /// Rebuild at a geometry **re-derived from the live key count**: the
+    /// filter outgrew its design capacity and needs more space, not
+    /// better hash choices.
+    Resize,
+    /// Fold a multi-generation elastic stack back into one right-sized
+    /// single-tier filter (geometry re-derived from the live key count,
+    /// mined hints preserved) — the LSM-compaction / tenant-rebuild path.
+    Compact,
+}
+
+impl RebuildKind {
+    /// The stable lowercase label stats JSON and logs use.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RebuildKind::Rehash => "rehash",
+            RebuildKind::Resize => "resize",
+            RebuildKind::Compact => "compact",
+        }
+    }
+}
+
+impl core::fmt::Display for RebuildKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// When to pay for a rebuild: aggregate decayed waste crosses a
+/// threshold, the windowed FP rate breaches an envelope, or — for
+/// growable filters — saturation crosses its own trigger. The FP checks
 /// are gated on a minimum event count so a single unlucky probe cannot
 /// trigger a rebuild.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -230,8 +269,13 @@ pub struct AdaptPolicy {
     /// and externally reported misses carry no lookup — so the disable
     /// sentinel is `f64::INFINITY`, not merely "above 1.0".
     pub fp_rate_envelope: f64,
-    /// Minimum FP events in the window before either trigger may fire.
+    /// Minimum FP events in the window before either FP trigger may fire.
     pub min_fp_events: u64,
+    /// Trigger a [`RebuildKind::Resize`] / [`RebuildKind::Compact`] when
+    /// the filter's saturation (keys held over design capacity) reaches
+    /// this. `f64::INFINITY` disables the saturation trigger — the
+    /// default, so pre-elastic policies behave exactly as before.
+    pub saturation_threshold: f64,
 }
 
 impl AdaptPolicy {
@@ -245,6 +289,7 @@ impl AdaptPolicy {
             // note lookups), so only infinity truly disables it.
             fp_rate_envelope: f64::INFINITY,
             min_fp_events: 8,
+            saturation_threshold: f64::INFINITY,
         }
     }
 
@@ -256,7 +301,16 @@ impl AdaptPolicy {
             wasted_cost_threshold: f64::INFINITY,
             fp_rate_envelope: envelope,
             min_fp_events: 8,
+            saturation_threshold: f64::INFINITY,
         }
+    }
+
+    /// Also trigger once saturation (live keys over design capacity)
+    /// reaches `threshold` — e.g. `1.25` resizes at 25% overfill.
+    #[must_use]
+    pub fn with_saturation(mut self, threshold: f64) -> Self {
+        self.saturation_threshold = threshold;
+        self
     }
 
     /// `true` when the log's current window justifies a rebuild.
@@ -265,6 +319,30 @@ impl AdaptPolicy {
         log.window_fp_events() >= self.min_fp_events
             && (log.decayed_wasted_cost() >= self.wasted_cost_threshold
                 || log.window_fp_rate() >= self.fp_rate_envelope)
+    }
+
+    /// Full decision: given the FP log plus the filter's current
+    /// `saturation` and `generations` (from [`crate::filter_api::DynFilter`]),
+    /// pick the rebuild that fixes the dominant problem, or `None`.
+    ///
+    /// A multi-generation stack always folds ([`RebuildKind::Compact`]) —
+    /// whatever triggered, the stack is the thing to repair. A saturated
+    /// single filter resizes; an FP-triggered, unsaturated one rehashes
+    /// at its existing geometry.
+    #[must_use]
+    pub fn decide(&self, log: &FpLog, saturation: f64, generations: usize) -> Option<RebuildKind> {
+        let saturated = saturation >= self.saturation_threshold;
+        let fp_triggered = self.should_rebuild(log);
+        if !saturated && !fp_triggered {
+            return None;
+        }
+        Some(if generations > 1 {
+            RebuildKind::Compact
+        } else if saturated {
+            RebuildKind::Resize
+        } else {
+            RebuildKind::Rehash
+        })
     }
 }
 
@@ -400,6 +478,42 @@ mod tests {
     #[should_panic(expected = "decay must be in (0, 1]")]
     fn bad_decay_rejected() {
         let _ = FpLog::new(8, 1.5);
+    }
+
+    #[test]
+    fn decide_picks_the_kind_that_fixes_the_dominant_problem() {
+        let mut log = FpLog::new(64, 1.0);
+        let policy = AdaptPolicy::cost_threshold(10.0).with_saturation(1.5);
+
+        // Quiet log, unsaturated single filter: nothing to do.
+        assert_eq!(policy.decide(&log, 1.0, 1), None);
+        // Saturation alone resizes a single-generation filter...
+        assert_eq!(policy.decide(&log, 1.6, 1), Some(RebuildKind::Resize));
+        // ...and folds a multi-generation stack.
+        assert_eq!(policy.decide(&log, 1.6, 3), Some(RebuildKind::Compact));
+
+        for _ in 0..8 {
+            log.record(b"hot", 2.0);
+        }
+        assert!(policy.should_rebuild(&log));
+        // FP pressure on an unsaturated single filter rehashes in place.
+        assert_eq!(policy.decide(&log, 1.0, 1), Some(RebuildKind::Rehash));
+        // FP pressure on a stack still folds — rehashing one tier of a
+        // stack would leave the stacked probe cost in place.
+        assert_eq!(policy.decide(&log, 1.0, 4), Some(RebuildKind::Compact));
+        // Both triggers at once on a single filter: resize wins (the new
+        // geometry gets fresh hints anyway).
+        assert_eq!(policy.decide(&log, 2.0, 1), Some(RebuildKind::Resize));
+    }
+
+    #[test]
+    fn default_policies_never_trigger_on_saturation() {
+        let log = FpLog::new(8, 1.0);
+        let policy = AdaptPolicy::cost_threshold(10.0);
+        assert_eq!(policy.decide(&log, 100.0, 5), None);
+        assert_eq!(RebuildKind::Compact.as_str(), "compact");
+        assert_eq!(RebuildKind::Resize.to_string(), "resize");
+        assert_eq!(RebuildKind::Rehash.to_string(), "rehash");
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! The unified, object-safe filter API: one validated build entry point
 //! ([`FilterSpec`] + [`BuildInput`]), one runtime trait every filter
 //! serves behind ([`DynFilter`]), and capability traits ([`BatchQuery`],
-//! [`Rebuildable`]) discovered at runtime instead of matched on.
+//! [`Rebuildable`], [`Growable`]) discovered at runtime instead of
+//! matched on.
 //!
 //! ```text
 //!              FilterSpec::habf().bits_per_key(10.0)
 //!                         │ build(&BuildInput)
 //!                         ▼  (dispatched through crate::registry by id)
 //!                Box<dyn DynFilter>  ──────────── write_to ──► "HABC" container
-//!                 │          │                                    │
-//!       as_batch ─┘          └─ as_rebuildable        registry::load ──► Box<dyn DynFilter>
-//!          │                        │
-//!   &dyn BatchQuery          &mut dyn Rebuildable
+//!                 │      │       │                                │
+//!       as_batch ─┘      │       └─ as_growable        registry::load ──► Box<dyn DynFilter>
+//!          │       as_rebuildable        │
+//!          │             │               └─ &mut dyn Growable
+//!   &dyn BatchQuery      └─ &mut dyn Rebuildable
 //! ```
 //!
 //! The point of the seam: the LSM store, the CLI, and the bench suite all
@@ -350,6 +352,14 @@ impl FilterSpec {
         Self::with_id("binary-fuse")
     }
 
+    /// The tiered scalable HABF: a stack of HABF generations with
+    /// geometrically growing capacity and tightening per-tier FP
+    /// budgets, grown through [`Growable`] instead of rebuilt.
+    #[must_use]
+    pub fn scalable_habf() -> Self {
+        Self::with_id("scalable-habf")
+    }
+
     /// A spec for any registered filter id — the string-keyed entry point
     /// the CLI's `--filter <id>` flag uses. Returns `None` for ids absent
     /// from the [`crate::registry`].
@@ -462,9 +472,11 @@ impl FilterSpec {
 /// ([`DynFilter::write_to`]), and capability discovery.
 ///
 /// Capabilities are discovered, not assumed: callers ask
-/// [`DynFilter::as_batch`] / [`DynFilter::as_rebuildable`] and degrade
-/// gracefully on `None` — the LSM rebuilds a non-[`Rebuildable`] filter
-/// from scratch, the CLI refuses `adapt` on one with a typed message.
+/// [`DynFilter::as_batch`] / [`DynFilter::as_rebuildable`] /
+/// [`DynFilter::as_growable`] and degrade gracefully on `None` — the LSM
+/// rebuilds a non-[`Rebuildable`] filter from scratch, the CLI refuses
+/// `adapt` on one with a typed message, and every insert surface returns
+/// a typed error for a filter that cannot grow.
 pub trait DynFilter: Filter {
     /// The registry id this filter persists and loads under (an ASCII
     /// slug such as `"habf"` or `"weighted-bloom"`) — distinct from
@@ -527,6 +539,22 @@ pub trait DynFilter: Filter {
         Vec::new()
     }
 
+    /// How full the filter is relative to its design capacity: the keys
+    /// it holds divided by the keys it was sized for. A freshly built
+    /// static filter is exactly at capacity (`1.0`); values above `1.0`
+    /// mean post-build inserts have overfilled it and its FP envelope no
+    /// longer holds. [`Growable`] filters stay ≤ `1.0` until their
+    /// newest tier overfills.
+    fn saturation(&self) -> f64 {
+        1.0
+    }
+
+    /// How many filter generations answer a probe: `1` for every flat
+    /// filter, the live tier count for a tiered [`Growable`] stack.
+    fn generations(&self) -> usize {
+        1
+    }
+
     /// The batch-query capability, when this filter has one.
     fn as_batch(&self) -> Option<&dyn BatchQuery> {
         None
@@ -535,6 +563,14 @@ pub trait DynFilter: Filter {
     /// The geometry-preserving rebuild capability, when this filter has
     /// one.
     fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        None
+    }
+
+    /// The growth capability, when this filter has one. `None` (the
+    /// default) means post-build inserts must be refused with a typed
+    /// error — growing a fixed-geometry filter would silently void its
+    /// zero-FN / FP-envelope contract.
+    fn as_growable(&mut self) -> Option<&mut dyn Growable> {
         None
     }
 }
@@ -562,4 +598,29 @@ pub trait Rebuildable {
     /// Returns [`BuildError::BadCost`] on an invalid cost; geometry and
     /// identity are preserved, so configuration errors cannot occur.
     fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError>;
+}
+
+/// Capability: absorbing keys past the built design capacity without a
+/// stop-the-world rebuild, at a graceful FP-rate cost (the
+/// ScalableBloomFilter pattern: geometric tiers, tightening budgets).
+///
+/// Inserts are **infallible** — a growable filter never refuses a key.
+/// When it can no longer add tiers it degrades its TP/FP trade-off
+/// (overfilling the newest tier) instead of failing the insert; callers
+/// watch [`Growable::saturation`] (mirrored on
+/// [`DynFilter::saturation`]) and schedule a
+/// [`crate::adapt::RebuildKind::Compact`] fold-back when it climbs.
+pub trait Growable {
+    /// Adds a key. Zero false negatives hold for every inserted key from
+    /// the moment this returns.
+    fn insert(&mut self, key: &[u8]);
+
+    /// Keys held over design capacity — the growth pressure gauge. Stays
+    /// ≤ `1.0` while new tiers absorb growth; climbs past `1.0` once the
+    /// tier cap forces the newest tier to overfill.
+    fn saturation(&self) -> f64;
+
+    /// Live tier count (each generation is one probe round at query
+    /// time, so this is also the worst-case probe multiplier).
+    fn generations(&self) -> usize;
 }

@@ -46,6 +46,7 @@
 //! | — block-partitioned bit layer (post-paper) | [`blocked`] |
 //! | — batch-probe prefetch pipeline (post-paper) | [`probe`] |
 //! | — sharded concurrent serving (post-paper) | [`sharded`] |
+//! | — tiered elastic growth (post-paper) | [`scalable`] |
 //! | — FP-feedback adaptation loop (post-paper) | [`adapt`] |
 //! | — multi-tenant serving state (post-paper) | [`tenant`] |
 //! | — unified object-safe filter API (post-paper) | [`filter_api`], [`registry`] |
@@ -62,16 +63,17 @@ pub mod hash_expressor;
 pub mod persist;
 pub mod probe;
 pub mod registry;
+pub mod scalable;
 pub mod sharded;
 pub mod tenant;
 pub mod theory;
 pub mod tpjo;
 pub mod vindex;
 
-pub use adapt::{AdaptPolicy, FpLog};
+pub use adapt::{AdaptPolicy, FpLog, RebuildKind};
 pub use blocked::{BlockedFamily, BlockedHabf};
 pub use filter_api::{
-    BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, FilterSpec, Rebuildable,
+    BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, FilterSpec, Growable, Rebuildable,
     SpaceBudget,
 };
 pub use habf::{ConfigError, FHabf, Habf, HabfConfig, QueryOutcome};
@@ -80,8 +82,9 @@ pub use persist::{
     ContainerHeader, DecodedContainer, FrameEntry, FrameSource, FrameWriter, PersistError,
 };
 pub use registry::{FilterEntry, ImageFormat, LoadedFilter, OpenError};
+pub use scalable::ScalableHabf;
 pub use sharded::{InsertOutcome, InsertableShard, ShardFilter, ShardedConfig, ShardedHabf};
-pub use tenant::{RebuildError, RebuildOutcome, TenantStats, TenantStore};
+pub use tenant::{InsertError, RebuildError, RebuildOutcome, TenantStats, TenantStore};
 pub use tpjo::{BuildStats, TpjoConfig};
 
 /// Upper bound on the supported chain length `k` (the paper evaluates

@@ -13,13 +13,16 @@
 //! entry point.
 
 use crate::blocked::BlockedHabf;
-use crate::filter_api::{BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, Rebuildable};
+use crate::filter_api::{
+    BatchQuery, BuildError, BuildInput, DynFilter, FilterParams, Growable, Rebuildable,
+};
 use crate::habf::{FHabf, Habf};
 use crate::persist::{self, FrameSource, FrameWriter, PersistError, Reader, V2Shard};
+use crate::scalable::{self, GrowthParams, ScalableHabf};
 use crate::sharded::{ShardFilter, ShardedHabf};
 use habf_filters::{
-    BinaryFuseFilter, BlockedBloomFilter, BloomFilter, BloomHashStrategy, WeightedBloomFilter,
-    XorFilter,
+    BinaryFuseFilter, BlockedBloomFilter, BloomFilter, BloomHashStrategy, Filter,
+    WeightedBloomFilter, XorFilter,
 };
 use habf_hashing::HashFunction;
 use habf_util::{Backing, BitVec, ImageBytes, PackedCells};
@@ -133,6 +136,13 @@ pub fn entries() -> &'static [FilterEntry] {
             build: build_binary_fuse,
             load_payload: load_binary_fuse,
             load_v2: load_binary_fuse_v2,
+        },
+        FilterEntry {
+            id: "scalable-habf",
+            summary: "tiered HABF stack that grows past its design capacity",
+            build: build_scalable_habf,
+            load_payload: load_scalable_habf,
+            load_v2: load_scalable_habf_v2,
         },
     ]
 }
@@ -374,6 +384,7 @@ impl DynFilter for Habf {
             ("expressor entries", self.expressor_entries().to_string()),
             ("bloom fill ratio", format!("{:.4}", self.fill_ratio())),
             ("fpr envelope", format!("{:.6}", self.fpr_envelope())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 
@@ -410,7 +421,10 @@ impl DynFilter for FHabf {
     }
 
     fn metadata(&self) -> Vec<(&'static str, String)> {
-        vec![("hashes per key (k)", self.h0().len().to_string())]
+        vec![
+            ("hashes per key (k)", self.h0().len().to_string()),
+            ("saturation", format!("{:.4}", self.saturation())),
+        ]
     }
 
     fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
@@ -486,7 +500,16 @@ impl<F: ShardFilter + Clone + V2Shard> DynFilter for ShardedHabf<F> {
                     per_shard.iter().max().copied().unwrap_or(0)
                 ),
             ),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
+    }
+
+    /// Built keys plus post-build inserts over the built design
+    /// capacity: the sharded filter absorbs inserts with `H0` (zero FN,
+    /// degrading FPR), so saturation climbing past 1.0 is the signal to
+    /// schedule the rebuild `insert_batch` recommends.
+    fn saturation(&self) -> f64 {
+        (self.built_keys() + self.inserted_since_build()) as f64 / self.built_keys().max(1) as f64
     }
 
     fn as_batch(&self) -> Option<&dyn BatchQuery> {
@@ -649,6 +672,137 @@ fn load_sharded_fhabf_v2(
     load_sharded_v2::<FHabf>(meta, frames)
 }
 
+impl DynFilter for ScalableHabf {
+    fn filter_id(&self) -> &'static str {
+        "scalable-habf"
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bytes());
+    }
+
+    /// v2 metadata:
+    /// ```text
+    /// k u8 | cell_bits u8 | delta f64-bits u64 | seed u64
+    /// base_capacity u64 | base_total_bits u64 | max_tiers u32 | tiers u32
+    /// per tier: capacity u64 | inserted u64 | HABF meta block
+    /// ```
+    /// followed by two word frames per tier (bloom bits, expressor
+    /// cells), oldest tier first — one frame set per generation, so the
+    /// whole stack serves zero-copy from one mapped container.
+    fn write_payload_v2<'a>(&'a self, out: &mut FrameWriter<'a>) {
+        let meta = out.meta();
+        GrowthParams::of(self).encode(meta, self.generations());
+        for i in 0..self.generations() {
+            meta.extend_from_slice(&(self.tier_capacity(i) as u64).to_le_bytes());
+            meta.extend_from_slice(&(self.tier_inserted(i) as u64).to_le_bytes());
+            persist::encode_v2_meta(&self.tier(i).v2_image(), meta);
+        }
+        for i in 0..self.generations() {
+            persist::push_v2_frames(&self.tier(i).v2_image(), out);
+        }
+    }
+
+    fn backing(&self) -> Backing {
+        ScalableHabf::backing(self)
+    }
+
+    fn metadata(&self) -> Vec<(&'static str, String)> {
+        let mut rows = vec![
+            ("tiers", self.generations().to_string()),
+            ("live keys", self.total_inserted().to_string()),
+            ("max tiers (autoscale cap)", self.max_tiers().to_string()),
+            ("saturation", format!("{:.4}", self.saturation())),
+        ];
+        for i in 0..self.generations() {
+            rows.push((
+                "tier fill (inserted/capacity)",
+                format!(
+                    "#{i}: {}/{} at {} bits",
+                    self.tier_inserted(i),
+                    self.tier_capacity(i),
+                    self.tier(i).space_bits()
+                ),
+            ));
+        }
+        rows
+    }
+
+    fn saturation(&self) -> f64 {
+        ScalableHabf::saturation(self)
+    }
+
+    fn generations(&self) -> usize {
+        ScalableHabf::generations(self)
+    }
+
+    fn as_rebuildable(&mut self) -> Option<&mut dyn Rebuildable> {
+        Some(self)
+    }
+
+    fn as_growable(&mut self) -> Option<&mut dyn Growable> {
+        Some(self)
+    }
+}
+
+impl Growable for ScalableHabf {
+    fn insert(&mut self, key: &[u8]) {
+        ScalableHabf::insert(self, key);
+    }
+
+    fn saturation(&self) -> f64 {
+        ScalableHabf::saturation(self)
+    }
+
+    fn generations(&self) -> usize {
+        ScalableHabf::generations(self)
+    }
+}
+
+impl Rebuildable for ScalableHabf {
+    /// The fold-back: rebuilding a stack collapses it to **one**
+    /// right-sized tier (geometry re-derived from the live member count
+    /// at the base bits-per-key rate), hints preserved through TPJO.
+    fn rebuild(&mut self, input: &BuildInput<'_>, seed: u64) -> Result<(), BuildError> {
+        input.validate_costs()?;
+        self.fold_rebuild(&input.members, &input.merged_negatives(), seed);
+        Ok(())
+    }
+}
+
+fn build_scalable_habf(
+    p: &FilterParams,
+    input: &BuildInput<'_>,
+) -> Result<Box<dyn DynFilter>, BuildError> {
+    let cfg = p.habf_config(input.members.len());
+    cfg.validate()?;
+    Ok(Box::new(ScalableHabf::build(
+        &input.members,
+        &input.merged_negatives(),
+        &cfg,
+    )))
+}
+
+fn load_scalable_habf(buf: &[u8]) -> Result<Box<dyn DynFilter>, PersistError> {
+    ScalableHabf::from_bytes(buf).map(|f| Box::new(f) as Box<dyn DynFilter>)
+}
+
+fn load_scalable_habf_v2(
+    meta: &[u8],
+    frames: &mut FrameSource<'_>,
+) -> Result<Box<dyn DynFilter>, PersistError> {
+    let mut r = Reader::new(meta);
+    let (growth, tier_count) = scalable::decode_growth_params(&mut r)?;
+    let mut tiers = Vec::with_capacity(tier_count);
+    for _ in 0..tier_count {
+        let (capacity, inserted) = scalable::decode_tier_counters(&mut r)?;
+        let d = persist::decode_v2_meta(&mut r, 0, frames)?;
+        tiers.push((Habf::from_decoded(d), capacity, inserted));
+    }
+    r.finish()?;
+    Ok(Box::new(ScalableHabf::from_parts(growth, tiers)))
+}
+
 // ---------------------------------------------------------------------
 // Baseline filters: DynFilter impls + fresh payload codecs (the
 // baselines had no persistence before the container existed).
@@ -697,6 +851,7 @@ impl DynFilter for BloomFilter {
             ("hashes per key (k)", self.k().to_string()),
             ("items", self.items().to_string()),
             ("fill ratio", format!("{:.4}", self.fill_ratio())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 
@@ -839,6 +994,7 @@ impl DynFilter for WeightedBloomFilter {
             ("default k", self.k_default().to_string()),
             ("cost-cache entries", self.cache_len().to_string()),
             ("items", self.items().to_string()),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 
@@ -968,6 +1124,7 @@ impl DynFilter for XorFilter {
             ("fingerprint bits", self.fp_bits().to_string()),
             ("items", self.items().to_string()),
             ("theoretical fpr", format!("{:.6}", self.theoretical_fpr())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 }
@@ -1089,6 +1246,7 @@ impl DynFilter for BlockedBloomFilter {
             ("base hash", self.base().name().to_string()),
             ("items", self.items().to_string()),
             ("fill ratio", format!("{:.4}", self.fill_ratio())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 
@@ -1191,6 +1349,7 @@ impl DynFilter for BlockedHabf {
             ("expressor entries", self.expressor_entries().to_string()),
             ("bloom fill ratio", format!("{:.4}", self.fill_ratio())),
             ("fpr envelope", format!("{:.6}", self.fpr_envelope())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 
@@ -1273,6 +1432,7 @@ impl DynFilter for BinaryFuseFilter {
             ("segment length", self.seg_len().to_string()),
             ("items", self.items().to_string()),
             ("theoretical fpr", format!("{:.6}", self.theoretical_fpr())),
+            ("saturation", format!("{:.4}", self.saturation())),
         ]
     }
 

@@ -28,7 +28,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use crate::adapt::{AdaptPolicy, FpLog};
+use crate::adapt::{AdaptPolicy, FpLog, RebuildKind};
 use crate::filter_api::{BuildError, BuildInput, DynFilter};
 use crate::registry::{self, OpenError};
 
@@ -67,6 +67,45 @@ impl core::fmt::Display for RebuildError {
 
 impl std::error::Error for RebuildError {}
 
+/// Why a tenant insert was refused.
+#[derive(Debug)]
+pub enum InsertError {
+    /// The tenant's filter does not expose the growth capability —
+    /// inserting into a fixed-geometry filter would silently void its
+    /// zero-FN / FP-envelope contract, so it is a typed refusal instead.
+    NotGrowable {
+        /// Registry id of the filter that refused.
+        id: &'static str,
+    },
+    /// Re-loading the snapshot image for the private insert copy failed
+    /// (this indicates a serialization bug, not bad input).
+    Reload(crate::persist::PersistError),
+}
+
+impl core::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotGrowable { id } => {
+                write!(f, "filter {id:?} cannot grow past its design capacity")
+            }
+            Self::Reload(e) => write!(f, "snapshot reload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Outcome of a completed [`TenantStore::insert_keys`].
+#[derive(Clone, Debug)]
+pub struct InsertReport {
+    /// Keys inserted (all of them — growable inserts are infallible).
+    pub accepted: usize,
+    /// Filter generations (tiers) now serving.
+    pub generations: usize,
+    /// Filter saturation after the inserts.
+    pub saturation: f64,
+}
+
 /// Outcome of a completed [`TenantStore::rebuild_now`].
 #[derive(Clone, Debug)]
 pub struct RebuildOutcome {
@@ -93,6 +132,12 @@ pub struct TenantStats {
     pub wasted_cost: f64,
     /// Whether the adaptation policy currently wants a rebuild.
     pub wants_rebuild: bool,
+    /// Filter saturation (keys held over design capacity).
+    pub saturation: f64,
+    /// Filter generations answering a probe (tiers of a growable stack).
+    pub tiers: usize,
+    /// What kind the last completed rebuild was, if any.
+    pub last_rebuild: Option<RebuildKind>,
 }
 
 impl TenantStats {
@@ -106,14 +151,23 @@ impl TenantStats {
              \"lookups\":{},\
              \"fp_events\":{},\
              \"wasted_cost\":{:.3},\
-             \"wants_rebuild\":{}}}",
+             \"wants_rebuild\":{},\
+             \"saturation\":{:.4},\
+             \"tiers\":{},\
+             \"rebuild_kind\":{}}}",
             self.filter_id,
             self.space_bits,
             self.generation,
             self.lookups,
             self.fp_events,
             self.wasted_cost,
-            self.wants_rebuild
+            self.wants_rebuild,
+            self.saturation,
+            self.tiers,
+            match self.last_rebuild {
+                Some(kind) => format!("\"{kind}\""),
+                None => "null".to_string(),
+            }
         )
     }
 }
@@ -128,12 +182,16 @@ pub struct TenantStore {
     log: Mutex<FpLog>,
     policy: AdaptPolicy,
     /// Positive keys the tenant's filter must keep answering `true`;
-    /// `None` when opened filter-only, which disables rebuilds.
-    members: Option<Vec<Vec<u8>>>,
-    /// Serializes rebuilds: concurrent triggers must not both snapshot
-    /// the same generation and double-spend the rebuild work.
+    /// `None` when opened filter-only, which disables rebuilds. Behind a
+    /// mutex because [`TenantStore::insert_keys`] appends to it.
+    members: Mutex<Option<Vec<Vec<u8>>>>,
+    /// Serializes mutations (rebuilds *and* inserts): concurrent
+    /// triggers must not both snapshot the same generation and lose one
+    /// mutation to the other's swap.
     rebuild_gate: Mutex<()>,
     generation: AtomicU64,
+    /// What kind the last completed rebuild was (stats surface).
+    last_rebuild: Mutex<Option<RebuildKind>>,
 }
 
 impl TenantStore {
@@ -145,9 +203,10 @@ impl TenantStore {
             filter: RwLock::new(Arc::from(filter)),
             log: Mutex::new(FpLog::new(DEFAULT_FP_LOG_CAPACITY, DEFAULT_FP_DECAY)),
             policy,
-            members: None,
+            members: Mutex::new(None),
             rebuild_gate: Mutex::new(()),
             generation: AtomicU64::new(0),
+            last_rebuild: Mutex::new(None),
         }
     }
 
@@ -167,8 +226,11 @@ impl TenantStore {
 
     /// Attaches the tenant's positive key set, enabling rebuilds.
     #[must_use]
-    pub fn with_members(mut self, members: Vec<Vec<u8>>) -> Self {
-        self.members = Some(members);
+    pub fn with_members(self, members: Vec<Vec<u8>>) -> Self {
+        *self
+            .members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(members);
         self
     }
 
@@ -181,7 +243,10 @@ impl TenantStore {
     /// Whether this tenant can serve a rebuild request.
     #[must_use]
     pub fn can_rebuild(&self) -> bool {
-        self.members.is_some()
+        self.members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_some()
     }
 
     /// The current filter generation, starting at 0 and incrementing on
@@ -233,11 +298,21 @@ impl TenantStore {
     /// Whether the tenant's policy currently wants a rebuild.
     #[must_use]
     pub fn wants_rebuild(&self) -> bool {
+        self.decide_rebuild().is_some()
+    }
+
+    /// The full policy decision: FP pressure, saturation, and generation
+    /// count combined into the [`RebuildKind`] that fixes the dominant
+    /// problem (`None` when nothing has triggered).
+    #[must_use]
+    pub fn decide_rebuild(&self) -> Option<RebuildKind> {
+        let snapshot = self.snapshot();
         let log = self
             .log
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        self.policy.should_rebuild(&log)
+        self.policy
+            .decide(&log, snapshot.saturation(), snapshot.generations())
     }
 
     /// A point-in-time stats view of the tenant.
@@ -253,7 +328,9 @@ impl TenantStore {
                 log.window_lookups(),
                 log.window_fp_events(),
                 log.decayed_wasted_cost(),
-                self.policy.should_rebuild(&log),
+                self.policy
+                    .decide(&log, snapshot.saturation(), snapshot.generations())
+                    .is_some(),
             )
         };
         TenantStats {
@@ -264,7 +341,61 @@ impl TenantStore {
             fp_events,
             wasted_cost,
             wants_rebuild: wants,
+            saturation: snapshot.saturation(),
+            tiers: snapshot.generations(),
+            last_rebuild: *self
+                .last_rebuild
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
         }
+    }
+
+    /// Inserts keys into the tenant's filter through the growth
+    /// capability and hot-swaps the grown filter in, leaving in-flight
+    /// snapshot holders on the previous one. The inserts run on a
+    /// private copy (snapshot bytes → fresh filter, copy-on-write word
+    /// sharing keeps that cheap), so queries keep flowing for the whole
+    /// mutation. The tenant's member list (when attached) absorbs the
+    /// new keys so a later fold-back rebuild preserves them.
+    ///
+    /// # Errors
+    /// [`InsertError::NotGrowable`] when the filter lacks the capability
+    /// — a typed refusal, never a silent zero-FN degradation.
+    pub fn insert_keys(&self, keys: &[Vec<u8>]) -> Result<InsertReport, InsertError> {
+        let _gate = self
+            .rebuild_gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let snapshot = self.snapshot();
+        let mut fresh = registry::load_bytes(snapshot.to_container_bytes())
+            .map_err(InsertError::Reload)?
+            .filter;
+        {
+            let growable = fresh.as_growable().ok_or(InsertError::NotGrowable {
+                id: snapshot.filter_id(),
+            })?;
+            for key in keys {
+                growable.insert(key);
+            }
+        }
+        let report = InsertReport {
+            accepted: keys.len(),
+            generations: fresh.generations(),
+            saturation: fresh.saturation(),
+        };
+        if let Some(members) = self
+            .members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .as_mut()
+        {
+            members.extend(keys.iter().cloned());
+        }
+        *self
+            .filter
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::from(fresh);
+        Ok(report)
     }
 
     /// Rebuilds the tenant's filter against hints mined from the FP log
@@ -282,13 +413,29 @@ impl TenantStore {
     /// [`RebuildError::NotRebuildable`] when the filter lacks the
     /// capability, and the underlying build error otherwise.
     pub fn rebuild_now(&self, seed: u64, max_hints: usize) -> Result<RebuildOutcome, RebuildError> {
-        let members = self.members.as_ref().ok_or(RebuildError::NoMembers)?;
         let _gate = self
             .rebuild_gate
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let members_guard = self
+            .members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let members = members_guard.as_ref().ok_or(RebuildError::NoMembers)?;
 
         let snapshot = self.snapshot();
+        // Classify the rebuild before it runs: a multi-tier stack folds,
+        // an overfilled single filter resizes, and the classic case
+        // re-hashes at its existing geometry. (For a growable filter the
+        // Rebuildable impl *is* the fold — the kind is the record of why
+        // the work was paid for.)
+        let kind = if snapshot.generations() > 1 {
+            RebuildKind::Compact
+        } else if snapshot.saturation() > 1.0 + 1e-9 {
+            RebuildKind::Resize
+        } else {
+            RebuildKind::Rehash
+        };
         let mut fresh = registry::load_bytes(snapshot.to_container_bytes())
             .map_err(RebuildError::Reload)?
             .filter;
@@ -309,6 +456,10 @@ impl TenantStore {
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Arc::from(fresh);
         let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        *self
+            .last_rebuild
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(kind);
         self.log
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -413,6 +564,76 @@ mod tests {
             s.rebuild_now(0, 16),
             Err(RebuildError::NotRebuildable)
         ));
+    }
+
+    fn scalable_store(n: usize) -> TenantStore {
+        let keys = members(n);
+        let input = BuildInput::from_members(&keys);
+        let filter = FilterSpec::scalable_habf()
+            .bits_per_key(10.0)
+            .build(&input)
+            .expect("build");
+        TenantStore::new("t", filter, AdaptPolicy::cost_threshold(5.0)).with_members(keys)
+    }
+
+    #[test]
+    fn insert_grows_a_scalable_tenant_without_bumping_generation() {
+        let s = scalable_store(64);
+        let burst: Vec<Vec<u8>> = (0..512).map(|i| format!("late:{i}").into_bytes()).collect();
+        let report = s.insert_keys(&burst).expect("growable tenant");
+        assert_eq!(report.accepted, 512);
+        assert!(report.generations > 1, "burst should open new tiers");
+        assert_eq!(s.generation(), 0, "inserts are not rebuilds");
+        let snap = s.snapshot();
+        for k in members(64).iter().chain(&burst) {
+            assert!(snap.contains(k), "zero FN across the grown stack");
+        }
+        let stats = s.stats();
+        assert!(stats.tiers > 1);
+        assert!(
+            stats.to_json().contains("\"tiers\":"),
+            "{}",
+            stats.to_json()
+        );
+    }
+
+    #[test]
+    fn insert_on_fixed_capacity_filter_is_a_typed_error() {
+        let s = store(64);
+        let err = s.insert_keys(&members(1)).expect_err("habf cannot grow");
+        match err {
+            InsertError::NotGrowable { id } => assert_eq!(id, "habf"),
+            other => panic!("want NotGrowable, got {other:?}"),
+        }
+        assert_eq!(s.generation(), 0);
+    }
+
+    #[test]
+    fn rebuild_after_growth_folds_tiers_and_records_compact() {
+        let s = scalable_store(64);
+        let burst: Vec<Vec<u8>> = (0..512).map(|i| format!("late:{i}").into_bytes()).collect();
+        s.insert_keys(&burst).expect("grow");
+        // Keep the member list honest so the fold covers the burst too.
+        assert!(s.stats().tiers > 1);
+        assert!(s.stats().last_rebuild.is_none());
+
+        let outcome = s.rebuild_now(11, 256).expect("fold");
+        assert_eq!(outcome.generation, 1);
+        let stats = s.stats();
+        assert_eq!(stats.tiers, 1, "fold-back collapses the stack");
+        assert_eq!(stats.last_rebuild, Some(RebuildKind::Compact));
+        assert!(stats.to_json().contains("\"rebuild_kind\":\"compact\""));
+        let snap = s.snapshot();
+        for k in members(64).iter().chain(&burst) {
+            assert!(snap.contains(k), "zero FN after fold-back");
+        }
+    }
+
+    #[test]
+    fn single_tier_rebuild_records_rehash() {
+        let s = store(128);
+        s.rebuild_now(3, 64).expect("rebuild");
+        assert_eq!(s.stats().last_rebuild, Some(RebuildKind::Rehash));
     }
 
     #[test]

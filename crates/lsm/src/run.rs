@@ -74,6 +74,21 @@ impl Run {
         self.filter.as_ref().map_or(0, |f| f.space_bits())
     }
 
+    /// Fill pressure of the run's filter: top-tier `inserted/capacity`
+    /// for a growable stack, 1.0 for fixed-capacity filters (and for a
+    /// filterless run — there is nothing to outgrow).
+    #[must_use]
+    pub fn filter_saturation(&self) -> f64 {
+        self.filter.as_ref().map_or(1.0, |f| f.saturation())
+    }
+
+    /// Generations (tiers) in the run's filter; 1 for anything that is
+    /// not a grown stack.
+    #[must_use]
+    pub fn filter_generations(&self) -> usize {
+        self.filter.as_ref().map_or(1, |f| f.generations())
+    }
+
     /// The sorted entries (used by compaction).
     #[must_use]
     pub fn entries(&self) -> &[(Vec<u8>, Vec<u8>)] {
@@ -148,6 +163,14 @@ impl Run {
                 }
             }
         }
+        self.filter = Run::build_filter(&self.entries, spec, hints);
+    }
+
+    /// Rebuilds the filter from scratch through the spec, re-deriving
+    /// the geometry from the live key count — the `Resize`/`Compact`
+    /// arm of the adaptation loop. A multi-tier stack folds back to one
+    /// right-sized tier; mined hints feed the fresh TPJO pass.
+    pub fn fold_filter(&mut self, spec: Option<&FilterSpec>, hints: &[(Vec<u8>, f64)]) {
         self.filter = Run::build_filter(&self.entries, spec, hints);
     }
 }

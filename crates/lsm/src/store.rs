@@ -2,7 +2,7 @@
 //! FP-feedback adaptation loop.
 
 use crate::run::Run;
-use habf_core::{AdaptPolicy, FilterSpec, FpLog};
+use habf_core::{AdaptPolicy, FilterSpec, FpLog, RebuildKind};
 use std::collections::{BTreeMap, HashSet};
 
 /// Store configuration.
@@ -122,6 +122,8 @@ pub struct Lsm {
     negative_hints: Vec<(Vec<u8>, f64)>,
     /// FP-feedback state; `None` until [`Lsm::enable_adaptation`].
     adapt: Option<AdaptState>,
+    /// What the most recent filter-rebuild pass was for.
+    last_rebuild: Option<RebuildKind>,
     io: IoStats,
 }
 
@@ -151,6 +153,7 @@ impl Lsm {
             levels: Vec::new(),
             negative_hints: Vec::new(),
             adapt: None,
+            last_rebuild: None,
             io: IoStats::default(),
         }
     }
@@ -394,15 +397,43 @@ impl Lsm {
     }
 
     /// Rebuilds the filters if the adaptation policy says the observed
-    /// waste justifies it.
+    /// waste — or the filters' fill pressure — justifies it.
     fn maybe_rebuild(&mut self) {
-        let triggered = self
-            .adapt
-            .as_ref()
-            .is_some_and(|s| s.config.policy.should_rebuild(&s.log));
-        if triggered {
-            self.rebuild_filters();
+        if let Some(kind) = self.decide_rebuild() {
+            self.rebuild_filters_as(kind);
         }
+    }
+
+    /// Worst-case fill pressure over every run filter: the max
+    /// saturation and max generation count. The policy's saturation
+    /// trigger and `Compact` routing key off these.
+    #[must_use]
+    pub fn filter_pressure(&self) -> (f64, usize) {
+        let mut saturation: f64 = 0.0;
+        let mut generations = 1usize;
+        for run in self.levels.iter().flatten() {
+            saturation = saturation.max(run.filter_saturation());
+            generations = generations.max(run.filter_generations());
+        }
+        (saturation, generations)
+    }
+
+    /// What kind of rebuild pass the adaptation policy would run right
+    /// now, if any (`None` while adaptation is off or nothing fired).
+    #[must_use]
+    pub fn decide_rebuild(&self) -> Option<RebuildKind> {
+        let state = self.adapt.as_ref()?;
+        let (saturation, generations) = self.filter_pressure();
+        state
+            .config
+            .policy
+            .decide(&state.log, saturation, generations)
+    }
+
+    /// The kind of the most recent filter-rebuild pass, if any ran.
+    #[must_use]
+    pub fn last_rebuild_kind(&self) -> Option<RebuildKind> {
+        self.last_rebuild
     }
 
     /// Rebuilds every run's filter with the current hints — operator hints
@@ -414,8 +445,23 @@ impl Lsm {
     /// whose filter was rebuilt.
     ///
     /// Called automatically when the [`AdaptPolicy`] fires; public so
-    /// operators (and the CLI) can force an adaptation pass.
+    /// operators (and the CLI) can force an adaptation pass. The pass
+    /// kind is derived from the current fill pressure, exactly as the
+    /// policy would route it: grown stacks compact, overfilled filters
+    /// resize, everything else re-hashes in place.
     pub fn rebuild_filters(&mut self) -> usize {
+        let (saturation, generations) = self.filter_pressure();
+        let kind = if generations > 1 {
+            RebuildKind::Compact
+        } else if saturation > 1.0 + 1e-9 {
+            RebuildKind::Resize
+        } else {
+            RebuildKind::Rehash
+        };
+        self.rebuild_filters_as(kind)
+    }
+
+    fn rebuild_filters_as(&mut self, kind: RebuildKind) -> usize {
         // The operator + mined pool is identical for every run in the
         // pass (the log only resets at the end); mine and merge it once.
         let pool = self.merged_hint_pool();
@@ -427,12 +473,24 @@ impl Lsm {
                 let mut run =
                     std::mem::replace(&mut self.levels[li][ri], Run::new(Vec::new(), None));
                 let hints = self.hints_for_run_with_pool(&pool, run.entries());
-                run.rebuild_filter(self.config.filter.as_ref(), &hints);
+                match kind {
+                    // Same geometry, new hashes: the capability path.
+                    RebuildKind::Rehash => {
+                        run.rebuild_filter(self.config.filter.as_ref(), &hints);
+                    }
+                    // Geometry re-derived from the live key count: a
+                    // grown stack folds to one right-sized tier, an
+                    // overfilled filter gets its budget back.
+                    RebuildKind::Resize | RebuildKind::Compact => {
+                        run.fold_filter(self.config.filter.as_ref(), &hints);
+                    }
+                }
                 self.levels[li][ri] = run;
                 rebuilt += 1;
             }
         }
         self.io.rebuilds += 1;
+        self.last_rebuild = Some(kind);
         if let Some(state) = self.adapt.as_mut() {
             state.log.reset_window();
         }
@@ -1046,6 +1104,65 @@ mod tests {
         assert_eq!(db.io_stats().rebuilds, 1, "threshold crossing must fire");
         // The window reset after the rebuild.
         assert!(db.mined_hints().is_empty());
+    }
+
+    #[test]
+    fn grown_scalable_run_filters_compact_back_to_one_tier() {
+        use habf_core::{HabfConfig, ScalableHabf};
+
+        let mut db = Lsm::new(LsmConfig {
+            memtable_capacity: 512,
+            level_fanout: 3,
+            filter: Some(FilterSpec::scalable_habf().bits_per_key(12.0)),
+        });
+        for i in 0..1_500 {
+            db.put(key(i), b"v".to_vec());
+        }
+        db.flush();
+        // Flush and compaction build from scratch: every filter starts
+        // as a single tier.
+        assert!(db.runs().count() >= 2);
+        assert_eq!(db.filter_pressure().1, 1);
+
+        // Install a grown stack on the first run, as a warm restart
+        // from a container that kept absorbing inserts would.
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = db.levels[0][0].entries().to_vec();
+        let members: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        let no_costs: [(&[u8], f64); 0] = [];
+        let mut grown = ScalableHabf::build(
+            &members,
+            &no_costs,
+            &HabfConfig::with_total_bits(12 * members.len()),
+        );
+        for i in 0..2 * members.len() {
+            grown.insert(format!("late:{i}").as_bytes());
+        }
+        assert!(grown.generations() > 1, "burst should open new tiers");
+        db.levels[0][0].set_filter(Some(Box::new(grown)));
+        let (_, generations) = db.filter_pressure();
+        assert!(generations > 1);
+
+        // The policy routes the FP trigger to a Compact pass because a
+        // grown stack exists — and the pass folds it flat.
+        db.enable_adaptation(AdaptConfig {
+            policy: AdaptPolicy::cost_threshold(20.0),
+            decay: 1.0,
+            ..AdaptConfig::default()
+        });
+        assert_eq!(db.decide_rebuild(), None, "quiet log must not fire");
+        for _ in 0..10 {
+            db.report_miss(&key(88_888), 3.0);
+        }
+        assert!(db.io_stats().rebuilds >= 1, "policy never fired");
+        assert_eq!(db.last_rebuild_kind(), Some(RebuildKind::Compact));
+        assert_eq!(db.filter_pressure().1, 1, "fold-back left a grown stack");
+        for (_, run) in db.runs() {
+            assert_eq!(run.filter_generations(), 1);
+        }
+        // Zero FN through the whole fold.
+        for i in 0..1_500 {
+            assert_eq!(db.get(&key(i)), Some(b"v".to_vec()), "member {i} lost");
+        }
     }
 
     #[test]

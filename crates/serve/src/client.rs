@@ -174,6 +174,26 @@ impl Client {
         Ok((hints, generation))
     }
 
+    /// Inserts keys into a growable tenant's live filter; returns
+    /// `(accepted, tiers, saturation)` after the insert.
+    ///
+    /// # Errors
+    /// As for [`Client::query`]; a fixed-capacity tenant comes back as
+    /// [`WireError::Server`] with
+    /// [`protocol::error_code::NOT_GROWABLE`].
+    pub fn insert(
+        &mut self,
+        tenant: &str,
+        keys: &[impl AsRef<[u8]>],
+    ) -> Result<(u32, u32, f64), WireError> {
+        let reply = self.call(
+            frame_type::INSERT,
+            &protocol::encode_insert(tenant, keys),
+            frame_type::INSERT_OK,
+        )?;
+        protocol::decode_insert_ok(&reply.payload)
+    }
+
     /// Asks the server to stop cleanly. Servers refuse unless started
     /// with shutdown enabled (see `ServerConfig::allow_shutdown`).
     ///

@@ -34,12 +34,14 @@
 //! | `STATS` | tenant |
 //! | `REBUILD` | tenant, `seed u64`, `max_hints u32` |
 //! | `SHUTDOWN` | empty (admin stop; refused unless the server opts in) |
+//! | `INSERT` | tenant, `count u32`, then `count` keys |
 //!
 //! where *tenant* and *key* are `len u16` + bytes (tenants must be
 //! UTF-8). Replies: `ANSWERS` is `count u32` + a packed LSB-first
 //! bitset; `ACK` is the accepted event count; `STATS_OK` is a UTF-8
-//! JSON line; `REBUILT` is `hints u32` + `generation u64`; `ERROR` is
-//! a [`error_code`] byte + a UTF-8 message.
+//! JSON line; `REBUILT` is `hints u32` + `generation u64`; `INSERT_OK`
+//! is `accepted u32` + `tiers u32` + `saturation f64`; `ERROR` is a
+//! [`error_code`] byte + a UTF-8 message.
 
 use std::io::{Read, Write};
 
@@ -71,6 +73,8 @@ pub mod frame_type {
     /// Clean server stop (honored only when the server enables it) →
     /// [`SHUTDOWN_OK`].
     pub const SHUTDOWN: u8 = 0x06;
+    /// Incremental key insert into a growable tenant → [`INSERT_OK`].
+    pub const INSERT: u8 = 0x07;
     /// Reply to [`QUERY`]: packed answer bitset.
     pub const ANSWERS: u8 = 0x81;
     /// Reply to [`FEEDBACK`]: accepted event count.
@@ -83,6 +87,8 @@ pub mod frame_type {
     pub const PONG: u8 = 0x85;
     /// Reply to [`SHUTDOWN`]: the server stops accepting after this.
     pub const SHUTDOWN_OK: u8 = 0x86;
+    /// Reply to [`INSERT`]: accepted count + tier count + saturation.
+    pub const INSERT_OK: u8 = 0x87;
     /// Typed failure reply to any request.
     pub const ERROR: u8 = 0xFF;
 }
@@ -109,6 +115,8 @@ pub mod error_code {
     pub const TRUNCATED: u8 = 9;
     /// A shutdown was requested but the server does not allow it.
     pub const SHUTDOWN_REFUSED: u8 = 10;
+    /// An insert targeted a tenant whose filter cannot grow.
+    pub const NOT_GROWABLE: u8 = 11;
 }
 
 /// A typed failure while reading or decoding wire bytes.
@@ -356,6 +364,13 @@ pub enum Request {
     },
     /// Clean server stop (refused unless the server opted in).
     Shutdown,
+    /// Incremental insert into a growable tenant's live filter.
+    Insert {
+        /// Tenant routing key.
+        tenant: String,
+        /// Keys to add as members.
+        keys: Vec<Vec<u8>>,
+    },
 }
 
 impl Request {
@@ -411,6 +426,16 @@ impl Request {
                 c.finish()?;
                 Ok(Self::Shutdown)
             }
+            frame_type::INSERT => {
+                let tenant = take_tenant(&mut c)?;
+                let count = c.take_u32()? as usize;
+                let mut keys = Vec::with_capacity(count.min(65_536));
+                for _ in 0..count {
+                    keys.push(c.take_bytes()?.to_vec());
+                }
+                c.finish()?;
+                Ok(Self::Insert { tenant, keys })
+            }
             other => Err(WireError::Server {
                 code: error_code::UNKNOWN_TYPE,
                 message: format!("unknown request type 0x{other:02x}"),
@@ -450,6 +475,36 @@ pub fn encode_stats(tenant: &str) -> Vec<u8> {
     let mut out = Vec::new();
     put_bytes(&mut out, tenant.as_bytes());
     out
+}
+
+/// Encodes an insert payload: tenant + count + keys (same body shape
+/// as a query — only the frame type distinguishes probe from mutate).
+#[must_use]
+pub fn encode_insert(tenant: &str, keys: &[impl AsRef<[u8]>]) -> Vec<u8> {
+    encode_query(tenant, keys)
+}
+
+/// Encodes an `INSERT_OK` payload.
+#[must_use]
+pub fn encode_insert_ok(accepted: u32, tiers: u32, saturation: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&accepted.to_le_bytes());
+    out.extend_from_slice(&tiers.to_le_bytes());
+    out.extend_from_slice(&saturation.to_bits().to_le_bytes());
+    out
+}
+
+/// Decodes an `INSERT_OK` payload into `(accepted, tiers, saturation)`.
+///
+/// # Errors
+/// [`WireError::BadPayload`] when the payload is not exactly 16 bytes.
+pub fn decode_insert_ok(payload: &[u8]) -> Result<(u32, u32, f64), WireError> {
+    let mut c = Cursor::new(payload);
+    let accepted = c.take_u32()?;
+    let tiers = c.take_u32()?;
+    let saturation = c.take_f64()?;
+    c.finish()?;
+    Ok((accepted, tiers, saturation))
 }
 
 /// Encodes a rebuild payload: tenant + seed + hint cap.
@@ -610,6 +665,43 @@ mod tests {
                 max_hints: 128,
             }
         );
+
+        let keys = [b"late".to_vec(), b"comer".to_vec()];
+        let frame = Frame {
+            kind: frame_type::INSERT,
+            payload: encode_insert("t1", &keys),
+        };
+        assert_eq!(
+            Request::parse(&frame).expect("parse"),
+            Request::Insert {
+                tenant: "t1".into(),
+                keys: keys.to_vec(),
+            }
+        );
+    }
+
+    #[test]
+    fn insert_ok_round_trips_and_truncations_are_typed() {
+        let payload = encode_insert_ok(7, 3, 1.25);
+        assert_eq!(decode_insert_ok(&payload).expect("decode"), (7, 3, 1.25));
+        for cut in 0..payload.len() {
+            assert!(decode_insert_ok(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_insert_ok(&long).is_err(), "trailing byte accepted");
+    }
+
+    #[test]
+    fn insert_payload_damage_is_typed_not_a_panic() {
+        let payload = encode_insert("tenant", &[b"key".to_vec()]);
+        for cut in 0..payload.len() {
+            let frame = Frame {
+                kind: frame_type::INSERT,
+                payload: payload[..cut].to_vec(),
+            };
+            assert!(Request::parse(&frame).is_err(), "cut at {cut} parsed");
+        }
     }
 
     #[test]

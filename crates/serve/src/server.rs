@@ -371,6 +371,25 @@ fn handle_frame(frame: &Frame, tenants: &TenantTable) -> Frame {
                 Err(e) => error_frame(error_code::REBUILD_FAILED, &e.to_string()),
             }
         }
+        Request::Insert { tenant, keys } => {
+            let Some(store) = tenants.get(&tenant) else {
+                return error_frame(error_code::UNKNOWN_TENANT, &format!("no tenant {tenant:?}"));
+            };
+            match store.insert_keys(&keys) {
+                Ok(report) => Frame {
+                    kind: frame_type::INSERT_OK,
+                    payload: protocol::encode_insert_ok(
+                        report.accepted as u32,
+                        report.generations as u32,
+                        report.saturation,
+                    ),
+                },
+                Err(e @ habf_core::tenant::InsertError::NotGrowable { .. }) => {
+                    error_frame(error_code::NOT_GROWABLE, &e.to_string())
+                }
+                Err(e) => error_frame(error_code::BAD_FRAME, &e.to_string()),
+            }
+        }
         // Shutdown is intercepted in `serve_connection` (it needs the
         // server controls); reaching here means it was not permitted.
         Request::Shutdown => error_frame(

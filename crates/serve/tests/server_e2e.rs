@@ -74,6 +74,63 @@ fn query_feedback_stats_round_trip_on_one_connection() {
     assert!(stats.contains("\"filter_id\":\"habf\""), "{stats}");
     assert!(stats.contains("\"fp_events\":2"), "{stats}");
     assert!(stats.contains("\"generation\":0"), "{stats}");
+    assert!(stats.contains("\"saturation\":"), "{stats}");
+    assert!(stats.contains("\"tiers\":1"), "{stats}");
+    assert!(stats.contains("\"rebuild_kind\":null"), "{stats}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn insert_grows_a_scalable_tenant_over_the_wire() {
+    let keys = members(64);
+    let input = BuildInput::from_members(&keys);
+    let filter = FilterSpec::scalable_habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    let store =
+        TenantStore::new("elastic", filter, AdaptPolicy::cost_threshold(50.0)).with_members(keys);
+    let handle = start(ServerConfig::default(), vec![store, tenant("fixed", 64)]);
+    let mut client = connect(&handle);
+
+    let burst: Vec<Vec<u8>> = (0..512).map(|i| format!("late:{i}").into_bytes()).collect();
+    let (accepted, tiers, saturation) = client.insert("elastic", &burst).expect("insert");
+    assert_eq!(accepted, 512);
+    assert!(tiers > 1, "burst past capacity should open new tiers");
+    assert!(saturation.is_finite());
+
+    // Everything inserted (and everything original) answers true.
+    let mut probe = members(64);
+    probe.extend(burst);
+    let answers = client.query("elastic", &probe).expect("query");
+    assert!(answers.iter().all(|&b| b), "insert dropped a key");
+
+    // Stats surface the grown stack; an insert is not a rebuild.
+    let stats = client.stats("elastic").expect("stats");
+    assert!(stats.contains("\"generation\":0"), "{stats}");
+    assert!(stats.contains(&format!("\"tiers\":{tiers}")), "{stats}");
+
+    // A rebuild folds the stack back to one tier and records why.
+    let (_, generation) = client.rebuild("elastic", 9, 256).expect("rebuild");
+    assert_eq!(generation, 1);
+    let stats = client.stats("elastic").expect("stats");
+    assert!(stats.contains("\"tiers\":1"), "{stats}");
+    assert!(stats.contains("\"rebuild_kind\":\"compact\""), "{stats}");
+
+    // A fixed-capacity tenant refuses the same insert, typed, and the
+    // connection keeps serving.
+    let err = client
+        .insert("fixed", &[b"k".to_vec()])
+        .expect_err("habf cannot grow");
+    match err {
+        WireError::Server { code, message } => {
+            assert_eq!(code, error_code::NOT_GROWABLE);
+            assert!(message.contains("habf"), "{message}");
+        }
+        other => panic!("want Server error, got {other:?}"),
+    }
+    client.ping(b"still-serving").expect("ping");
 
     handle.shutdown();
 }

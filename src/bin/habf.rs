@@ -8,6 +8,7 @@
 //! habf query filter.bin <key> [<key>…]        # exit 0 if all maybe-present
 //! habf query filter.bin --replay queries.txt  # replay keys from a file
 //! habf adapt filter.bin --positives pos.txt --queries queries.txt --out adapted.bin
+//! habf insert stack.bin key1 key2 --out grown.bin   # growable filters only
 //! habf inspect filter.bin
 //! habf migrate old.bin --out new.bin          # any format -> aligned v2 container
 //! habf serve --listen 127.0.0.1:7700 --tenant users=filter.bin,pos.txt
@@ -62,12 +63,14 @@ const USAGE: &str = "usage:\n  habf filters\n  habf build --positives FILE [--ne
 [--filter ID] [--bits-per-key F]\n         [--fast] [--seed N] [--shards N] [--threads N] \
 [--out FILE]\n  habf query FILTER [KEY…] [--replay FILE] [--adapt --positives FILE [--out FILE]]\n  \
 habf adapt FILTER --positives FILE --queries FILE [--out FILE] [--threshold F] \
-[--max-hints N] [--seed N]\n  habf inspect FILTER\n  habf migrate FILTER [--out FILE]\n  \
+[--max-hints N] [--seed N]\n  habf insert FILTER [KEY…] [--keys FILE] [--out FILE]\n  \
+habf inspect FILTER\n  habf migrate FILTER [--out FILE]\n  \
 habf serve --listen ADDR --tenant NAME=FILTER[,POSITIVES] [--tenant …]\n         \
 [--threshold F] [--max-connections N] [--allow-shutdown]\n  \
 habf client ADDR ping\n  habf client ADDR query TENANT [KEY…] [--replay FILE]\n  \
 habf client ADDR feedback TENANT (--queries FILE | KEY COST)\n  \
 habf client ADDR stats TENANT\n  habf client ADDR rebuild TENANT [--seed N] [--max-hints N]\n  \
+habf client ADDR insert TENANT [KEY…] [--keys FILE]\n  \
 habf client ADDR shutdown";
 
 fn usage() -> ! {
@@ -350,6 +353,72 @@ fn cmd_adapt(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Inserts keys into a growable filter image and writes the grown image
+/// back, format-preserving (like `adapt`). Filters without the grow
+/// capability — everything but the tiered stacks — are refused with a
+/// clear message instead of silently breaking their zero-FN contract.
+fn cmd_insert(args: &[String]) -> ExitCode {
+    let [path, rest @ ..] = args else { usage() };
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--keys" => keys.extend(read_lines(&val())),
+            "--out" => out = Some(val()),
+            s if s.starts_with("--") => usage(),
+            _ => keys.push(arg.clone().into_bytes()),
+        }
+    }
+    if keys.is_empty() {
+        usage();
+    }
+    let out = out.unwrap_or_else(|| path.clone());
+    let mut loaded = match load_filter(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("habf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(growable) = loaded.filter.as_growable() else {
+        eprintln!(
+            "habf: filter {:?} cannot grow past its design capacity \
+             (rebuild it, or use --filter scalable-habf)",
+            loaded.filter.filter_id()
+        );
+        return ExitCode::FAILURE;
+    };
+    for key in &keys {
+        growable.insert(key);
+    }
+    // Preserve the input's on-disk format, as `adapt` does.
+    let image = match (loaded.format, loaded.version) {
+        (habf::core::ImageFormat::Container, habf::core::persist::CONTAINER_VERSION_V1) => {
+            loaded.filter.to_container_bytes_v1()
+        }
+        (habf::core::ImageFormat::Container, _) => loaded.filter.to_container_bytes(),
+        _ => {
+            let mut payload = Vec::new();
+            loaded.filter.write_payload(&mut payload);
+            payload
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &image) {
+        eprintln!("habf: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "inserted {} keys: {} generations, saturation {:.4}",
+        keys.len(),
+        loaded.filter.generations(),
+        loaded.filter.saturation()
+    );
+    println!("wrote {} bytes to {out}", image.len());
+    ExitCode::SUCCESS
+}
+
 fn cmd_query(args: &[String]) -> ExitCode {
     let [path, rest @ ..] = args else { usage() };
     let mut keys: Vec<Vec<u8>> = Vec::new();
@@ -507,11 +576,18 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
                             frames.len()
                         );
                         let sharded = f.filter_id().starts_with("sharded-");
+                        let tiered = f.filter_id() == "scalable-habf";
                         for (i, fr) in frames.iter().enumerate() {
                             let abs = payload_offset + fr.offset;
                             let label = if sharded {
                                 format!(
                                     "shard {} {}",
+                                    i / 2,
+                                    if i % 2 == 0 { "bloom" } else { "cells" }
+                                )
+                            } else if tiered {
+                                format!(
+                                    "tier {} {}",
                                     i / 2,
                                     if i % 2 == 0 { "bloom" } else { "cells" }
                                 )
@@ -759,6 +835,33 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     ExitCode::SUCCESS
                 })
         }
+        "insert" => {
+            let [tenant, key_args @ ..] = rest else {
+                usage()
+            };
+            let mut keys: Vec<Vec<u8>> = Vec::new();
+            let mut it = key_args.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--keys" => {
+                        let path = it.next().cloned().unwrap_or_else(|| usage());
+                        keys.extend(read_lines(&path));
+                    }
+                    s if s.starts_with("--") => usage(),
+                    _ => keys.push(arg.clone().into_bytes()),
+                }
+            }
+            if keys.is_empty() {
+                eprintln!("0 keys inserted");
+                return ExitCode::SUCCESS;
+            }
+            client
+                .insert(tenant, &keys)
+                .map(|(accepted, tiers, saturation)| {
+                    println!("inserted {accepted} keys: {tiers} tiers, saturation {saturation:.4}");
+                    ExitCode::SUCCESS
+                })
+        }
         "shutdown" => client.shutdown().map(|()| {
             println!("server stopping");
             ExitCode::SUCCESS
@@ -792,6 +895,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(rest),
         "query" => cmd_query(rest),
         "adapt" => cmd_adapt(rest),
+        "insert" => cmd_insert(rest),
         "inspect" => cmd_inspect(rest),
         "migrate" => cmd_migrate(rest),
         "serve" => cmd_serve(rest),

@@ -6,6 +6,8 @@
 // Every prelude symbol, imported by name: a removal or rename breaks this
 // file at compile time.
 #[allow(unused_imports)]
+use habf::core::{Growable, RebuildKind, ScalableHabf};
+#[allow(unused_imports)]
 use habf::prelude::{
     AdaptPolicy, BatchQuery, BuildError, BuildInput, DynFilter, FHabf, Filter, FilterSpec, FpLog,
     Habf, HabfConfig, HintError, ImageFormat, LoadedFilter, PersistError, Rebuildable,
@@ -30,6 +32,7 @@ fn registry_ids_are_pinned() {
             "blocked-bloom",
             "blocked-habf",
             "binary-fuse",
+            "scalable-habf",
         ],
         "registry ids are a persistence contract; append, never rename"
     );
@@ -50,6 +53,7 @@ fn typed_spec_constructors_match_their_ids() {
         (FilterSpec::blocked_bloom(), "blocked-bloom"),
         (FilterSpec::blocked_habf(), "blocked-habf"),
         (FilterSpec::binary_fuse(), "binary-fuse"),
+        (FilterSpec::scalable_habf(), "scalable-habf"),
     ] {
         assert_eq!(spec.id(), id);
         assert!(
@@ -98,4 +102,52 @@ fn dyn_filter_is_object_safe_with_upcast_and_capabilities() {
         .rebuild(&BuildInput::from_members(&members), 1)
         .expect("rebuild over members only");
     assert!(members.iter().all(|k| filter.contains(k)));
+}
+
+/// The grow capability is discoverable only on the elastic stack; every
+/// fixed-capacity filter answers `None` from `as_growable` and the
+/// read-only defaults (one generation, saturation 1) from `DynFilter`.
+#[test]
+fn grow_capability_is_exclusive_to_the_scalable_stack() {
+    let members: Vec<Vec<u8>> = (0..300).map(|i| format!("m:{i}").into_bytes()).collect();
+    let input = BuildInput::from_members(&members);
+    for id in habf::core::registry::ids() {
+        let mut filter = FilterSpec::by_id(id)
+            .expect("registered")
+            .bits_per_key(10.0)
+            .shards(2)
+            .build(&input)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        assert_eq!(
+            filter.as_growable().is_some(),
+            id == "scalable-habf",
+            "{id}: grow capability mismatch"
+        );
+        assert!(filter.saturation().is_finite(), "{id}");
+        assert!(filter.generations() >= 1, "{id}");
+        assert!(
+            filter
+                .metadata()
+                .iter()
+                .any(|(label, _)| *label == "saturation"),
+            "{id}: metadata must report saturation"
+        );
+    }
+
+    // And the capability actually grows: 8× the design capacity, zero FN.
+    let mut filter = FilterSpec::scalable_habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    let late: Vec<Vec<u8>> = (0..8 * members.len())
+        .map(|i| format!("late:{i}").into_bytes())
+        .collect();
+    {
+        let growable: &mut dyn Growable = filter.as_growable().expect("scalable grows");
+        for key in &late {
+            growable.insert(key);
+        }
+    }
+    assert!(filter.generations() > 1);
+    assert!(members.iter().chain(&late).all(|k| filter.contains(k)));
 }

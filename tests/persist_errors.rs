@@ -49,6 +49,29 @@ fn build_corpus() -> Vec<(String, Vec<u8>)> {
     let sharded =
         habf::prelude::ShardedHabf::<habf::prelude::Habf>::build_par(&members, &negatives, &scfg);
     images.push(("legacy:sharded".into(), sharded.to_bytes()));
+    // A grown multi-tier stack: one container holding a frame set per
+    // tier. Inside the corpus it rides every generic test — truncation
+    // at every prefix lands *between* tier frame sets too, and random
+    // mutations hit the per-tier counters.
+    let mut scalable = FilterSpec::scalable_habf()
+        .bits_per_key(12.0)
+        .build(&input)
+        .expect("scalable builds");
+    {
+        let growable = scalable.as_growable().expect("scalable grows");
+        for i in 0..256 {
+            growable.insert(format!("late:{i}").as_bytes());
+        }
+    }
+    assert!(scalable.generations() > 1, "corpus stack must be grown");
+    images.push((
+        "container-v2:scalable-habf-grown".into(),
+        scalable.to_container_bytes(),
+    ));
+    images.push((
+        "container-v1:scalable-habf-grown".into(),
+        scalable.to_container_bytes_v1(),
+    ));
     images
 }
 
@@ -148,6 +171,60 @@ fn bad_magic_wrong_version_and_unknown_id_are_typed() {
         registry::load(&unknown).err(),
         Some(PersistError::UnknownFilterId("future-filter".into()))
     );
+}
+
+/// Tier-count corruption in a grown multi-tier image: the count is
+/// validated against the tier cap before any tier decodes, so a lying
+/// count is a typed error through both loaders — never a panic, and
+/// never a count-sized allocation.
+#[test]
+fn corrupt_tier_counts_in_grown_images_are_typed() {
+    let mut checked = 0;
+    for (name, image) in corpus() {
+        if !name.contains("scalable-habf-grown") {
+            continue;
+        }
+        let tiers = registry::load(image)
+            .expect("pristine image")
+            .filter
+            .generations() as u32;
+        assert!(tiers > 1, "{name}: corpus stack must be grown");
+        // The growth-parameter block ends with `max_tiers u32 ||
+        // tier_count u32`; find that pair near the head of the image
+        // and lie about the count.
+        let needle: Vec<u8> = 16u32
+            .to_le_bytes()
+            .iter()
+            .chain(tiers.to_le_bytes().iter())
+            .copied()
+            .collect();
+        let at = image
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .unwrap_or_else(|| panic!("{name}: growth params not found"));
+        for lie in [0u32, u32::MAX, 65u32] {
+            let mut bad = image.clone();
+            bad[at + 4..at + 8].copy_from_slice(&lie.to_le_bytes());
+            assert!(
+                matches!(registry::load(&bad).err(), Some(PersistError::Corrupt(_))),
+                "{name}: tier count {lie} loaded"
+            );
+            assert!(
+                registry::load_bytes(bad).is_err(),
+                "{name}: tier count {lie} loaded shared"
+            );
+        }
+        // Claiming one tier fewer than the frames hold is trailing
+        // garbage, not a shorter filter.
+        let mut bad = image.clone();
+        bad[at + 4..at + 8].copy_from_slice(&(tiers - 1).to_le_bytes());
+        assert!(
+            registry::load(&bad).is_err(),
+            "{name}: undercounted tiers loaded"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 2, "both container versions must be exercised");
 }
 
 proptest! {
