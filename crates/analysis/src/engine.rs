@@ -1,0 +1,243 @@
+//! Workspace loading, rule execution, and suppression handling.
+//!
+//! Suppression syntax (leader-agnostic, so it works in `//` Rust comments
+//! and `#` YAML comments alike):
+//!
+//! ```text
+//! habf-lint: allow(rule-a, rule-b) -- why this site is sound
+//! habf-lint: allow-file(rule-a) -- why this whole file is exempt
+//! ```
+//!
+//! `allow(...)` covers findings on its own line or the line directly below;
+//! `allow-file(...)` covers the whole file. The ` -- <reason>` justification
+//! is mandatory: an allow without one does **not** suppress, and the finding
+//! is annotated so the omission is visible in the report.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+
+/// The scanned tree rules run against.
+pub struct Workspace {
+    root: PathBuf,
+    files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root`, scanning every `.rs` file outside `target/`, dot-dirs,
+    /// and the analyzer's own fixture corpora (which contain deliberate
+    /// violations).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let root = root.canonicalize()?;
+        let mut files = Vec::new();
+        walk(&root, &root, &mut files)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace { root, files })
+    }
+
+    /// The analysis root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All scanned Rust files.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// The scanned file whose relative path ends with `suffix`, if any.
+    pub fn file_ending(&self, suffix: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel.ends_with(suffix))
+    }
+
+    /// Reads a root-relative text file (scanned or not), if present.
+    pub fn read_rel(&self, rel: &str) -> Option<String> {
+        if let Some(f) = self.files.iter().find(|f| f.rel == rel) {
+            return Some(f.raw.clone());
+        }
+        fs::read_to_string(self.root.join(rel)).ok()
+    }
+
+    /// Committed `BENCH_*.json` artifact names at the workspace root.
+    pub fn root_bench_artifacts(&self) -> Vec<String> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_of(root, &path);
+            if rel == "crates/analysis/tests/fixtures" {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            let raw = fs::read_to_string(&path)?;
+            let rel = rel_of(root, &path);
+            files.push(SourceFile::new(path, rel, raw));
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The outcome of one analysis run.
+pub struct Report {
+    /// Unsuppressed findings, sorted by file/line/rule.
+    pub findings: Vec<Finding>,
+    /// Count of findings silenced by a justified `habf-lint: allow`.
+    pub suppressed: usize,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+}
+
+/// Runs every rule and applies suppressions.
+pub fn analyze(ws: &Workspace) -> Report {
+    let mut raw_findings = Vec::new();
+    for rule in rules::all() {
+        rule.check(ws, &mut raw_findings);
+    }
+    raw_findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    raw_findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
+    });
+
+    let mut cache: HashMap<String, Option<Vec<String>>> = HashMap::new();
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for mut f in raw_findings {
+        let lines = cache.entry(f.file.clone()).or_insert_with(|| {
+            ws.read_rel(&f.file)
+                .map(|t| t.lines().map(str::to_string).collect())
+        });
+        match suppression_for(lines.as_deref(), &f) {
+            Suppression::Justified => suppressed += 1,
+            Suppression::MissingReason => {
+                f.message
+                    .push_str(" [habf-lint allow present but missing ` -- <reason>`]");
+                findings.push(f);
+            }
+            Suppression::None => findings.push(f),
+        }
+    }
+    Report {
+        findings,
+        suppressed,
+        files_scanned: ws.files().len(),
+    }
+}
+
+enum Suppression {
+    None,
+    MissingReason,
+    Justified,
+}
+
+fn suppression_for(lines: Option<&[String]>, f: &Finding) -> Suppression {
+    let Some(lines) = lines else {
+        return Suppression::None;
+    };
+    let mut best = Suppression::None;
+    let mut consider = |line: &str, marker: &str| match allow_covers(line, marker, f.rule) {
+        Some(true) => best = Suppression::Justified,
+        Some(false) => {
+            if matches!(best, Suppression::None) {
+                best = Suppression::MissingReason;
+            }
+        }
+        None => {}
+    };
+    for line in lines {
+        consider(line, "allow-file");
+    }
+    for l in [f.line, f.line.saturating_sub(1)] {
+        if let Some(text) = l.checked_sub(1).and_then(|i| lines.get(i)) {
+            consider(text, "allow");
+        }
+    }
+    best
+}
+
+/// If `line` carries `habf-lint: <marker>(...)` naming `rule`, returns
+/// whether it also carries the mandatory ` -- <reason>` justification.
+fn allow_covers(line: &str, marker: &str, rule: &str) -> Option<bool> {
+    let pat = format!("habf-lint: {marker}(");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let close = rest.find(')')?;
+    let covered = rest[..close].split(',').any(|r| r.trim() == rule);
+    if !covered {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    Some(!reason.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_requires_reason_and_rule_match() {
+        assert_eq!(
+            allow_covers("// habf-lint: allow(x) -- audited", "allow", "x"),
+            Some(true)
+        );
+        assert_eq!(
+            allow_covers("// habf-lint: allow(x)", "allow", "x"),
+            Some(false)
+        );
+        assert_eq!(
+            allow_covers("// habf-lint: allow(x) --   ", "allow", "x"),
+            Some(false)
+        );
+        assert_eq!(
+            allow_covers("// habf-lint: allow(y) -- r", "allow", "x"),
+            None
+        );
+        assert_eq!(
+            allow_covers(
+                "# habf-lint: allow-file(a, b) -- yaml too",
+                "allow-file",
+                "b"
+            ),
+            Some(true)
+        );
+        // `allow(` must not match inside `allow-file(`.
+        assert_eq!(
+            allow_covers("# habf-lint: allow-file(x) -- r", "allow", "x"),
+            None
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! `habf-analysis` — the workspace invariant linter.
+//!
+//! A dependency-free static-analysis engine purpose-built for this
+//! repository's soundness conventions: panic-free decode paths, SAFETY
+//! comments on every `unsafe` site, lock discipline in the serving layer,
+//! and parity between registry ids / wire opcodes / bench artifacts and the
+//! tests, fixtures, and CI steps that pin them.
+//!
+//! See DESIGN.md §12 for the rule table and the
+//! `// habf-lint: allow(<rule>) -- <reason>` suppression syntax. Run it
+//! with:
+//!
+//! ```text
+//! cargo run -p habf-analysis -- --format json
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{analyze, Report, Workspace};
+pub use rules::Finding;

@@ -1,0 +1,66 @@
+//! CLI entry point: scan a workspace tree, print findings, exit nonzero if
+//! any unsuppressed finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use habf_analysis::{analyze, engine::Workspace, report, rules};
+
+const USAGE: &str = "usage: habf-analysis [--root <dir>] [--format human|json] [--list-rules]
+
+Runs the workspace invariant linter. Exits 0 when no unsuppressed finding
+remains, 1 otherwise, 2 on usage/IO errors.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => json = false,
+                Some("json") => json = true,
+                _ => return usage_error("--format must be `human` or `json`"),
+            },
+            "--list-rules" => {
+                for rule in rules::all() {
+                    println!("{:24} {}", rule.id(), rule.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("habf-analysis: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rep = analyze(&ws);
+    if json {
+        print!("{}", report::render_json(&rep));
+    } else {
+        print!("{}", report::render_human(&rep));
+    }
+    if rep.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("habf-analysis: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

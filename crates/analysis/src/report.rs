@@ -1,0 +1,91 @@
+//! Human and machine-readable rendering of a [`Report`].
+
+use crate::engine::Report;
+
+/// `file:line: [rule] message` per finding, plus a one-line summary.
+pub fn render_human(r: &Report) -> String {
+    let mut out = String::new();
+    for f in &r.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding{} ({} suppressed) across {} files\n",
+        r.findings.len(),
+        if r.findings.len() == 1 { "" } else { "s" },
+        r.suppressed,
+        r.files_scanned
+    ));
+    out
+}
+
+/// A single JSON object with a `findings` array — stable field order, no
+/// dependencies.
+pub fn render_json(r: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in r.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    if !r.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+        r.suppressed, r.files_scanned
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "decode-no-panic",
+                file: "a\"b.rs".into(),
+                line: 3,
+                message: "x\ny".into(),
+            }],
+            suppressed: 2,
+            files_scanned: 7,
+        };
+        let j = render_json(&r);
+        assert!(j.contains("\"rule\": \"decode-no-panic\""));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"suppressed\": 2"));
+    }
+}

@@ -1,0 +1,537 @@
+//! Lexical Rust source model.
+//!
+//! The rules in this crate reason about *token positions*, not an AST: a
+//! masked copy of each file blanks out comment text and string/char-literal
+//! interiors (byte-for-byte, so offsets and line numbers stay aligned with
+//! the raw text), and a lightweight scanner recovers `fn` items (name,
+//! signature span, matched-brace body span), `#[cfg(test)]` spans, and
+//! `unsafe` sites on top of it. That is enough to make substring searches
+//! sound: `.unwrap()` in the masked text is a real call, never a doc-comment
+//! example or a string payload.
+
+use std::ops::Range;
+use std::path::PathBuf;
+
+/// One scanned file: raw text, masked text, and the derived item model.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    /// The file text as read.
+    pub raw: String,
+    /// Comment/string/char-masked text, same byte length as `raw`.
+    pub masked: String,
+    line_starts: Vec<usize>,
+    test_spans: Vec<Range<usize>>,
+    fns: Vec<FnItem>,
+}
+
+/// A `fn` item recovered from the masked text.
+pub struct FnItem {
+    /// The function name (no path, no generics).
+    pub name: String,
+    /// Byte span from the `fn` keyword to the body's `{`.
+    pub sig: Range<usize>,
+    /// Byte span of the body, excluding the outer braces.
+    pub body: Range<usize>,
+    /// Whether the token immediately before `fn` is `unsafe`.
+    pub is_unsafe: bool,
+}
+
+/// What follows an `unsafe` keyword.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnsafeKind {
+    /// `unsafe { ... }`
+    Block,
+    /// `unsafe fn ...`
+    Fn,
+    /// `unsafe impl ...`
+    Impl,
+    /// `unsafe trait ...`
+    Trait,
+    /// `unsafe extern ...`
+    Extern,
+}
+
+impl SourceFile {
+    /// Reads and scans one file.
+    pub fn new(path: PathBuf, rel: String, raw: String) -> SourceFile {
+        let masked = mask_source(&raw);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_spans = scan_test_spans(&masked);
+        let fns = scan_fns(&masked);
+        SourceFile {
+            path,
+            rel,
+            raw,
+            masked,
+            line_starts,
+            test_spans,
+            fns,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Raw text of a 1-based line (without the trailing newline), or `""`.
+    pub fn line_text(&self, line: usize) -> &str {
+        let Some(&start) = line.checked_sub(1).and_then(|i| self.line_starts.get(i)) else {
+            return "";
+        };
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.raw.len(), |&next| next.saturating_sub(1));
+        self.raw.get(start..end).unwrap_or("")
+    }
+
+    /// Whether a byte offset falls inside a `#[cfg(test)]` or `#[test]` span.
+    pub fn in_test(&self, pos: usize) -> bool {
+        self.test_spans.iter().any(|s| s.contains(&pos))
+    }
+
+    /// All scanned `fn` items, in source order (nested fns included).
+    pub fn fns(&self) -> &[FnItem] {
+        &self.fns
+    }
+
+    /// Every `unsafe` keyword in the masked text, with what it introduces.
+    pub fn unsafe_sites(&self) -> Vec<(usize, UnsafeKind)> {
+        let b = self.masked.as_bytes();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while let Some(pos) = find_word(b, b"unsafe", i) {
+            i = pos + 6;
+            let mut j = i;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let kind = if b.get(j) == Some(&b'{') {
+                UnsafeKind::Block
+            } else if at_word(b, j, b"fn") {
+                UnsafeKind::Fn
+            } else if at_word(b, j, b"impl") {
+                UnsafeKind::Impl
+            } else if at_word(b, j, b"trait") {
+                UnsafeKind::Trait
+            } else if at_word(b, j, b"extern") {
+                UnsafeKind::Extern
+            } else {
+                continue;
+            };
+            out.push((pos, kind));
+        }
+        out
+    }
+}
+
+/// True if `b[pos..]` starts with `word` at an identifier boundary on both
+/// sides.
+pub fn at_word(b: &[u8], pos: usize, word: &[u8]) -> bool {
+    if pos.checked_add(word.len()).is_none_or(|end| end > b.len()) {
+        return false;
+    }
+    if &b[pos..pos + word.len()] != word {
+        return false;
+    }
+    let before_ok = pos == 0 || !is_ident(b[pos - 1]);
+    let after_ok = b.get(pos + word.len()).is_none_or(|&c| !is_ident(c));
+    before_ok && after_ok
+}
+
+/// Finds the next boundary-delimited occurrence of `word` at or after
+/// `from`.
+pub fn find_word(b: &[u8], word: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i + word.len() <= b.len() {
+        if at_word(b, i, word) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Identifier byte: `[A-Za-z0-9_]`.
+pub fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// The identifier (or empty string) ending just before `pos`, skipping
+/// whitespace.
+pub fn prev_word(masked: &str, pos: usize) -> &str {
+    let b = masked.as_bytes();
+    let mut i = pos;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident(b[i - 1]) {
+        i -= 1;
+    }
+    masked.get(i..end).unwrap_or("")
+}
+
+/// The last non-whitespace byte before `pos`, if any.
+pub fn prev_nonspace(b: &[u8], pos: usize) -> Option<u8> {
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        if !b[i].is_ascii_whitespace() {
+            return Some(b[i]);
+        }
+    }
+    None
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (or `len` if
+/// unterminated).
+pub fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = open;
+    while k < b.len() {
+        match b[k] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    b.len()
+}
+
+fn scan_fns(masked: &str) -> Vec<FnItem> {
+    let b = masked.as_bytes();
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_word(b, b"fn", i) {
+        i = pos + 2;
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < b.len() && is_ident(b[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            // `fn(...)` pointer type, not an item.
+            continue;
+        }
+        let name = masked[name_start..j].to_string();
+        // Body `{` at bracket depth 0; `;` means a bodyless declaration.
+        let mut depth = 0i64;
+        let mut k = j;
+        let mut body_open = None;
+        while k < b.len() {
+            match b[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let close = match_brace(b, open);
+        let is_unsafe = prev_word(masked, pos) == "unsafe";
+        fns.push(FnItem {
+            name,
+            sig: pos..open,
+            body: open + 1..close,
+            is_unsafe,
+        });
+        // Continue scanning *inside* the body so nested fns are found too.
+        i = open + 1;
+    }
+    fns
+}
+
+fn scan_test_spans(masked: &str) -> Vec<Range<usize>> {
+    let b = masked.as_bytes();
+    let mut spans = Vec::new();
+    for marker in [b"#[cfg(test)]".as_slice(), b"#[test]".as_slice()] {
+        let mut i = 0;
+        while let Some(pos) = find_sub(b, marker, i) {
+            i = pos + marker.len();
+            // The guarded item's body is the next `{` at bracket depth 0.
+            let mut depth = 0i64;
+            let mut k = i;
+            while k < b.len() {
+                match b[k] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        spans.push(pos..match_brace(b, k) + 1);
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+    }
+    spans
+}
+
+/// Plain (non-boundary) substring search.
+pub fn find_sub(b: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() || from >= b.len() {
+        return None;
+    }
+    b[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Masks comments and string/char-literal interiors with spaces, preserving
+/// byte offsets and newlines. Handles nested block comments, raw/byte
+/// strings, and char-vs-lifetime `'` disambiguation.
+pub fn mask_source(raw: &str) -> String {
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b = raw.as_bytes();
+    let n = b.len();
+    let mut out: Vec<u8> = Vec::with_capacity(n);
+    let mut st = St::Code;
+    let mut prev_ident = false;
+    let mut i = 0;
+    let mask = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < n {
+        let c = b[i];
+        match st {
+            St::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    st = St::Line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    st = St::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if (c == b'r' || c == b'b') && !prev_ident {
+                    // r"…"  r#"…"#  b"…"  br"…"  b'…'
+                    let mut j = i;
+                    if b[j] == b'b' {
+                        j += 1;
+                    }
+                    let is_raw = b.get(j) == Some(&b'r');
+                    if is_raw {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while is_raw && b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') && (is_raw || c == b'b') {
+                        out.extend(std::iter::repeat_n(b' ', j - i));
+                        out.push(b'"');
+                        i = j + 1;
+                        st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                        out.extend_from_slice(b"b'");
+                        i += 2;
+                        st = St::Char;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == b'\'' {
+                    // Char literal or lifetime.
+                    if b.get(i + 1) == Some(&b'\\') {
+                        out.push(b'\'');
+                        i += 1;
+                        st = St::Char;
+                    } else {
+                        let start = i + 1;
+                        let ch_len = b.get(start).map_or(1, |&f| utf8_len(f));
+                        if b.get(start) != Some(&b'\'') && b.get(start + ch_len) == Some(&b'\'') {
+                            out.push(b'\'');
+                            out.extend(std::iter::repeat_n(b' ', ch_len));
+                            out.push(b'\'');
+                            i = start + ch_len + 1;
+                        } else {
+                            out.push(b'\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+                prev_ident = out.last().is_some_and(|&x| is_ident(x));
+            }
+            St::Line => {
+                if c == b'\n' {
+                    st = St::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(mask(c));
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == b'\\' {
+                    out.push(b' ');
+                    if let Some(&e) = b.get(i + 1) {
+                        out.push(mask(e));
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == b'"' {
+                    out.push(b'"');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    out.push(mask(c));
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == b'"'
+                    && b[i + 1..].len() >= hashes
+                    && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    out.push(b'"');
+                    out.extend(std::iter::repeat_n(b' ', hashes));
+                    st = St::Code;
+                    i += 1 + hashes;
+                } else {
+                    out.push(mask(c));
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == b'\\' {
+                    out.push(b' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == b'\'' {
+                    out.push(b'\'');
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    out.push(mask(c));
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Masking is byte-for-byte: multi-byte chars in masked regions become
+    // runs of spaces, kept code bytes pass through unchanged, so the result
+    // is valid UTF-8 of the same length.
+    debug_assert_eq!(out.len(), raw.len());
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_strings_and_comments() {
+        let raw = r#"let x = "a.unwrap()"; // .expect(boom)
+let y = v[0]; /* nested /* block */ .unwrap() */ let c = 'x';"#;
+        let m = mask_source(raw);
+        assert_eq!(m.len(), raw.len());
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains(".expect("));
+        assert!(m.contains("v[0]"));
+        assert!(m.contains("'"));
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let raw = r##"fn f<'a>(s: &'a str) -> bool { s == r#"panic!("no")"# }"##;
+        let m = mask_source(raw);
+        assert_eq!(m.len(), raw.len());
+        assert!(!m.contains("panic!"));
+        assert!(m.contains("<'a>"));
+    }
+
+    #[test]
+    fn fn_scanner_finds_bodies_and_unsafe() {
+        let raw = "pub unsafe fn go(x: u8) -> u8 { x }\nfn f() -> Result<(), E> { g() }";
+        let f = SourceFile::new(PathBuf::new(), "t.rs".into(), raw.into());
+        let fns = f.fns();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "go");
+        assert!(fns[0].is_unsafe);
+        assert_eq!(fns[1].name, "f");
+        assert!(!fns[1].is_unsafe);
+        assert!(raw[fns[1].sig.clone()].contains("Result"));
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mods() {
+        let raw = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap() }\n}";
+        let f = SourceFile::new(PathBuf::new(), "t.rs".into(), raw.into());
+        let pos = raw.find("unwrap").unwrap();
+        assert!(f.in_test(pos));
+        assert!(!f.in_test(raw.find("fn a").unwrap()));
+    }
+}

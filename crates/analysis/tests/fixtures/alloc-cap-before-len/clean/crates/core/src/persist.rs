@@ -1,0 +1,13 @@
+pub enum PersistError {
+    Truncated,
+}
+
+const MAX_ITEMS: usize = 4096;
+
+fn decode_list(len: usize) -> Result<Vec<u8>, PersistError> {
+    if len > MAX_ITEMS {
+        return Err(PersistError::Truncated);
+    }
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}

@@ -1,0 +1,8 @@
+pub enum PersistError {
+    Truncated,
+}
+
+fn decode_list(len: usize) -> Result<Vec<u8>, PersistError> {
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}

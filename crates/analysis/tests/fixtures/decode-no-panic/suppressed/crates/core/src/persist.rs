@@ -1,0 +1,8 @@
+pub enum PersistError {
+    Truncated,
+}
+
+fn decode_header(buf: &[u8]) -> Result<u8, PersistError> {
+    // habf-lint: allow(decode-no-panic) -- length proved by the caller's magic check
+    Ok(buf[0])
+}

@@ -1,0 +1,7 @@
+pub fn probe(store: &Store, key: &[u8]) -> bool {
+    let filter = {
+        let guard = store.inner.lock();
+        guard.filter.clone()
+    };
+    filter.contains(key)
+}

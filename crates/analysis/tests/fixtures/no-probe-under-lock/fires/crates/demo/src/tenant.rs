@@ -1,0 +1,4 @@
+pub fn probe(store: &Store, key: &[u8]) -> bool {
+    let guard = store.inner.lock();
+    guard.filter.contains(key)
+}

@@ -1,0 +1,5 @@
+pub fn probe(store: &Store, key: &[u8]) -> bool {
+    let guard = store.inner.lock();
+    // habf-lint: allow(no-probe-under-lock) -- single-tenant startup path, no contention
+    guard.filter.contains(key)
+}

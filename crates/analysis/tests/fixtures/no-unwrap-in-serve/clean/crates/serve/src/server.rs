@@ -1,0 +1,3 @@
+pub fn handle(payload: &[u8]) -> Option<usize> {
+    payload.first().map(|&b| usize::from(b))
+}

@@ -1,0 +1,4 @@
+pub fn handle(payload: &[u8]) -> usize {
+    let first = payload.first().unwrap();
+    usize::from(*first)
+}

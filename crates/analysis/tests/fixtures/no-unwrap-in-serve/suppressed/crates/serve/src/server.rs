@@ -1,0 +1,5 @@
+pub fn handle(payload: &[u8]) -> usize {
+    // habf-lint: allow(no-unwrap-in-serve) -- payload length validated by the framing layer
+    let first = payload.first().unwrap();
+    usize::from(*first)
+}

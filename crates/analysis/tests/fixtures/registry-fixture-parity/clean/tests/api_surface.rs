@@ -1,0 +1,1 @@
+pub const REGISTERED_IDS: [&str; 1] = ["demo"];

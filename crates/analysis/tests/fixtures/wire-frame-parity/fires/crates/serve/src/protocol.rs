@@ -1,0 +1,3 @@
+pub mod frame_type {
+    pub const QUERY: u8 = 0x02;
+}

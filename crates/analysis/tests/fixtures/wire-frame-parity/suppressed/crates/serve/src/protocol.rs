@@ -1,0 +1,4 @@
+pub mod frame_type {
+    // habf-lint: allow(wire-frame-parity) -- reserved opcode; wire format not final
+    pub const QUERY: u8 = 0x02;
+}

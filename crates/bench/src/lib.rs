@@ -16,7 +16,7 @@
 //! the measured ones; EXPERIMENTS.md archives a run.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod adaptation;
 pub mod args;

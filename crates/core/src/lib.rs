@@ -52,7 +52,7 @@
 //! | — unified object-safe filter API (post-paper) | [`filter_api`], [`registry`] |
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod adapt;
 pub mod blocked;

@@ -147,6 +147,25 @@ pub(crate) struct Reader<'a> {
     pos: usize,
 }
 
+/// Fills an `N`-byte array from the front of `bytes` without a panicking
+/// conversion. Callers pass slices already length-checked by [`Reader`];
+/// a short slice zero-fills rather than aborting the process.
+pub(crate) fn le_array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    out
+}
+
+/// Copies little-endian words out of a byte run (the non-zero-copy decode
+/// path).
+fn copy_words(raw: &[u8]) -> Vec<u64> {
+    raw.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(le_array(c)))
+        .collect()
+}
+
 impl<'a> Reader<'a> {
     pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
@@ -154,30 +173,39 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(PersistError::Truncated);
-        }
-        let out = &self.buf[self.pos..end];
+        let out = self.buf.get(self.pos..end).ok_or(PersistError::Truncated)?;
         self.pos = end;
         Ok(out)
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
-        Ok(self.bytes(1)?[0])
+        self.bytes(1)?
+            .first()
+            .copied()
+            .ok_or(PersistError::Truncated)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(le_array(self.bytes(2)?)))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(le_array(self.bytes(4)?)))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(
-            self.bytes(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(le_array(self.bytes(8)?)))
+    }
+
+    /// A `u64` count/size field narrowed to `usize`. A value the host
+    /// cannot address is a truncation-class error, never a silent wrap.
+    pub(crate) fn count(&mut self) -> Result<usize, PersistError> {
+        usize::try_from(self.u64()?).map_err(|_| PersistError::Truncated)
     }
 
     pub(crate) fn words(&mut self, n: usize) -> Result<Vec<u64>, PersistError> {
         let raw = self.bytes(n.checked_mul(8).ok_or(PersistError::Truncated)?)?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect())
+        Ok(copy_words(raw))
     }
 
     pub(crate) fn finish(&self) -> Result<(), PersistError> {
@@ -367,8 +395,9 @@ pub fn decode_container(buf: &[u8]) -> Result<DecodedContainer<'_>, PersistError
     if version == CONTAINER_VERSION {
         // The v2 header pads to the next 8-byte boundary so the payload
         // (and every frame in it) lands word-aligned in the image.
-        let header_len = 14 + id_len;
-        let pad = header_len.next_multiple_of(8) - header_len;
+        // `-len mod 8` is the distance to that boundary.
+        let header_len = 14usize.saturating_add(id_len);
+        let pad = header_len.wrapping_neg() & 7;
         if r.bytes(pad)?.iter().any(|&b| b != 0) {
             return Err(PersistError::Corrupt("header padding must be zero"));
         }
@@ -397,8 +426,9 @@ pub fn parse_v2_payload(payload: &[u8]) -> Result<(&[u8], Vec<FrameEntry>), Pers
     let mut r = Reader::new(payload);
     let meta_len = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
     let meta = r.bytes(meta_len)?;
-    let meta_end = 8 + meta_len;
-    let pad = meta_end.next_multiple_of(8) - meta_end;
+    // `-len mod 8` is the distance to the next 8-byte boundary.
+    let meta_end = 8usize.saturating_add(meta_len);
+    let pad = meta_end.wrapping_neg() & 7;
     if r.bytes(pad)?.iter().any(|&b| b != 0) {
         return Err(PersistError::Corrupt("meta padding must be zero"));
     }
@@ -406,7 +436,11 @@ pub fn parse_v2_payload(payload: &[u8]) -> Result<(&[u8], Vec<FrameEntry>), Pers
     if nframes > MAX_FRAMES {
         return Err(PersistError::Corrupt("frame count out of range"));
     }
-    let table_end = meta_end + pad + 8 + 16 * nframes;
+    let table_end = meta_end
+        .checked_add(pad)
+        .and_then(|v| v.checked_add(8))
+        .and_then(|v| v.checked_add(nframes.checked_mul(16)?))
+        .ok_or(PersistError::Truncated)?;
     let mut entries = Vec::with_capacity(nframes);
     let mut prev_end = table_end;
     for _ in 0..nframes {
@@ -445,7 +479,7 @@ pub fn parse_v2_payload(payload: &[u8]) -> Result<(&[u8], Vec<FrameEntry>), Pers
 /// # Errors
 /// Propagates header/payload validation errors for container inputs.
 pub fn frame_table(buf: &[u8]) -> Result<Option<(usize, Vec<FrameEntry>)>, PersistError> {
-    if buf.len() < 5 || &buf[..4] != CONTAINER_MAGIC {
+    if buf.len() < 5 || buf.get(..4).is_none_or(|magic| magic != CONTAINER_MAGIC) {
         return Ok(None);
     }
     let decoded = decode_container(buf)?;
@@ -467,6 +501,15 @@ pub struct FrameSource<'a> {
     entries: Vec<FrameEntry>,
     next: usize,
     backing: FrameBacking<'a>,
+}
+
+/// The checked byte range `[start, start + words * 8)` of a frame within
+/// `buf` — bounds- and overflow-validated so a hostile frame table can
+/// never mis-slice.
+fn frame_range(buf: &[u8], start: usize, words: usize) -> Result<&[u8], PersistError> {
+    let len = words.checked_mul(8).ok_or(PersistError::Truncated)?;
+    let end = start.checked_add(len).ok_or(PersistError::Truncated)?;
+    buf.get(start..end).ok_or(PersistError::Truncated)
 }
 
 enum FrameBacking<'a> {
@@ -517,24 +560,22 @@ impl<'a> FrameSource<'a> {
             .entries
             .get(self.next)
             .ok_or(PersistError::Corrupt("missing word frame"))?;
-        self.next += 1;
+        self.next = self.next.saturating_add(1);
         if entry.words != expect_words {
             return Err(PersistError::Corrupt("frame size mismatch"));
         }
         match &self.backing {
             FrameBacking::Borrowed { payload } => {
-                let raw = &payload[entry.offset..entry.offset + entry.words * 8];
-                Ok(Words::from(
-                    raw.chunks_exact(8)
-                        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-                        .collect::<Vec<u64>>(),
-                ))
+                let raw = frame_range(payload, entry.offset, entry.words)?;
+                Ok(Words::from(copy_words(raw)))
             }
             FrameBacking::Shared {
                 image,
                 payload_offset,
             } => {
-                let byte_off = payload_offset + entry.offset;
+                let byte_off = payload_offset
+                    .checked_add(entry.offset)
+                    .ok_or(PersistError::Truncated)?;
                 if cfg!(target_endian = "little") {
                     SharedWords::new(Arc::clone(image), byte_off, entry.words)
                         .map(Words::from)
@@ -542,12 +583,8 @@ impl<'a> FrameSource<'a> {
                 } else {
                     // Big-endian hosts cannot view LE words in place; fall
                     // back to the copying decode.
-                    let raw = &image.as_bytes()[byte_off..byte_off + entry.words * 8];
-                    Ok(Words::from(
-                        raw.chunks_exact(8)
-                            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-                            .collect::<Vec<u64>>(),
-                    ))
+                    let raw = frame_range(image.as_bytes(), byte_off, entry.words)?;
+                    Ok(Words::from(copy_words(raw)))
                 }
             }
         }
@@ -672,8 +709,13 @@ pub(crate) fn decode_v2_meta(
         return Err(PersistError::Corrupt("H0 length differs from k"));
     }
     let h0: Vec<HashId> = r.bytes(h0_len)?.to_vec();
-    let family = r.u64()? as usize;
-    let max_id = (1usize << (cell_bits - 1)) - 1;
+    let family = r.count()?;
+    // cell_bits ∈ 2..=16 (checked above); `checked_shl` keeps a corrupt
+    // width from wrapping the id-space bound.
+    let max_id = 1usize
+        .checked_shl(cell_bits.saturating_sub(1))
+        .and_then(|v| v.checked_sub(1))
+        .ok_or(PersistError::Corrupt("cell width out of range"))?;
     if family == 0 || family > max_id {
         return Err(PersistError::Corrupt("family size out of id space"));
     }
@@ -681,20 +723,20 @@ pub(crate) fn decode_v2_meta(
         return Err(PersistError::Corrupt("H0 id out of family"));
     }
     let sim_seed = r.u64()?;
-    let m = r.u64()? as usize;
+    let m = r.count()?;
     if m == 0 {
         return Err(PersistError::Corrupt("empty Bloom array"));
     }
-    let omega = r.u64()? as usize;
+    let omega = r.count()?;
     if omega == 0 {
         return Err(PersistError::Corrupt("empty HashExpressor"));
     }
-    let inserted = r.u64()? as usize;
+    let inserted = r.count()?;
     let bloom_words = frames.next_words(m.div_ceil(64))?;
     let bloom = BitVec::from_store(bloom_words, m);
     // Checked: a corrupt omega near usize::MAX must error, not overflow.
     let cell_word_count = omega
-        .checked_mul(cell_bits as usize)
+        .checked_mul(usize::try_from(cell_bits).unwrap_or(usize::MAX))
         .ok_or(PersistError::Truncated)?
         .div_ceil(64);
     let cell_words = frames.next_words(cell_word_count)?;
@@ -734,8 +776,13 @@ pub(crate) fn decode(buf: &[u8], expect_kind: u8) -> Result<Decoded, PersistErro
         return Err(PersistError::Corrupt("H0 length differs from k"));
     }
     let h0: Vec<HashId> = r.bytes(h0_len)?.to_vec();
-    let family = r.u64()? as usize;
-    let max_id = (1usize << (cell_bits - 1)) - 1;
+    let family = r.count()?;
+    // cell_bits ∈ 2..=16 (checked above); `checked_shl` keeps a corrupt
+    // width from wrapping the id-space bound.
+    let max_id = 1usize
+        .checked_shl(cell_bits.saturating_sub(1))
+        .and_then(|v| v.checked_sub(1))
+        .ok_or(PersistError::Corrupt("cell width out of range"))?;
     if family == 0 || family > max_id {
         return Err(PersistError::Corrupt("family size out of id space"));
     }
@@ -743,19 +790,19 @@ pub(crate) fn decode(buf: &[u8], expect_kind: u8) -> Result<Decoded, PersistErro
         return Err(PersistError::Corrupt("H0 id out of family"));
     }
     let sim_seed = r.u64()?;
-    let m = r.u64()? as usize;
+    let m = r.count()?;
     if m == 0 {
         return Err(PersistError::Corrupt("empty Bloom array"));
     }
     let bloom = BitVec::from_words(r.words(m.div_ceil(64))?, m);
-    let omega = r.u64()? as usize;
+    let omega = r.count()?;
     if omega == 0 {
         return Err(PersistError::Corrupt("empty HashExpressor"));
     }
-    let inserted = r.u64()? as usize;
+    let inserted = r.count()?;
     // Checked: a corrupt omega near usize::MAX must error, not overflow.
     let cell_word_count = omega
-        .checked_mul(cell_bits as usize)
+        .checked_mul(usize::try_from(cell_bits).unwrap_or(usize::MAX))
         .ok_or(PersistError::Truncated)?
         .div_ceil(64);
     let cells = PackedCells::from_words(r.words(cell_word_count)?, omega, cell_bits);
@@ -825,7 +872,7 @@ pub(crate) fn decode_sharded(
     if kind != expect_kind {
         return Err(PersistError::WrongKind);
     }
-    let shards = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")) as usize;
+    let shards = usize::try_from(r.u32()?).map_err(|_| PersistError::Truncated)?;
     if shards == 0 || shards > MAX_SHARDS {
         return Err(PersistError::Corrupt("shard count out of range"));
     }

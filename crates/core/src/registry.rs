@@ -237,10 +237,7 @@ impl From<PersistError> for OpenError {
 /// unknown version, a container naming an unregistered id, truncation,
 /// misalignment, or payload corruption; never panics on untrusted bytes.
 pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
-    if buf.len() < 4 {
-        return Err(PersistError::Truncated);
-    }
-    let magic: &[u8; 4] = buf[..4].try_into().expect("4 bytes");
+    let magic = buf.get(..4).ok_or(PersistError::Truncated)?;
     match magic {
         m if m == persist::CONTAINER_MAGIC => {
             let decoded = persist::decode_container(buf)?;
@@ -264,10 +261,10 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
         m if m == persist::MAGIC || m == persist::SHARDED_MAGIC => {
             // Legacy images self-describe through their kind byte; the
             // whole image doubles as the matching id's container payload.
-            if buf.len() < 6 {
-                return Err(PersistError::Truncated);
-            }
-            let (version, kind) = (buf[4], buf[5]);
+            let (version, kind) = match buf.get(4..6) {
+                Some(&[v, k]) => (v, k),
+                _ => return Err(PersistError::Truncated),
+            };
             let sharded = m == persist::SHARDED_MAGIC;
             let id = match (sharded, kind) {
                 (false, 0) => "habf",
@@ -277,7 +274,7 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
                 (true, 1) => "sharded-fhabf",
                 _ => return Err(PersistError::Corrupt("unknown legacy kind byte")),
             };
-            let e = entry(id).expect("legacy ids are registered");
+            let e = entry(id).ok_or_else(|| PersistError::UnknownFilterId(id.to_string()))?;
             Ok(LoadedFilter {
                 filter: (e.load_payload)(buf)?,
                 format: if sharded {
@@ -305,7 +302,7 @@ pub fn load(buf: &[u8]) -> Result<LoadedFilter, PersistError> {
 /// Same validation as [`load`].
 pub fn load_shared(image: &Arc<ImageBytes>) -> Result<LoadedFilter, PersistError> {
     let buf = image.as_bytes();
-    if buf.len() < 5 || &buf[..4] != persist::CONTAINER_MAGIC {
+    if buf.len() < 5 || buf.get(..4).is_none_or(|m| m != persist::CONTAINER_MAGIC) {
         return load(buf);
     }
     let decoded = persist::decode_container(buf)?;
@@ -637,7 +634,7 @@ where
     if kind != F::KIND {
         return Err(PersistError::WrongKind);
     }
-    let shards = u32::from_le_bytes(r.bytes(4)?.try_into().expect("4 bytes")) as usize;
+    let shards = usize::try_from(r.u32()?).map_err(|_| PersistError::Truncated)?;
     if shards == 0 || shards > crate::sharded::MAX_SHARDS {
         return Err(PersistError::Corrupt("shard count out of range"));
     }
@@ -793,7 +790,7 @@ fn load_scalable_habf_v2(
 ) -> Result<Box<dyn DynFilter>, PersistError> {
     let mut r = Reader::new(meta);
     let (growth, tier_count) = scalable::decode_growth_params(&mut r)?;
-    let mut tiers = Vec::with_capacity(tier_count);
+    let mut tiers = Vec::with_capacity(tier_count.min(scalable::MAX_TIERS));
     for _ in 0..tier_count {
         let (capacity, inserted) = scalable::decode_tier_counters(&mut r)?;
         let d = persist::decode_v2_meta(&mut r, 0, frames)?;
@@ -952,7 +949,7 @@ fn load_bloom_v2(
 }
 
 fn decode_k(r: &mut Reader<'_>) -> Result<usize, PersistError> {
-    let k = usize::from(u16::from_le_bytes(r.bytes(2)?.try_into().expect("2 bytes")));
+    let k = usize::from(r.u16()?);
     if k == 0 || k > MAX_DECODED_K {
         return Err(PersistError::Corrupt("hash count out of range"));
     }
@@ -1039,7 +1036,7 @@ type WbfMeta = (usize, usize, Vec<(u64, u16)>, usize);
 /// Decodes the shared WBF fields up to (and including) the bit-array
 /// length `m`.
 fn decode_wbf_meta(r: &mut Reader<'_>) -> Result<WbfMeta, PersistError> {
-    let k_default = usize::from(u16::from_le_bytes(r.bytes(2)?.try_into().expect("2 bytes")));
+    let k_default = usize::from(r.u16()?);
     if k_default == 0 || k_default > MAX_DECODED_K {
         return Err(PersistError::Corrupt("hash count out of range"));
     }
@@ -1051,9 +1048,11 @@ fn decode_wbf_meta(r: &mut Reader<'_>) -> Result<WbfMeta, PersistError> {
     let cache: Vec<(u64, u16)> = raw
         .chunks_exact(10)
         .map(|c| {
+            // chunks_exact(10) guarantees the 2-byte tail exists.
+            let tail = c.get(8..).unwrap_or_default();
             (
-                u64::from_le_bytes(c[..8].try_into().expect("8 bytes")),
-                u16::from_le_bytes(c[8..].try_into().expect("2 bytes")),
+                u64::from_le_bytes(persist::le_array(c)),
+                u16::from_le_bytes(persist::le_array(tail)),
             )
         })
         .collect();
@@ -1171,7 +1170,7 @@ fn decode_xor_meta(r: &mut Reader<'_>) -> Result<XorMeta, PersistError> {
     let seed = r.u64()?;
     let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
     let word_count = slots
-        .checked_mul(fp_bits as usize)
+        .checked_mul(usize::try_from(fp_bits).unwrap_or(usize::MAX))
         .ok_or(PersistError::Truncated)?
         .div_ceil(64);
     Ok((fp_bits, seg_len, slots, seed, items, word_count))
@@ -1495,7 +1494,7 @@ fn decode_binary_fuse_meta(r: &mut Reader<'_>) -> Result<BinaryFuseMeta, Persist
     let seed = r.u64()?;
     let items = usize::try_from(r.u64()?).map_err(|_| PersistError::Truncated)?;
     let word_count = slots
-        .checked_mul(fp_bits as usize)
+        .checked_mul(usize::try_from(fp_bits).unwrap_or(usize::MAX))
         .ok_or(PersistError::Truncated)?
         .div_ceil(64);
     Ok((fp_bits, seg_len, seg_count, seed, items, slots, word_count))

@@ -20,7 +20,7 @@
 //! comparisons give every filter the same space budget (Section V-B).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod binary_fuse;
 pub mod blocked_bloom;

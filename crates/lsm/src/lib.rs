@@ -36,7 +36,7 @@
 //! expensive misses than a standard Bloom filter.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 mod run;
 mod store;

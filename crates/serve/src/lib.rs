@@ -35,7 +35,7 @@
 //! panic or a wedged connection (reads are bounded by a timeout).
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod client;
 pub mod protocol;

@@ -195,17 +195,44 @@ pub struct Frame {
 /// Propagates socket write errors; an over-cap payload is an error
 /// here too, so a buggy caller cannot emit a frame no peer will accept.
 pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    // Saturate the reported length: a > 4 GiB payload must not wrap the
+    // u32 (it used to report `len % 2^32` bytes in the error).
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
     if payload.len() > MAX_PAYLOAD {
-        return Err(WireError::Oversized(payload.len() as u32));
+        return Err(WireError::Oversized(len));
     }
-    let mut header = [0u8; HEADER_LEN];
-    header[..2].copy_from_slice(&MAGIC);
-    header[2] = VERSION;
-    header[3] = kind;
-    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    let [m0, m1] = MAGIC;
+    let [l0, l1, l2, l3] = len.to_le_bytes();
+    let header: [u8; HEADER_LEN] = [m0, m1, VERSION, kind, l0, l1, l2, l3];
     w.write_all(&header)?;
     w.write_all(payload)?;
     Ok(())
+}
+
+/// Fills `buf` like `read_exact` (retrying interrupts) but reports a short
+/// read as the byte count instead of an error, so the caller can tell a
+/// clean close (0 bytes) from a truncated frame.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+/// Builds a fixed-size array prefix of `bytes` without a panic path; bytes
+/// past `bytes.len()` stay zero. Callers pass exactly `N` checked bytes.
+fn le_array<const N: usize>(bytes: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    out
 }
 
 /// Reads one frame. `Ok(None)` is a clean close: EOF exactly at a frame
@@ -217,36 +244,26 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), W
 /// allocation — no input sizes a buffer.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     let mut header = [0u8; HEADER_LEN];
-    let mut got = 0;
-    while got < HEADER_LEN {
-        match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(WireError::Truncated),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e)),
-        }
+    match read_full(r, &mut header)? {
+        0 => return Ok(None),
+        HEADER_LEN => {}
+        _ => return Err(WireError::Truncated),
     }
-    if header[..2] != MAGIC {
-        return Err(WireError::BadMagic([header[0], header[1]]));
+    let [m0, m1, version, kind, l0, l1, l2, l3] = header;
+    if [m0, m1] != MAGIC {
+        return Err(WireError::BadMagic([m0, m1]));
     }
-    if header[2] != VERSION {
-        return Err(WireError::BadVersion(header[2]));
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
     }
-    let kind = header[3];
-    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    if len as usize > MAX_PAYLOAD {
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
+    let len_usize = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+    if len_usize > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    let mut payload = vec![0u8; len as usize];
-    let mut got = 0;
-    while got < payload.len() {
-        match r.read(&mut payload[got..]) {
-            Ok(0) => return Err(WireError::Truncated),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e)),
-        }
+    let mut payload = vec![0u8; len_usize];
+    if read_full(r, &mut payload)? != len_usize {
+        return Err(WireError::Truncated);
     }
     Ok(Some(Frame { kind, payload }))
 }
@@ -270,44 +287,53 @@ impl<'a> Cursor<'a> {
         let end = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
             .ok_or(WireError::BadPayload("field past payload end"))?;
-        let slice = &self.buf[self.pos..end];
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(WireError::BadPayload("field past payload end"))?;
         self.pos = end;
         Ok(slice)
     }
 
     /// One byte.
     pub fn take_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or(WireError::BadPayload("field past payload end"))
     }
 
     /// `u16` LE.
     pub fn take_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(le_array(self.take(2)?)))
     }
 
     /// `u32` LE.
     pub fn take_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(le_array(self.take(4)?)))
     }
 
     /// `u64` LE.
     pub fn take_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(le_array(self.take(8)?)))
     }
 
     /// `f64` from LE bits.
     pub fn take_f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().unwrap(),
-        )))
+        Ok(f64::from_bits(u64::from_le_bytes(le_array(self.take(8)?))))
     }
 
     /// A `len u16` + bytes field (keys, tenant names).
     pub fn take_bytes(&mut self) -> Result<&'a [u8], WireError> {
-        let len = self.take_u16()? as usize;
+        let len = usize::from(self.take_u16()?);
         self.take(len)
+    }
+
+    /// A `u32` LE count field, widened to `usize` without an `as` cast.
+    pub fn take_count(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.take_u32()?)
+            .map_err(|_| WireError::BadPayload("count exceeds address space"))
     }
 
     /// Asserts the payload was consumed exactly; trailing bytes are a
@@ -386,7 +412,7 @@ impl Request {
             frame_type::PING => Ok(Self::Ping(frame.payload.clone())),
             frame_type::QUERY => {
                 let tenant = take_tenant(&mut c)?;
-                let count = c.take_u32()? as usize;
+                let count = c.take_count()?;
                 let mut keys = Vec::with_capacity(count.min(65_536));
                 for _ in 0..count {
                     keys.push(c.take_bytes()?.to_vec());
@@ -396,7 +422,7 @@ impl Request {
             }
             frame_type::FEEDBACK => {
                 let tenant = take_tenant(&mut c)?;
-                let count = c.take_u32()? as usize;
+                let count = c.take_count()?;
                 let mut events = Vec::with_capacity(count.min(65_536));
                 for _ in 0..count {
                     let key = c.take_bytes()?.to_vec();
@@ -428,7 +454,7 @@ impl Request {
             }
             frame_type::INSERT => {
                 let tenant = take_tenant(&mut c)?;
-                let count = c.take_u32()? as usize;
+                let count = c.take_count()?;
                 let mut keys = Vec::with_capacity(count.min(65_536));
                 for _ in 0..count {
                     keys.push(c.take_bytes()?.to_vec());
@@ -543,11 +569,13 @@ pub fn encode_answers(answers: &[bool]) -> Vec<u8> {
 /// [`WireError::BadPayload`] when the bitset does not match the count.
 pub fn decode_answers(payload: &[u8]) -> Result<Vec<bool>, WireError> {
     let mut c = Cursor::new(payload);
-    let count = c.take_u32()? as usize;
+    let count = c.take_count()?;
     let bits = c.take(count.div_ceil(8))?;
     c.finish()?;
+    // `bits` is exactly `count.div_ceil(8)` bytes (just taken), so the
+    // lookup never misses; `.get` keeps the path index-panic-free.
     Ok((0..count)
-        .map(|i| bits[i / 8] >> (i % 8) & 1 == 1)
+        .map(|i| bits.get(i / 8).is_some_and(|&b| b >> (i % 8) & 1 == 1))
         .collect())
 }
 
@@ -623,6 +651,47 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn oversized_write_reports_the_true_length() {
+        // Pre-fix, the length was narrowed with `as u32` before the cap
+        // check, so a >4 GiB payload wrapped to a small bogus length in
+        // the error. The length must now survive verbatim (saturated
+        // only past u32::MAX).
+        let payload = vec![0u8; MAX_PAYLOAD + 1];
+        let mut wire = Vec::new();
+        match write_frame(&mut wire, frame_type::QUERY, &payload) {
+            Err(WireError::Oversized(len)) => {
+                assert_eq!(len as usize, MAX_PAYLOAD + 1);
+            }
+            other => panic!("want Oversized, got {other:?}"),
+        }
+        assert!(wire.is_empty(), "no partial frame on error");
+    }
+
+    #[test]
+    fn hostile_counts_error_without_allocating() {
+        // A QUERY body declaring u32::MAX keys but carrying none: the
+        // typed truncation error must arrive before any count-sized
+        // allocation happens.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&4u16.to_le_bytes());
+        payload.extend_from_slice(b"fuzz");
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let frame = Frame {
+            kind: frame_type::QUERY,
+            payload,
+        };
+        assert!(Request::parse(&frame).is_err());
+
+        // Same shape at the Cursor layer: `take_count` reads the field,
+        // `take` refuses to slice past the payload end.
+        let buf = u32::MAX.to_le_bytes();
+        let mut c = Cursor::new(&buf);
+        let count = c.take_count().expect("count reads");
+        assert_eq!(count, u32::MAX as usize);
+        assert!(c.take(count).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use habf_core::tenant::TenantStore;
 use habf_core::{AdaptPolicy, BuildInput, FilterSpec};
-use habf_serve::protocol::{self, frame_type};
+use habf_serve::protocol::{self, error_code, frame_type};
 use habf_serve::{Client, Server, ServerConfig, TenantTable};
 use proptest::prelude::*;
 
@@ -53,7 +53,11 @@ fn server_addr() -> std::net::SocketAddr {
 /// error) and close — within the read timeout, so a wedge fails the
 /// test by timing out the client read.
 fn fire(bytes: &[u8]) -> Vec<protocol::Frame> {
-    let mut stream = TcpStream::connect(server_addr()).expect("connect");
+    fire_at(server_addr(), bytes)
+}
+
+fn fire_at(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<protocol::Frame> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("timeout");
@@ -73,13 +77,13 @@ fn fire(bytes: &[u8]) -> Vec<protocol::Frame> {
 /// A valid query frame image to mutate.
 fn valid_query_bytes() -> Vec<u8> {
     let keys = [b"user:1".to_vec(), b"ghost".to_vec()];
+    frame_bytes(frame_type::QUERY, &protocol::encode_query("fuzz", &keys))
+}
+
+/// One framed request image for `kind` carrying `payload`.
+fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
-    protocol::write_frame(
-        &mut out,
-        frame_type::QUERY,
-        &protocol::encode_query("fuzz", &keys),
-    )
-    .expect("encode");
+    protocol::write_frame(&mut out, kind, payload).expect("encode");
     out
 }
 
@@ -158,4 +162,154 @@ proptest! {
         }
         assert_server_alive();
     }
+
+    /// Single-byte mutations of *every* request opcode's valid frame —
+    /// not just QUERY. A mutated kind byte may legitimately land on a
+    /// different request, so the only universal invariants are: every
+    /// reply frame is reply-typed, and the server survives.
+    #[test]
+    fn mutated_request_frames_of_every_opcode_never_wedge(
+        case in 0usize..5,
+        offset_frac in 0.0f64..1.0,
+        xor_with in 1u8..=255,
+    ) {
+        let seeds = [
+            frame_bytes(frame_type::PING, b"probe"),
+            frame_bytes(
+                frame_type::FEEDBACK,
+                &protocol::encode_feedback("fuzz", &[(b"ghost".to_vec(), 2.5)]),
+            ),
+            frame_bytes(frame_type::STATS, &protocol::encode_stats("fuzz")),
+            frame_bytes(frame_type::REBUILD, &protocol::encode_rebuild("fuzz", 7, 8)),
+            frame_bytes(
+                frame_type::INSERT,
+                &protocol::encode_insert("fuzz", &[b"late".to_vec()]),
+            ),
+        ];
+        let mut mutated = seeds[case].clone();
+        let offset = ((mutated.len() - 1) as f64 * offset_frac) as usize;
+        mutated[offset] ^= xor_with;
+        let replies = fire(&mutated);
+        for reply in &replies {
+            prop_assert!(reply.kind & 0x80 != 0, "non-reply frame type {:#x}", reply.kind);
+        }
+        assert_server_alive();
+    }
+}
+
+/// Every request opcode, sent as a raw frame, draws its documented
+/// reply from the live fuzz server: PING→PONG, QUERY→ANSWERS,
+/// FEEDBACK→ACK, STATS→STATS_OK, REBUILD→REBUILT, and the two typed
+/// refusals — INSERT on the non-growable fuzz tenant and SHUTDOWN on a
+/// server that did not opt in.
+#[test]
+fn every_request_opcode_draws_its_documented_reply() {
+    let cases: [(Vec<u8>, u8, Option<u8>); 7] = [
+        (
+            frame_bytes(frame_type::PING, b"probe"),
+            frame_type::PONG,
+            None,
+        ),
+        (
+            frame_bytes(
+                frame_type::QUERY,
+                &protocol::encode_query("fuzz", &[b"user:1".to_vec()]),
+            ),
+            frame_type::ANSWERS,
+            None,
+        ),
+        (
+            frame_bytes(
+                frame_type::FEEDBACK,
+                &protocol::encode_feedback("fuzz", &[(b"ghost".to_vec(), 2.5)]),
+            ),
+            frame_type::ACK,
+            None,
+        ),
+        (
+            frame_bytes(frame_type::STATS, &protocol::encode_stats("fuzz")),
+            frame_type::STATS_OK,
+            None,
+        ),
+        (
+            frame_bytes(
+                frame_type::REBUILD,
+                &protocol::encode_rebuild("fuzz", 7, 16),
+            ),
+            frame_type::REBUILT,
+            None,
+        ),
+        (
+            frame_bytes(
+                frame_type::INSERT,
+                &protocol::encode_insert("fuzz", &[b"k".to_vec()]),
+            ),
+            frame_type::ERROR,
+            Some(error_code::NOT_GROWABLE),
+        ),
+        (
+            frame_bytes(frame_type::SHUTDOWN, &[]),
+            frame_type::ERROR,
+            Some(error_code::SHUTDOWN_REFUSED),
+        ),
+    ];
+    for (image, want_kind, want_code) in cases {
+        let replies = fire(&image);
+        assert_eq!(
+            replies.len(),
+            1,
+            "one reply owed to opcode wanting {want_kind:#x}"
+        );
+        assert_eq!(replies[0].kind, want_kind);
+        if let Some(code) = want_code {
+            let (got, _) = protocol::decode_error(&replies[0].payload).expect("decode error");
+            assert_eq!(got, code);
+        }
+    }
+    assert_server_alive();
+}
+
+/// The opt-in replies, exercised raw against a dedicated server: an
+/// INSERT into a growable (scalable-HABF) tenant answers INSERT_OK, and
+/// a SHUTDOWN frame to an opted-in server answers SHUTDOWN_OK and
+/// actually stops the accept loop.
+#[test]
+fn insert_ok_and_shutdown_ok_round_trip_as_raw_frames() {
+    let keys: Vec<Vec<u8>> = (0..64).map(|i| format!("seed:{i}").into_bytes()).collect();
+    let input = BuildInput::from_members(&keys);
+    let filter = FilterSpec::scalable_habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    let tenants = Arc::new(TenantTable::new());
+    tenants
+        .add(TenantStore::new("grow", filter, AdaptPolicy::cost_threshold(1e9)).with_members(keys));
+    let config = ServerConfig {
+        allow_shutdown: true,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", tenants, config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = handle.addr();
+
+    let replies = fire_at(
+        addr,
+        &frame_bytes(
+            frame_type::INSERT,
+            &protocol::encode_insert("grow", &[b"late".to_vec()]),
+        ),
+    );
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].kind, frame_type::INSERT_OK);
+    let (accepted, _, saturation) =
+        protocol::decode_insert_ok(&replies[0].payload).expect("decode");
+    assert_eq!(accepted, 1);
+    assert!(saturation.is_finite());
+
+    let replies = fire_at(addr, &frame_bytes(frame_type::SHUTDOWN, &[]));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].kind, frame_type::SHUTDOWN_OK);
+    handle.shutdown(); // joins the already-stopping accept thread
 }

@@ -74,7 +74,10 @@ fn on_dealloc(size: usize) {
 // SAFETY: delegates directly to `System` for every operation; the wrapper
 // only maintains byte counters and never touches the returned memory.
 unsafe impl GlobalAlloc for TrackingAllocator {
+    // SAFETY: forwards the caller's contract (non-zero-sized `layout`)
+    // to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is the caller's, passed through unmodified.
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
             on_alloc(layout.size());
@@ -82,12 +85,17 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         ptr
     }
 
+    // SAFETY: forwards the caller's contract (`ptr` was returned by this
+    // allocator with this `layout`) to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from the caller, who owns the block.
         unsafe { System.dealloc(ptr, layout) };
         on_dealloc(layout.size());
     }
 
+    // SAFETY: same contract as `alloc`, forwarded to `System` unchanged.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is the caller's, passed through unmodified.
         let ptr = unsafe { System.alloc_zeroed(layout) };
         if !ptr.is_null() {
             on_alloc(layout.size());
@@ -95,7 +103,11 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         ptr
     }
 
+    // SAFETY: forwards the caller's contract (`ptr` owned by this
+    // allocator, `new_size` non-zero) to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: all three arguments come from the caller, who owns the
+        // block being resized.
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
             on_dealloc(layout.size());

@@ -150,6 +150,8 @@ mod sys {
     const SYS_MUNMAP: usize = 215;
 
     #[cfg(target_arch = "x86_64")]
+    // SAFETY (contract): callers must pass arguments valid for syscall
+    // `nr`; the asm clobbers only what the x86-64 syscall ABI allows.
     unsafe fn syscall6(
         nr: usize,
         a: usize,
@@ -180,6 +182,8 @@ mod sys {
     }
 
     #[cfg(target_arch = "aarch64")]
+    // SAFETY (contract): callers must pass arguments valid for syscall
+    // `nr`; the asm clobbers only what the aarch64 syscall ABI allows.
     unsafe fn syscall6(
         nr: usize,
         a: usize,
@@ -290,17 +294,19 @@ impl Drop for Mmap {
     }
 }
 
-// SAFETY: the mapping is read-only and the struct owns it exclusively;
-// sharing &Mmap across threads only ever reads the mapped pages.
 #[cfg(all(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
+// SAFETY: the struct owns its read-only mapping exclusively; moving it
+// to another thread just moves ownership of the pages.
 unsafe impl Send for Mmap {}
 #[cfg(all(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
+// SAFETY: the mapping is read-only for its whole lifetime, so sharing
+// `&Mmap` across threads only ever reads the mapped pages.
 unsafe impl Sync for Mmap {}
 
 #[cfg(all(

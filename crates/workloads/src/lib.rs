@@ -23,7 +23,7 @@
 //! FP-feedback adaptation loop.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cost;
 pub mod dataset;

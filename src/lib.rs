@@ -52,6 +52,7 @@
 //! regenerating every figure of the evaluation.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use habf_core as core;
 pub use habf_filters as filters;
