@@ -1,4 +1,4 @@
-//! The rule registry: eight repo-specific invariants.
+//! The rule registry: nine repo-specific invariants.
 //!
 //! Every rule reports [`Finding`]s anchored at a `file:line` so inline
 //! `habf-lint: allow(...)` suppressions (see [`crate::engine`]) can target
@@ -46,6 +46,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(WireFrameParity),
         Box::new(NoUnwrapInServe),
         Box::new(BenchArtifactParity),
+        Box::new(NoBlockInReactor),
     ]
 }
 
@@ -830,6 +831,77 @@ impl Rule for BenchArtifactParity {
                         "bench artifact `{bench}` has no `path: {bench}` upload step in CI"
                     ),
                 });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 9: no-block-in-reactor
+// ---------------------------------------------------------------------
+
+struct NoBlockInReactor;
+
+/// Blocking calls that must never appear in reactor event-loop code:
+/// each one parks the worker thread and stalls every connection it owns.
+const BLOCKING_CALLS: [(&str, &str); 4] = [
+    (".read_exact(", "`.read_exact(...)`"),
+    (".write_all(", "`.write_all(...)`"),
+    (".lock()", "`.lock()`"),
+    (".recv()", "`.recv()`"),
+];
+
+impl Rule for NoBlockInReactor {
+    fn id(&self) -> &'static str {
+        "no-block-in-reactor"
+    }
+    fn description(&self) -> &'static str {
+        "reactor event-loop code stays nonblocking: no read_exact/write_all/\
+         lock/recv/sleep on a worker path"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for f in ws
+            .files()
+            .iter()
+            .filter(|f| f.rel.ends_with("reactor.rs") && f.rel.contains("/src/"))
+        {
+            for item in f.fns() {
+                if f.in_test(item.body.start) {
+                    continue;
+                }
+                let b = f.masked.as_bytes();
+                let body = item.body.clone();
+                for (pat, label) in BLOCKING_CALLS {
+                    let mut i = body.start;
+                    while let Some(pos) = find_sub(b, pat.as_bytes(), i) {
+                        if pos >= body.end {
+                            break;
+                        }
+                        i = pos + pat.len();
+                        out.push(Finding {
+                            rule: self.id(),
+                            file: f.rel.clone(),
+                            line: f.line_of(pos),
+                            message: format!("blocking {label} in reactor fn `{}`", item.name),
+                        });
+                    }
+                }
+                // `sleep(...)` (any path prefix) parks the whole loop.
+                let mut i = body.start;
+                while let Some(pos) = find_word(b, b"sleep", i) {
+                    if pos >= body.end {
+                        break;
+                    }
+                    i = pos + "sleep".len();
+                    if b.get(pos + "sleep".len()) == Some(&b'(') {
+                        out.push(Finding {
+                            rule: self.id(),
+                            file: f.rel.clone(),
+                            line: f.line_of(pos),
+                            message: format!("blocking `sleep(...)` in reactor fn `{}`", item.name),
+                        });
+                    }
+                }
             }
         }
     }

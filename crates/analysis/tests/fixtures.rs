@@ -8,7 +8,7 @@ use std::process::Command;
 
 use habf_analysis::{analyze, report, Report, Workspace};
 
-const RULES: [&str; 8] = [
+const RULES: [&str; 9] = [
     "decode-no-panic",
     "alloc-cap-before-len",
     "safety-comment",
@@ -17,6 +17,7 @@ const RULES: [&str; 8] = [
     "wire-frame-parity",
     "no-unwrap-in-serve",
     "bench-artifact-parity",
+    "no-block-in-reactor",
 ];
 
 fn fixture_root(rule: &str, variant: &str) -> PathBuf {

@@ -1,0 +1,6 @@
+pub fn pump(queue: &std::sync::Mutex<Vec<u8>>) -> usize {
+    match queue.try_lock() {
+        Ok(bytes) => bytes.len(),
+        Err(_) => 0,
+    }
+}

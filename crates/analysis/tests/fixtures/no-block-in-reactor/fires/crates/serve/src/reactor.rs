@@ -1,0 +1,7 @@
+pub fn pump(queue: &std::sync::Mutex<Vec<u8>>) -> usize {
+    let guard = queue.lock();
+    match guard {
+        Ok(bytes) => bytes.len(),
+        Err(_) => 0,
+    }
+}

@@ -1,20 +1,28 @@
-//! Serve-layer load bench: wire QPS and p50/p99 request latency of the
-//! multi-tenant filter server vs concurrent connection count.
+//! Serve-layer load bench: wire QPS and p50/p99/p999 request latency of
+//! the multi-tenant filter server vs concurrent connection count, for
+//! each serving model (reactor and thread-per-connection).
 //!
 //! Prints the comparison table and writes a machine-readable summary
 //! (default `BENCH_serve.json`; `--out PATH` overrides) that CI uploads
-//! as the serve-trajectory artifact.
+//! as the serve-trajectory artifact. The JSON's top-level rows are the
+//! first requested model's (default: reactor); every model's sweep is
+//! under `models`.
 //!
 //! Flags: `--out PATH`, `--keys N`, `--batch N`, `--requests N`,
-//! `--conns A,B,C`, `--seed N`.
+//! `--depth N`, `--conns A,B,C`, `--seed N`,
+//! `--models reactor,threads`.
+
+use habf_serve::ServeModel;
 
 fn main() {
     let mut out = "BENCH_serve.json".to_string();
     let mut keys = 500_000usize;
     let mut batch = 512usize;
     let mut requests = 200usize;
+    let mut depth = 4usize;
     let mut conns = vec![1usize, 2, 4, 8];
     let mut seed = 0xBEEFu64;
+    let mut models = vec![ServeModel::Reactor, ServeModel::Threads];
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
@@ -26,6 +34,7 @@ fn main() {
             "--keys" => keys = value("--keys").parse().expect("--keys: integer"),
             "--batch" => batch = value("--batch").parse().expect("--batch: integer"),
             "--requests" => requests = value("--requests").parse().expect("--requests: integer"),
+            "--depth" => depth = value("--depth").parse().expect("--depth: integer"),
             "--conns" => {
                 conns = value("--conns")
                     .split(',')
@@ -33,10 +42,16 @@ fn main() {
                     .collect();
             }
             "--seed" => seed = value("--seed").parse().expect("--seed: integer"),
+            "--models" => {
+                models = value("--models")
+                    .split(',')
+                    .map(|m| m.trim().parse().expect("--models: reactor|threads"))
+                    .collect();
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "flags: --out PATH | --keys N | --batch N | --requests N | \
-                     --conns A,B,C | --seed N"
+                    "flags: --out PATH | --keys N | --batch N | --requests N | --depth N | \
+                     --conns A,B,C | --seed N | --models reactor,threads"
                 );
                 return;
             }
@@ -44,15 +59,18 @@ fn main() {
         }
     }
     assert!(!conns.is_empty(), "--conns needs at least one count");
+    assert!(!models.is_empty(), "--models needs at least one model");
 
-    let r = habf_bench::netserve::run_netserve(keys, batch, requests, &conns, seed);
+    let r = habf_bench::netserve::run_netserve(keys, batch, requests, depth, &conns, seed, &models);
     r.table().print();
     println!(
-        "\n{} keys served, {}-key frames: best {:.0} QPS across {} connection counts",
+        "\n{} keys served, {}-key frames pipelined {} deep: best {:.0} QPS ({}) across {} connection counts",
         r.keys,
         r.batch,
+        r.depth,
         r.best_qps(),
-        r.rows.len()
+        r.models.first().map_or("none", |m| m.model.name()),
+        conns.len(),
     );
     std::fs::write(&out, r.to_json()).expect("write summary");
     println!("wrote {out}");

@@ -35,8 +35,17 @@ impl Client {
     fn read_reply(&mut self, want: u8) -> Result<Frame, WireError> {
         let frame = protocol::read_frame(&mut self.stream)?.ok_or(WireError::Truncated)?;
         if frame.kind == frame_type::ERROR {
-            let (code, message) = protocol::decode_error(&frame.payload)?;
-            return Err(WireError::Server { code, message });
+            let parts = protocol::decode_error_parts(&frame.payload)?;
+            if let Some(retry_after_ms) = parts.retry_after_ms {
+                return Err(WireError::Busy {
+                    retry_after_ms,
+                    message: parts.message,
+                });
+            }
+            return Err(WireError::Server {
+                code: parts.code,
+                message: parts.message,
+            });
         }
         if frame.kind != want {
             return Err(WireError::BadPayload("unexpected reply type"));
@@ -111,6 +120,37 @@ impl Client {
             answers.extend(got);
         }
         Ok(answers)
+    }
+
+    /// Writes one already-encoded frame without waiting for the reply —
+    /// the raw half of a depth-windowed pipeline (pair with
+    /// [`Client::recv_answers`]). The caller is responsible for keeping
+    /// sends and receives balanced.
+    ///
+    /// # Errors
+    /// I/O failures from the socket write.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        self.stream.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Flushes any buffered writes.
+    ///
+    /// # Errors
+    /// I/O failures from the socket flush.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one `ANSWERS` reply — the receive half of a depth-windowed
+    /// pipeline over [`Client::send_raw`].
+    ///
+    /// # Errors
+    /// As for [`Client::query`].
+    pub fn recv_answers(&mut self) -> Result<Vec<bool>, WireError> {
+        let reply = self.read_reply(frame_type::ANSWERS)?;
+        protocol::decode_answers(&reply.payload)
     }
 
     /// Sends FP/miss feedback events; returns the server's accepted

@@ -41,7 +41,18 @@
 //! bitset; `ACK` is the accepted event count; `STATS_OK` is a UTF-8
 //! JSON line; `REBUILT` is `hints u32` + `generation u64`; `INSERT_OK`
 //! is `accepted u32` + `tiers u32` + `saturation f64`; `ERROR` is a
-//! [`error_code`] byte + a UTF-8 message.
+//! [`error_code`] byte + a UTF-8 message — except [`error_code::BUSY`],
+//! which carries a `retry-after-ms u8` backoff hint between the code
+//! and the message.
+//!
+//! ## Streaming decode
+//!
+//! [`read_frame`] blocks until a whole frame arrives — fine for the
+//! thread-per-connection model, a thread hostage for a reactor. The
+//! [`FrameAssembler`] is the incremental face of the same codec: feed
+//! it whatever bytes the socket had, pop complete frames, and a partial
+//! frame simply stays buffered until more bytes arrive. Both paths
+//! apply identical header validation and the same pre-allocation cap.
 
 use std::io::{Read, Write};
 
@@ -134,6 +145,14 @@ pub enum WireError {
     Truncated,
     /// A payload field did not decode.
     BadPayload(&'static str),
+    /// The peer refused the connection at its limit, with a backoff
+    /// hint ([`error_code::BUSY`] surfaced as its own variant).
+    Busy {
+        /// How long the server suggests waiting before reconnecting.
+        retry_after_ms: u8,
+        /// Human-readable detail.
+        message: String,
+    },
     /// The peer answered with an error frame.
     Server {
         /// One of [`error_code`].
@@ -152,6 +171,10 @@ impl core::fmt::Display for WireError {
             Self::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds cap"),
             Self::Truncated => write!(f, "stream ended mid-frame"),
             Self::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            Self::Busy {
+                retry_after_ms,
+                message,
+            } => write!(f, "server busy (retry in {retry_after_ms} ms): {message}"),
             Self::Server { code, message } => write!(f, "server error {code}: {message}"),
         }
     }
@@ -175,6 +198,7 @@ impl WireError {
             Self::BadVersion(_) => error_code::BAD_VERSION,
             Self::Oversized(_) => error_code::OVERSIZED,
             Self::BadPayload(_) => error_code::BAD_FRAME,
+            Self::Busy { .. } => error_code::BUSY,
             Self::Server { code, .. } => *code,
         }
     }
@@ -268,6 +292,148 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     Ok(Some(Frame { kind, payload }))
 }
 
+/// Once buffered leading garbage exceeds this, [`FrameAssembler::feed`]
+/// compacts the buffer instead of letting it grow without bound.
+const ASSEMBLER_COMPACT: usize = 64 * 1024;
+
+/// Incremental frame decoder: the streaming face of [`read_frame`].
+///
+/// A reactor feeds it whatever bytes one nonblocking read produced and
+/// pops complete frames; a frame split across reads stays buffered —
+/// no thread is held hostage waiting for the rest. Header validation
+/// (magic, version, length cap) happens as soon as the 8 header bytes
+/// are present, so an adversarial length is refused before the payload
+/// accumulates, and the cap bounds buffered memory per connection at
+/// `MAX_PAYLOAD` + one read's worth of bytes.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read socket bytes to the internal buffer,
+    /// compacting consumed space first when it has built up.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= ASSEMBLER_COMPACT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// True when EOF now would be mid-frame: some bytes are buffered
+    /// that do not (yet) form a complete frame. After draining
+    /// [`FrameAssembler::next_frame`] to `Ok(None)`, this is the
+    /// truncation test.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Pops the next complete frame, if one is buffered. `Ok(None)`
+    /// means "need more bytes", never an error.
+    ///
+    /// # Errors
+    /// The same typed header errors as [`read_frame`]; after an error
+    /// the stream is desynchronized and the connection should close
+    /// (remaining buffered bytes are meaningless).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buffered() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header_end = self
+            .start
+            .checked_add(HEADER_LEN)
+            .ok_or(WireError::Truncated)?;
+        let header = self
+            .buf
+            .get(self.start..header_end)
+            .ok_or(WireError::Truncated)?;
+        let [m0, m1, version, kind, l0, l1, l2, l3] = le_array(header);
+        if [m0, m1] != MAGIC {
+            return Err(WireError::BadMagic([m0, m1]));
+        }
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
+        let len_usize = usize::try_from(len).map_err(|_| WireError::Oversized(len))?;
+        if len_usize > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let frame_end = header_end
+            .checked_add(len_usize)
+            .ok_or(WireError::Truncated)?;
+        let Some(payload) = self.buf.get(header_end..frame_end) else {
+            return Ok(None); // partial payload: wait for more bytes
+        };
+        let frame = Frame {
+            kind,
+            payload: payload.to_vec(),
+        };
+        self.start = frame_end;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+/// Appends one frame (header + payload) to an in-memory buffer — the
+/// allocation-reusing sibling of [`write_frame`] for reply batching.
+///
+/// # Errors
+/// [`WireError::Oversized`] for an over-cap payload; nothing is
+/// appended on error.
+pub fn append_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if payload.len() > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let [m0, m1] = MAGIC;
+    let [l0, l1, l2, l3] = len.to_le_bytes();
+    out.extend_from_slice(&[m0, m1, VERSION, kind, l0, l1, l2, l3]);
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Appends a complete `ANSWERS` frame — header and count + bitset
+/// payload — straight into `out`, with no intermediate payload
+/// allocation. Infallible: an answer set decoded from an in-cap QUERY
+/// frame packs into well under [`MAX_PAYLOAD`] bytes.
+pub fn append_answers_frame(out: &mut Vec<u8>, answers: &[bool]) {
+    let payload_len = 4 + answers.len().div_ceil(8);
+    let [m0, m1] = MAGIC;
+    out.reserve(HEADER_LEN + payload_len);
+    out.extend_from_slice(&[m0, m1, VERSION, frame_type::ANSWERS]);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+    let bits_start = out.len();
+    out.resize(bits_start + answers.len().div_ceil(8), 0);
+    for (i, &hit) in answers.iter().enumerate() {
+        if hit {
+            out[bits_start + i / 8] |= 1 << (i % 8);
+        }
+    }
+}
+
 /// A bounds-checked little-endian payload reader. Every `take_*` is a
 /// typed error past the end — the decoding face of the "byte soup never
 /// panics" rule.
@@ -281,6 +447,13 @@ impl<'a> Cursor<'a> {
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far — lets zero-copy callers turn a
+    /// [`Cursor::take_bytes`] slice back into a payload-relative range.
+    #[must_use]
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -588,15 +761,58 @@ pub fn encode_error(code: u8, message: &str) -> Vec<u8> {
     out
 }
 
-/// Decodes an `ERROR` payload into `(code, message)`.
+/// Encodes a [`error_code::BUSY`] `ERROR` payload: code byte, the
+/// retry-after-ms backoff hint, then the UTF-8 message.
+#[must_use]
+pub fn encode_busy(retry_after_ms: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + message.len());
+    out.push(error_code::BUSY);
+    out.push(retry_after_ms);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decoded fields of an `ERROR` payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorParts {
+    /// One of [`error_code`].
+    pub code: u8,
+    /// The backoff hint a [`error_code::BUSY`] payload carries (absent
+    /// on other codes, and tolerated absent on legacy BUSY frames).
+    pub retry_after_ms: Option<u8>,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Decodes an `ERROR` payload into its typed parts, including the
+/// BUSY retry-after hint.
+///
+/// # Errors
+/// [`WireError::BadPayload`] when the payload is empty.
+pub fn decode_error_parts(payload: &[u8]) -> Result<ErrorParts, WireError> {
+    let (&code, rest) = payload
+        .split_first()
+        .ok_or(WireError::BadPayload("empty error payload"))?;
+    let (retry_after_ms, rest) = match (code == error_code::BUSY, rest.split_first()) {
+        (true, Some((&ms, tail))) => (Some(ms), tail),
+        _ => (None, rest),
+    };
+    Ok(ErrorParts {
+        code,
+        retry_after_ms,
+        message: String::from_utf8_lossy(rest).into_owned(),
+    })
+}
+
+/// Decodes an `ERROR` payload into `(code, message)` (the BUSY backoff
+/// hint, when present, is stripped from the message — use
+/// [`decode_error_parts`] to read it).
 ///
 /// # Errors
 /// [`WireError::BadPayload`] when the payload is empty.
 pub fn decode_error(payload: &[u8]) -> Result<(u8, String), WireError> {
-    let (&code, rest) = payload
-        .split_first()
-        .ok_or(WireError::BadPayload("empty error payload"))?;
-    Ok((code, String::from_utf8_lossy(rest).into_owned()))
+    let parts = decode_error_parts(payload)?;
+    Ok((parts.code, parts.message))
 }
 
 #[cfg(test)]
@@ -828,5 +1044,116 @@ mod tests {
         assert_eq!(code, error_code::UNKNOWN_TENANT);
         assert_eq!(message, "no such tenant: x");
         assert!(decode_error(&[]).is_err());
+    }
+
+    #[test]
+    fn busy_payload_carries_a_retry_hint() {
+        let payload = encode_busy(25, "connection limit reached");
+        let parts = decode_error_parts(&payload).expect("decode");
+        assert_eq!(parts.code, error_code::BUSY);
+        assert_eq!(parts.retry_after_ms, Some(25));
+        assert_eq!(parts.message, "connection limit reached");
+        // The plain decode strips the hint byte from the message.
+        let (code, message) = decode_error(&payload).expect("decode");
+        assert_eq!(code, error_code::BUSY);
+        assert_eq!(message, "connection limit reached");
+        // Non-BUSY codes carry no hint; their message starts right
+        // after the code byte.
+        let parts =
+            decode_error_parts(&encode_error(error_code::BAD_FRAME, "nope")).expect("decode");
+        assert_eq!(parts.retry_after_ms, None);
+        assert_eq!(parts.message, "nope");
+        // A legacy BUSY payload without the hint byte still decodes.
+        let parts = decode_error_parts(&[error_code::BUSY]).expect("decode");
+        assert_eq!((parts.retry_after_ms, parts.message.as_str()), (None, ""));
+    }
+
+    #[test]
+    fn assembler_pops_frames_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame_type::QUERY, b"first-payload").expect("write");
+        write_frame(&mut wire, frame_type::PING, b"").expect("write");
+        write_frame(&mut wire, frame_type::FEEDBACK, &[0xAB; 300]).expect("write");
+
+        // Feed the byte stream one byte at a time: every frame must pop
+        // exactly once, exactly when its last byte arrives.
+        for chunk in [1usize, 2, 3, 7, wire.len()] {
+            let mut asm = FrameAssembler::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                asm.feed(piece);
+                while let Some(frame) = asm.next_frame().expect("decode") {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(frames.len(), 3, "chunk size {chunk}");
+            assert_eq!(frames[0].kind, frame_type::QUERY);
+            assert_eq!(frames[0].payload, b"first-payload");
+            assert_eq!(frames[1].kind, frame_type::PING);
+            assert_eq!(frames[2].payload.len(), 300);
+            assert!(!asm.mid_frame(), "chunk size {chunk} left residue");
+        }
+    }
+
+    #[test]
+    fn assembler_header_damage_is_typed_and_partial_is_mid_frame() {
+        let mut asm = FrameAssembler::new();
+        asm.feed(b"ZZ");
+        // Two bytes are not yet a header: no verdict either way.
+        assert!(asm.next_frame().expect("need more").is_none());
+        assert!(asm.mid_frame());
+        asm.feed(&[0u8; 6]);
+        assert!(matches!(asm.next_frame(), Err(WireError::BadMagic(_))));
+
+        // An adversarial length is refused at header time, before any
+        // payload bytes accumulate.
+        let mut asm = FrameAssembler::new();
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.push(VERSION);
+        header.push(frame_type::QUERY);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        asm.feed(&header);
+        assert!(matches!(asm.next_frame(), Err(WireError::Oversized(_))));
+
+        // A valid header with a missing payload stays pending.
+        let mut asm = FrameAssembler::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, frame_type::PING, b"full-payload").expect("write");
+        asm.feed(&wire[..wire.len() - 1]);
+        assert!(asm.next_frame().expect("need more").is_none());
+        assert!(asm.mid_frame());
+        asm.feed(&wire[wire.len() - 1..]);
+        let frame = asm.next_frame().expect("decode").expect("frame");
+        assert_eq!(frame.payload, b"full-payload");
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn append_frame_matches_write_frame_and_answers_append_matches_encode() {
+        let mut written = Vec::new();
+        write_frame(&mut written, frame_type::STATS, b"tenant-x").expect("write");
+        let mut appended = Vec::new();
+        append_frame(&mut appended, frame_type::STATS, b"tenant-x").expect("append");
+        assert_eq!(written, appended);
+
+        let oversized = vec![0u8; MAX_PAYLOAD + 1];
+        let mut out = Vec::new();
+        assert!(append_frame(&mut out, frame_type::QUERY, &oversized).is_err());
+        assert!(out.is_empty(), "no partial frame on error");
+
+        for n in [0usize, 1, 9, 513] {
+            let answers: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+            let mut direct = Vec::new();
+            append_answers_frame(&mut direct, &answers);
+            let mut via_payload = Vec::new();
+            write_frame(
+                &mut via_payload,
+                frame_type::ANSWERS,
+                &encode_answers(&answers),
+            )
+            .expect("write");
+            assert_eq!(direct, via_payload, "n = {n}");
+        }
     }
 }

@@ -1,15 +1,23 @@
-//! The server: a thread-per-connection TCP front end routing protocol
-//! frames onto per-tenant [`TenantStore`]s.
+//! The server: a TCP front end routing protocol frames onto per-tenant
+//! [`TenantStore`]s, under one of two serving models
+//! ([`ServerConfig::model`]):
 //!
-//! One accept loop hands each connection to its own thread, bounded by
-//! [`ServerConfig::max_connections`]: over the limit, the connection is
-//! accepted just long enough to send a typed `BUSY` error frame and
-//! close — a bounded queue that fails loudly instead of stalling the
-//! listener. Connection threads share the [`TenantTable`] and never
-//! take a lock while probing: queries clone the tenant's filter `Arc`
-//! snapshot and run through the batch pipeline outside all locks, so a
-//! rebuild hot-swapping a tenant mid-batch leaves in-flight answers on
-//! the old generation.
+//! * [`ServeModel::Reactor`] (default) — one accept thread feeding N
+//!   readiness-driven worker event loops (see `reactor.rs`): epoll'd
+//!   nonblocking sockets, streaming frame decode, vectored writes, and
+//!   cross-connection query coalescing.
+//! * [`ServeModel::Threads`] — the original thread-per-connection
+//!   model, kept for A/B comparison and non-Unix fallback.
+//!
+//! Both models share [`ServerConfig::max_connections`]: over the limit,
+//! a connection is accepted just long enough to send a typed `BUSY`
+//! error frame (carrying a retry-after-ms backoff hint) and close — a
+//! bounded queue that fails loudly instead of stalling the listener.
+//! Handlers share the [`TenantTable`] and never take a lock while
+//! probing: queries clone the tenant's filter `Arc` snapshot and run
+//! through the batch pipeline outside all locks, so a rebuild
+//! hot-swapping a tenant mid-batch leaves in-flight answers on the old
+//! generation.
 //!
 //! A client may pipeline: frames are answered in order, one reply per
 //! request, so a burst of `QUERY` frames behaves as one long stream.
@@ -25,6 +33,42 @@ use habf_core::tenant::TenantStore;
 
 use crate::protocol::{self, error_code, frame_type, Frame, Request, WireError};
 
+/// Which serving model the accept loop hands connections to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeModel {
+    /// Readiness-driven worker event loops (epoll / `poll(2)` via
+    /// `habf_util::poll`): the default, and the model that scales past
+    /// a handful of connections. Falls back to [`ServeModel::Threads`]
+    /// on non-Unix platforms.
+    #[default]
+    Reactor,
+    /// One blocking thread per connection — the A/B baseline.
+    Threads,
+}
+
+impl std::str::FromStr for ServeModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reactor" => Ok(Self::Reactor),
+            "threads" => Ok(Self::Threads),
+            other => Err(format!("unknown serve model {other:?} (reactor|threads)")),
+        }
+    }
+}
+
+impl ServeModel {
+    /// The CLI-facing name (`reactor` / `threads`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Reactor => "reactor",
+            Self::Threads => "threads",
+        }
+    }
+}
+
 /// Tuning knobs for [`Server::bind`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -32,12 +76,21 @@ pub struct ServerConfig {
     /// `BUSY` error frame and a close.
     pub max_connections: usize,
     /// Per-read socket timeout: a peer that stops mid-frame cannot
-    /// wedge its connection thread forever.
+    /// wedge its connection thread (threads model) or hold its buffered
+    /// partial frame (reactor idle sweep) forever.
     pub read_timeout: Duration,
     /// Whether a `SHUTDOWN` frame stops the server. Off by default —
     /// any client could stop the server otherwise; the CLI turns it on
     /// for operator-driven and CI-scripted servers.
     pub allow_shutdown: bool,
+    /// Which serving model runs the connections.
+    pub model: ServeModel,
+    /// Reactor worker event loops; `0` sizes to the machine
+    /// (`available_parallelism`, capped at 8). Ignored by the threads
+    /// model.
+    pub workers: usize,
+    /// The retry-after-ms backoff hint a `BUSY` refusal carries.
+    pub busy_retry_ms: u8,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +99,9 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(30),
             allow_shutdown: false,
+            model: ServeModel::default(),
+            workers: 0,
+            busy_retry_ms: 25,
         }
     }
 }
@@ -170,10 +226,33 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on this thread until the stop flag is
-    /// raised (see [`Server::spawn`], or a permitted `SHUTDOWN` frame)
-    /// or the listener dies.
+    /// Runs the server on this thread until the stop flag is raised
+    /// (see [`Server::spawn`], or a permitted `SHUTDOWN` frame) or the
+    /// listener dies. Dispatches on [`ServerConfig::model`]; the
+    /// reactor model degrades to threads on non-Unix platforms.
     pub fn run(self) {
+        match self.config.model {
+            ServeModel::Threads => self.run_threads(),
+            ServeModel::Reactor => {
+                #[cfg(unix)]
+                {
+                    let Server {
+                        listener,
+                        tenants,
+                        config,
+                        stop,
+                        active,
+                    } = self;
+                    crate::reactor::run(listener, tenants, config, stop, active);
+                }
+                #[cfg(not(unix))]
+                self.run_threads();
+            }
+        }
+    }
+
+    /// The thread-per-connection accept loop ([`ServeModel::Threads`]).
+    fn run_threads(self) {
         let Server {
             listener,
             tenants,
@@ -194,13 +273,7 @@ impl Server {
             // Bounded fan-out: at the cap, answer with a typed BUSY
             // frame instead of queueing the connection invisibly.
             if active.load(Ordering::Acquire) >= config.max_connections {
-                let mut stream = stream;
-                let _ = protocol::write_frame(
-                    &mut stream,
-                    frame_type::ERROR,
-                    &protocol::encode_error(error_code::BUSY, "connection limit reached"),
-                );
-                let _ = stream.shutdown(Shutdown::Both);
+                refuse_busy(stream, config.busy_retry_ms);
                 continue;
             }
             active.fetch_add(1, Ordering::AcqRel);
@@ -232,6 +305,18 @@ impl Server {
             join: Some(join),
         })
     }
+}
+
+/// Sends a typed `BUSY` refusal — code, retry-after-ms hint, message —
+/// and closes the just-accepted connection. Shared by the threads
+/// accept loop (global cap) and the reactor workers (per-worker cap).
+pub(crate) fn refuse_busy(mut stream: TcpStream, retry_after_ms: u8) {
+    let _ = protocol::write_frame(
+        &mut stream,
+        frame_type::ERROR,
+        &protocol::encode_busy(retry_after_ms, "connection limit reached"),
+    );
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Connection-thread view of server-level controls: the stop flag a
@@ -297,7 +382,7 @@ fn serve_connection(mut stream: TcpStream, tenants: &TenantTable, ctl: &ServerCt
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-fn error_frame(code: u8, message: &str) -> Frame {
+pub(crate) fn error_frame(code: u8, message: &str) -> Frame {
     Frame {
         kind: frame_type::ERROR,
         payload: protocol::encode_error(code, message),
@@ -306,8 +391,10 @@ fn error_frame(code: u8, message: &str) -> Frame {
 
 /// Maps one request frame to its reply frame. Payload-level damage
 /// keeps the connection: the framing is still in sync, so the error is
-/// a reply, not a hangup.
-fn handle_frame(frame: &Frame, tenants: &TenantTable) -> Frame {
+/// a reply, not a hangup. Shared by both serving models (the reactor
+/// routes `QUERY` through its coalescer and `SHUTDOWN` through its own
+/// gate before falling back to this).
+pub(crate) fn handle_frame(frame: &Frame, tenants: &TenantTable) -> Frame {
     let request = match Request::parse(frame) {
         Ok(request) => request,
         Err(e @ WireError::Server { .. }) => return error_frame(e.code(), &e.to_string()),

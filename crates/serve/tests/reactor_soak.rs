@@ -1,0 +1,125 @@
+//! 256-connection soak of the reactor: pipelined mixed traffic
+//! (`QUERY`, `FEEDBACK`, `INSERT`) hammering two tenants at once, with
+//! the zero-false-negative contract asserted on every reply. This is
+//! the test that would catch a cross-connection coalescing bug (answers
+//! scattered to the wrong connection or the wrong offset), a reply
+//! reordering under vectored writes, or an insert racing a merged probe
+//! into a false negative.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use habf_core::tenant::TenantStore;
+use habf_core::{AdaptPolicy, BuildInput, FilterSpec};
+use habf_serve::{Client, Server, ServerConfig, ServerHandle, TenantTable};
+
+const CONNS: usize = 256;
+const ROUNDS: usize = 3;
+
+fn members(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("user:{i}").into_bytes()).collect()
+}
+
+fn start() -> ServerHandle {
+    let tenants = Arc::new(TenantTable::new());
+
+    let keys = members(800);
+    let input = BuildInput::from_members(&keys);
+    let fixed = FilterSpec::habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    tenants
+        .add(TenantStore::new("t1", fixed, AdaptPolicy::cost_threshold(50.0)).with_members(keys));
+
+    let seed_keys = members(64);
+    let input = BuildInput::from_members(&seed_keys);
+    let elastic = FilterSpec::scalable_habf()
+        .bits_per_key(10.0)
+        .build(&input)
+        .expect("build");
+    tenants.add(
+        TenantStore::new("elastic", elastic, AdaptPolicy::cost_threshold(50.0))
+            .with_members(seed_keys),
+    );
+
+    let config = ServerConfig {
+        max_connections: CONNS + 32,
+        ..ServerConfig::default()
+    };
+    Server::bind("127.0.0.1:0", tenants, config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+#[test]
+fn soak_256_pipelined_connections_mixed_traffic_zero_false_negatives() {
+    let handle = start();
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..CONNS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+                for round in 0..ROUNDS {
+                    match t % 3 {
+                        0 => {
+                            // Pipelined member sweep: every member must
+                            // answer true on every round (zero FN).
+                            let probe = members(800);
+                            let answers = client
+                                .query_pipelined("t1", &probe, 64)
+                                .expect("pipelined query");
+                            assert_eq!(answers.len(), probe.len());
+                            assert!(
+                                answers.iter().all(|&b| b),
+                                "conn {t} round {round}: member dropped"
+                            );
+                        }
+                        1 => {
+                            // Feedback interleaved with queries on the
+                            // same tenant the sweepers are probing.
+                            let key = format!("ghost:{t}:{round}").into_bytes();
+                            let accepted = client.feedback("t1", &[(key, 2.0)]).expect("feedback");
+                            assert_eq!(accepted, 1);
+                            let probe = members(64);
+                            let answers = client.query("t1", &probe).expect("query");
+                            assert!(
+                                answers.iter().all(|&b| b),
+                                "conn {t} round {round}: member dropped after feedback"
+                            );
+                        }
+                        _ => {
+                            // Insert fresh keys, then immediately query
+                            // them on the same connection: the in-order
+                            // contract makes every one visible.
+                            let fresh: Vec<Vec<u8>> = (0..32)
+                                .map(|i| format!("soak:{t}:{round}:{i}").into_bytes())
+                                .collect();
+                            let (accepted, _, _) =
+                                client.insert("elastic", &fresh).expect("insert");
+                            assert_eq!(accepted, 32);
+                            let answers = client.query("elastic", &fresh).expect("query");
+                            assert!(
+                                answers.iter().all(|&b| b),
+                                "conn {t} round {round}: inserted key invisible (FN)"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for join in workers {
+        join.join().expect("soak worker");
+    }
+
+    // The server survived the soak and still serves fresh connections.
+    let mut client = Client::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.ping(b"after-soak").expect("ping");
+    let answers = client.query("t1", &members(800)).expect("query");
+    assert!(answers.iter().all(|&b| b), "member dropped after soak");
+    handle.shutdown();
+}

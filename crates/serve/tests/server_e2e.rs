@@ -218,18 +218,21 @@ fn rebuild_over_the_wire_swaps_generations_and_keeps_members() {
 }
 
 #[test]
-fn connection_limit_answers_busy_instead_of_queueing() {
+fn connection_limit_answers_busy_with_a_retry_hint_instead_of_queueing() {
     let config = ServerConfig {
         max_connections: 1,
+        busy_retry_ms: 40,
         ..ServerConfig::default()
     };
     let handle = start(config, vec![tenant("t1", 100)]);
 
     // Occupy the single slot (the ping reply proves the connection
-    // thread is up and counted).
+    // is registered and counted).
     let mut first = connect(&handle);
     first.ping(b"slot").expect("ping");
 
+    // Raw socket: the refusal carries the typed BUSY code plus the
+    // configured retry-after hint byte.
     let mut second = std::net::TcpStream::connect(handle.addr()).expect("connect");
     second
         .set_read_timeout(Some(Duration::from_secs(5)))
@@ -238,9 +241,92 @@ fn connection_limit_answers_busy_instead_of_queueing() {
         .expect("read")
         .expect("frame");
     assert_eq!(reply.kind, frame_type::ERROR);
-    let (code, _) = protocol::decode_error(&reply.payload).expect("decode");
-    assert_eq!(code, error_code::BUSY);
+    let parts = protocol::decode_error_parts(&reply.payload).expect("decode");
+    assert_eq!(parts.code, error_code::BUSY);
+    assert_eq!(parts.retry_after_ms, Some(40));
+    drop(second);
 
+    // Client surface: the same refusal decodes to the typed Busy error.
+    // (Read the unsolicited refusal frame directly — the server may
+    // close the socket before a request write would land.)
+    let mut third = connect(&handle);
+    match third.recv_answers() {
+        Err(WireError::Busy {
+            retry_after_ms,
+            message,
+        }) => {
+            assert_eq!(retry_after_ms, 40);
+            assert!(message.contains("connection limit"), "{message}");
+        }
+        other => panic!("want Busy error, got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn threads_model_serves_the_same_flows() {
+    // The thread-per-connection model stays available for A/B runs;
+    // the core flows must behave identically to the reactor.
+    let config = ServerConfig {
+        model: habf_serve::ServeModel::Threads,
+        ..ServerConfig::default()
+    };
+    let handle = start(config, vec![tenant("t1", 400)]);
+    let mut client = connect(&handle);
+
+    client.ping(b"threads").expect("ping");
+    let mut probe = members(400);
+    probe.extend((0..100).map(|i| format!("ghost:{i}").into_bytes()));
+    let answers = client.query("t1", &probe).expect("query");
+    assert!(answers[..400].iter().all(|&b| b), "member dropped");
+    let pipelined = client.query_pipelined("t1", &probe, 32).expect("pipelined");
+    assert_eq!(pipelined, answers);
+
+    let err = client
+        .query("nope", &[b"k".to_vec()])
+        .expect_err("unknown tenant");
+    match err {
+        WireError::Server { code, .. } => assert_eq!(code, error_code::UNKNOWN_TENANT),
+        other => panic!("want Server error, got {other:?}"),
+    }
+    client.ping(b"still-alive").expect("ping after error");
+
+    handle.shutdown();
+}
+
+#[test]
+fn coalesced_cross_connection_queries_answer_in_order_per_connection() {
+    // Many clients hammering the same tenant in the same wakeups: the
+    // reactor merges their QUERY frames into shared batch probes, and
+    // every client must still see its own answers, in its own order.
+    let handle = start(ServerConfig::default(), vec![tenant("t1", 500)]);
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, Duration::from_secs(10)).expect("connect");
+                for round in 0..20 {
+                    // Distinct per-thread slices so a cross-wired answer
+                    // bitset cannot go unnoticed.
+                    let lo = (t * 37 + round * 11) % 400;
+                    let mut probe: Vec<Vec<u8>> = (lo..lo + 64)
+                        .map(|i| format!("user:{i}").into_bytes())
+                        .collect();
+                    probe.push(format!("ghost:{t}:{round}").into_bytes());
+                    let answers = client.query("t1", &probe).expect("query");
+                    assert_eq!(answers.len(), probe.len());
+                    assert!(
+                        answers[..64].iter().all(|&b| b),
+                        "thread {t} round {round}: member dropped (coalescing cross-wired answers?)"
+                    );
+                }
+            })
+        })
+        .collect();
+    for join in threads {
+        join.join().expect("worker");
+    }
     handle.shutdown();
 }
 

@@ -12,6 +12,9 @@
 //! * [`store`] — the word-store layer itself: the copy-on-write [`Words`]
 //!   store, [`SharedWords`] views, [`ImageBytes`] (an 8-aligned shared
 //!   image) and its dependency-free mmap shim.
+//! * [`poll`] — a dependency-free readiness poller (raw `epoll` syscalls
+//!   on Linux, `poll(2)` elsewhere) that the serve reactor's event loops
+//!   are built on.
 //! * [`prefetch`] — safe software-prefetch wrappers used by the batch
 //!   probe pipeline (the filter crates deny `unsafe_code`; the intrinsics
 //!   live here behind hint-only safe functions).
@@ -29,10 +32,16 @@
 pub mod alloc;
 pub mod bitvec;
 pub mod cells;
+pub mod poll;
 pub mod prefetch;
 pub mod rng;
 pub mod stats;
 pub mod store;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub(crate) mod sys;
 
 pub use bitvec::BitVec;
 pub use cells::{probe_cell_in, PackedCells};

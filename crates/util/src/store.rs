@@ -129,12 +129,13 @@ impl Backing {
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
 mod sys {
-    //! Raw `mmap(2)` / `munmap(2)` syscalls — no libc, no crates; the
-    //! container this workspace builds in has no network access, so the
-    //! usual `memmap2` dependency is replaced by ~40 lines of the same
+    //! Raw `mmap(2)` / `munmap(2)` wrappers over the crate-shared
+    //! syscall shim ([`crate::sys`]) — no libc, no crates; the container
+    //! this workspace builds in has no network access, so the usual
+    //! `memmap2` dependency is replaced by a few lines of the same
     //! thing. Read-only, private, whole-file mappings only.
 
-    use std::arch::asm;
+    use crate::sys::{check, syscall6};
 
     const PROT_READ: usize = 0x1;
     const MAP_PRIVATE: usize = 0x2;
@@ -149,78 +150,12 @@ mod sys {
     #[cfg(target_arch = "aarch64")]
     const SYS_MUNMAP: usize = 215;
 
-    #[cfg(target_arch = "x86_64")]
-    // SAFETY (contract): callers must pass arguments valid for syscall
-    // `nr`; the asm clobbers only what the x86-64 syscall ABI allows.
-    unsafe fn syscall6(
-        nr: usize,
-        a: usize,
-        b: usize,
-        c: usize,
-        d: usize,
-        e: usize,
-        f: usize,
-    ) -> isize {
-        let ret: isize;
-        // SAFETY: the caller passes arguments valid for the syscall `nr`.
-        unsafe {
-            asm!(
-                "syscall",
-                inlateout("rax") nr => ret,
-                in("rdi") a,
-                in("rsi") b,
-                in("rdx") c,
-                in("r10") d,
-                in("r8") e,
-                in("r9") f,
-                lateout("rcx") _,
-                lateout("r11") _,
-                options(nostack),
-            );
-        }
-        ret
-    }
-
-    #[cfg(target_arch = "aarch64")]
-    // SAFETY (contract): callers must pass arguments valid for syscall
-    // `nr`; the asm clobbers only what the aarch64 syscall ABI allows.
-    unsafe fn syscall6(
-        nr: usize,
-        a: usize,
-        b: usize,
-        c: usize,
-        d: usize,
-        e: usize,
-        f: usize,
-    ) -> isize {
-        let ret: isize;
-        // SAFETY: the caller passes arguments valid for the syscall `nr`.
-        unsafe {
-            asm!(
-                "svc 0",
-                in("x8") nr,
-                inlateout("x0") a => ret,
-                in("x1") b,
-                in("x2") c,
-                in("x3") d,
-                in("x4") e,
-                in("x5") f,
-                options(nostack),
-            );
-        }
-        ret
-    }
-
     /// Maps `len` bytes of `fd` read-only. Returns the mapping address.
     pub fn mmap_readonly(fd: i32, len: usize) -> std::io::Result<*mut u8> {
         // SAFETY: addr = NULL asks the kernel to pick a placement; the fd
         // and length come from an open file the caller owns.
         let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
-        if (-4095..0).contains(&ret) {
-            Err(std::io::Error::from_raw_os_error(-ret as i32))
-        } else {
-            Ok(ret as *mut u8)
-        }
+        check(ret).map(|addr| addr as *mut u8)
     }
 
     /// Unmaps a mapping created by [`mmap_readonly`].

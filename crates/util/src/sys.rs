@@ -1,0 +1,87 @@
+//! Shared raw-syscall shim for Linux (x86_64 / aarch64).
+//!
+//! This workspace builds in an offline container, so the usual `libc`
+//! dependency is replaced by one inline-asm `syscall` wrapper that the
+//! dependency-free kernel shims share: the mmap store ([`crate::store`])
+//! and the readiness poller ([`crate::poll`]). Only those two modules
+//! call in here; everything stays `pub(crate)`.
+//!
+//! This module only exists under
+//! `cfg(all(target_os = "linux", any(x86_64, aarch64)))` — the gate lives
+//! on the `mod sys` declaration in `lib.rs`.
+
+use std::io;
+
+#[cfg(target_arch = "x86_64")]
+// SAFETY (contract): callers must pass arguments valid for syscall
+// `nr`; the asm clobbers only what the x86-64 syscall ABI allows.
+pub(crate) unsafe fn syscall6(
+    nr: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+    e: usize,
+    f: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: the caller passes arguments valid for the syscall `nr`.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+// SAFETY (contract): callers must pass arguments valid for syscall
+// `nr`; the asm clobbers only what the aarch64 syscall ABI allows.
+pub(crate) unsafe fn syscall6(
+    nr: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+    e: usize,
+    f: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: the caller passes arguments valid for the syscall `nr`.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Converts a raw syscall return value into `io::Result`: the kernel
+/// signals errors as `-errno` in the `-4095..0` range.
+pub(crate) fn check(ret: isize) -> io::Result<isize> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error(
+            ret.unsigned_abs().min(4095) as i32
+        ))
+    } else {
+        Ok(ret)
+    }
+}

@@ -66,7 +66,8 @@ habf adapt FILTER --positives FILE --queries FILE [--out FILE] [--threshold F] \
 [--max-hints N] [--seed N]\n  habf insert FILTER [KEY…] [--keys FILE] [--out FILE]\n  \
 habf inspect FILTER\n  habf migrate FILTER [--out FILE]\n  \
 habf serve --listen ADDR --tenant NAME=FILTER[,POSITIVES] [--tenant …]\n         \
-[--threshold F] [--max-connections N] [--allow-shutdown]\n  \
+[--threshold F] [--max-connections N] [--model reactor|threads] [--workers N]\n         \
+[--allow-shutdown]\n  \
 habf client ADDR ping\n  habf client ADDR query TENANT [KEY…] [--replay FILE]\n  \
 habf client ADDR feedback TENANT (--queries FILE | KEY COST)\n  \
 habf client ADDR stats TENANT\n  habf client ADDR rebuild TENANT [--seed N] [--max-hints N]\n  \
@@ -681,6 +682,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--max-connections" => {
                 config.max_connections = val().parse().unwrap_or_else(|_| usage());
             }
+            "--model" => config.model = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = val().parse().unwrap_or_else(|_| usage()),
             "--allow-shutdown" => config.allow_shutdown = true,
             _ => usage(),
         }
@@ -719,6 +722,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         println!("tenant {name}: {filter_path} ({rebuilds})");
         tenants.add(store);
     }
+    println!("serving model: {}", config.model.name());
     let server = match Server::bind(&listen[..], tenants, config) {
         Ok(server) => server,
         Err(e) => {
@@ -726,6 +730,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The address stays the last token of this line: `habf` wrappers
+    // (and tests/cli.rs) parse it from the `serving ... on ` prefix.
     match server.local_addr() {
         Ok(addr) => println!("serving {} tenants on {addr}", tenant_specs.len()),
         Err(_) => println!("serving {} tenants on {listen}", tenant_specs.len()),
